@@ -1,0 +1,25 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Heavy artifacts (meshes, traced serial runs, the scaling sweep) are
+cached inside :mod:`repro.bench.experiments`, so the first benchmark
+touching an artifact pays for it and the rest reuse it. Run with
+``pytest benchmarks/ --benchmark-only -s`` to see the reproduced
+tables/figures printed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import DEFAULT_CONFIG, BenchConfig
+
+
+@pytest.fixture(scope="session")
+def cfg() -> BenchConfig:
+    """The session-wide experiment configuration."""
+    return DEFAULT_CONFIG
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

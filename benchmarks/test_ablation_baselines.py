@@ -1,0 +1,71 @@
+"""Ablation: the extended ordering zoo beyond the paper's three.
+
+Adds reverse-BFS (Munson & Hovland), RCM, Hilbert/Morton space-filling
+curves (Sastry et al.), plain quality sort (RDR without the neighborhood
+walk), degree sort, and the first-touch oracle. Checks that
+
+* the oracle is the best ordering (alignment upper bound),
+* RDR beats the plain quality sort — i.e. Algorithm 2's neighborhood
+  appending, not just the worst-first idea, carries the win,
+* every structured ordering beats random.
+"""
+
+from conftest import run_once
+
+from repro.bench import format_table, save_json, serial_run
+
+ORDERINGS = (
+    "random",
+    "ori",
+    "bfs",
+    "rbfs",
+    "dfs",
+    "rcm",
+    "hilbert",
+    "morton",
+    "sloan",
+    "spectral",
+    "degree",
+    "qsort",
+    "rdr",
+    "oracle",
+)
+
+
+def test_ablation_ordering_zoo(benchmark, cfg):
+    def driver():
+        rows = []
+        for ordering in ORDERINGS:
+            run = serial_run("M6", ordering, cfg)
+            prof = run.reuse_profile()
+            rows.append(
+                {
+                    "ordering": ordering,
+                    "modeled_ms": run.modeled_seconds * 1e3,
+                    "L1_misses": run.cache.l1.misses,
+                    "L2_misses": run.cache.l2.misses,
+                    "q50": prof.q50,
+                    "q90": prof.q90,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, driver)
+    rows_sorted = sorted(rows, key=lambda r: r["modeled_ms"])
+    print()
+    print(format_table(rows_sorted, title="Ablation - ordering zoo (ocean, 1st iteration)"))
+    save_json("ablation_baselines", rows)
+
+    by = {r["ordering"]: r for r in rows}
+    # The oracle bounds everything.
+    best = min(r["modeled_ms"] for r in rows)
+    assert by["oracle"]["modeled_ms"] <= 1.02 * best
+    # Neighborhood appending is essential: plain quality sort scatters
+    # neighbors and loses badly to RDR.
+    assert by["rdr"]["modeled_ms"] < by["qsort"]["modeled_ms"]
+    assert by["rdr"]["q90"] < by["qsort"]["q90"]
+    # Degree sort is quality-blind and also loses to RDR.
+    assert by["rdr"]["modeled_ms"] < by["degree"]["modeled_ms"]
+    # Everything structured beats random.
+    for name in ("ori", "bfs", "rbfs", "rcm", "hilbert", "morton", "sloan", "spectral", "rdr"):
+        assert by[name]["modeled_ms"] < by["random"]["modeled_ms"], name

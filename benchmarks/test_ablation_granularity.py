@@ -1,0 +1,76 @@
+"""Ablation: element-granularity vs cache-line-granularity reuse distance.
+
+DESIGN.md's modelling note: for a FIXED traversal, reuse distance over
+*element identities* is invariant under renaming, so orderings can only
+act through the memory layout (which elements share a line). This
+ablation verifies the claim empirically by pushing one and the same
+logical traversal through the ORI and RDR layouts: the
+element-granularity quantiles coincide exactly, while the
+line-granularity ones differ sharply — validating that the library
+measures the mechanism the paper describes (spatial locality via the
+span of accesses, Figure 5).
+"""
+
+from conftest import run_once
+
+from repro.bench import format_table, save_json, suite_meshes
+from repro.memsim import MemoryLayout, profile_from_distances, reuse_distances
+from repro.ordering import apply_ordering, invert_permutation
+from repro.quality import patch_quality, vertex_quality
+from repro.smoothing import greedy_traversal, trace_for_traversal
+
+
+def test_ablation_granularity(benchmark, cfg):
+    def driver():
+        mesh = suite_meshes(cfg)["M6"]
+        rank_q = patch_quality(mesh, passes=cfg.rank_passes, base=vertex_quality(mesh))
+        # One logical traversal, fixed on the base mesh.
+        logical_seq = greedy_traversal(mesh, rank_q)
+        rows = []
+        for ordering in ("ori", "rdr"):
+            permuted, order = apply_ordering(mesh, ordering, qualities=rank_q)
+            inv = invert_permutation(order)
+            seq = inv[logical_seq]  # same vertices, new storage names
+            trace = trace_for_traversal(permuted, seq)
+            # Restrict to the coordinate array: its logical elements map
+            # 1:1 across layouts. (CSR row-pointer reads touch xadj[v+1],
+            # whose logical identity depends on who is stored next, so
+            # the full trace is only approximately invariant.)
+            trace = trace.filtered("coords")
+            layout = MemoryLayout.for_mesh(permuted)
+            for granularity, ids in (
+                ("element", layout.element_ids(trace)),
+                ("line", layout.lines(trace)),
+            ):
+                prof = profile_from_distances(reuse_distances(ids))
+                rows.append(
+                    {
+                        "ordering": ordering,
+                        "granularity": granularity,
+                        "q50": prof.q50,
+                        "q75": prof.q75,
+                        "q90": prof.q90,
+                        "mean": prof.mean,
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, driver)
+    print()
+    print(format_table(rows, title="Ablation - reuse-distance granularity (fixed traversal)"))
+    save_json("ablation_granularity", rows)
+
+    cell = {(r["ordering"], r["granularity"]): r for r in rows}
+    # Element granularity is invariant up to the within-neighborhood
+    # read order (the CSR adjacency is kept sorted per layout, so the
+    # same set of reads interleaves slightly differently): quantiles
+    # agree to within a couple of positions, means within a few percent.
+    ori_e = cell[("ori", "element")]
+    rdr_e = cell[("rdr", "element")]
+    for k in ("q50", "q75", "q90"):
+        assert abs(ori_e[k] - rdr_e[k]) <= max(2, 0.05 * ori_e[k]), k
+    assert abs(ori_e["mean"] - rdr_e["mean"]) <= 0.05 * ori_e["mean"]
+    # Line granularity exposes the orderings (the paper's mechanism):
+    # the same traversal, pushed through the RDR layout, collapses the
+    # tail by far more than the element-level wiggle.
+    assert cell[("rdr", "line")]["q90"] < 0.5 * cell[("ori", "line")]["q90"]

@@ -1,0 +1,50 @@
+"""Ablation: replacement policy (LRU vs FIFO vs random).
+
+The paper's Section 3.1 model assumes LRU. This ablation re-simulates
+the serial experiment under FIFO and random replacement and checks the
+*ordering ranking* — the paper's actual claim — survives the policy
+change, even though absolute miss counts shift.
+"""
+
+from conftest import run_once
+
+from repro.bench import format_table, save_json, serial_run
+from repro.memsim import simulate_trace
+
+
+def test_ablation_replacement_policy(benchmark, cfg):
+    def driver():
+        rows = []
+        for ordering in ("random", "ori", "bfs", "rdr"):
+            run = serial_run("M6", ordering, cfg)
+            for policy in ("lru", "fifo", "random"):
+                stats = simulate_trace(run.lines, run.machine, policy=policy)
+                rows.append(
+                    {
+                        "ordering": ordering,
+                        "policy": policy,
+                        "L1_misses": stats.l1.misses,
+                        "L2_misses": stats.l2.misses,
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, driver)
+    print()
+    print(format_table(rows, title="Ablation - replacement policy x ordering (M6)"))
+    save_json("ablation_replacement", rows)
+
+    cell = {(r["ordering"], r["policy"]): r for r in rows}
+    for policy in ("lru", "fifo", "random"):
+        # The headline ranking holds under every policy.
+        assert (
+            cell[("rdr", policy)]["L1_misses"]
+            < cell[("ori", policy)]["L1_misses"]
+            < cell[("random", policy)]["L1_misses"]
+        ), policy
+    # And the policies do differ in absolute terms (the ablation is not
+    # vacuous): LRU beats FIFO for at least one ordering.
+    assert any(
+        cell[(o, "lru")]["L1_misses"] < cell[(o, "fifo")]["L1_misses"]
+        for o in ("random", "ori", "bfs", "rdr")
+    )

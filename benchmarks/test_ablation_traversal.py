@@ -1,0 +1,47 @@
+"""Ablation: greedy (paper) vs storage (Algorithm 1 literal) traversal.
+
+DESIGN.md calls out the traversal policy as the main modelling degree of
+freedom. Under the storage traversal the reordering alone decides
+locality (reuse distances ~ layout bandwidth); under the greedy
+traversal the alignment between ordering and traversal decides. RDR is
+built for the greedy traversal, so its advantage over BFS should be
+specific to it — that asymmetry is the ablation's check.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.bench import format_table, save_json, serial_run
+
+
+@pytest.mark.parametrize("traversal", ["greedy", "storage"])
+def test_ablation_traversal(benchmark, cfg, traversal):
+    def driver():
+        rows = []
+        for ordering in ("random", "ori", "bfs", "rdr"):
+            run = serial_run("M6", ordering, cfg, traversal=traversal)
+            prof = run.reuse_profile()
+            rows.append(
+                {
+                    "ordering": ordering,
+                    "traversal": traversal,
+                    "modeled_ms": run.modeled_seconds * 1e3,
+                    "q50": prof.q50,
+                    "q90": prof.q90,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, driver)
+    print()
+    print(format_table(rows, title=f"Ablation - traversal={traversal}"))
+    save_json(f"ablation_traversal_{traversal}", rows)
+
+    by = {r["ordering"]: r for r in rows}
+    # Under either traversal, random is the worst ordering.
+    assert by["random"]["modeled_ms"] > by["bfs"]["modeled_ms"]
+    assert by["random"]["modeled_ms"] > by["rdr"]["modeled_ms"]
+    if traversal == "greedy":
+        # RDR's storage order matches the traversal: it wins.
+        assert by["rdr"]["modeled_ms"] < by["bfs"]["modeled_ms"]
+        assert by["rdr"]["q90"] < by["bfs"]["q90"]

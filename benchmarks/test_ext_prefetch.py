@@ -1,0 +1,44 @@
+"""Extension: a next-line prefetcher in the hierarchy model.
+
+Section 3.1 notes real machines fetch by lines and prefetch, which the
+first-order model ignores. This bench turns on a sequential next-line
+prefetcher and checks the interaction with orderings: streaming layouts
+(RDR, oracle) benefit the most — consecutive lines are exactly what
+they touch next — while random gains nothing, WIDENING the gap the
+paper measures rather than erasing it.
+"""
+
+from conftest import run_once
+
+from repro.bench import format_table, save_json, serial_run
+from repro.memsim import simulate_trace
+
+
+def test_ext_next_line_prefetch(benchmark, cfg):
+    def driver():
+        rows = []
+        for ordering in ("random", "ori", "rdr"):
+            run = serial_run("M6", ordering, cfg)
+            base = run.cache
+            pf = simulate_trace(run.lines, run.machine, next_line_prefetch=True)
+            rows.append(
+                {
+                    "ordering": ordering,
+                    "L1_misses": base.l1.misses,
+                    "L1_misses_prefetch": pf.l1.misses,
+                    "saved_%": 100 * (1 - pf.l1.misses / base.l1.misses),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, driver)
+    print()
+    print(format_table(rows, title="Extension - next-line prefetch x ordering (M6)"))
+    save_json("ext_prefetch", rows)
+
+    by = {r["ordering"]: r for r in rows}
+    # Prefetch helps the streaming layout far more than the random one.
+    assert by["rdr"]["saved_%"] > by["random"]["saved_%"]
+    # And never increases misses for the structured layouts.
+    assert by["rdr"]["L1_misses_prefetch"] <= by["rdr"]["L1_misses"]
+    assert by["ori"]["L1_misses_prefetch"] <= by["ori"]["L1_misses"]

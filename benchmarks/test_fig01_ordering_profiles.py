@@ -1,0 +1,33 @@
+"""Figure 1: reuse-distance profiles of random / ORI / BFS on ocean.
+
+Paper: random ordering has avg reuse distance ~90k, the original
+ordering ~4450, BFS ~2910, with L1 miss rates and execution times in the
+same order. The reproduction must preserve that strict ordering.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig1_profiles, format_table, render_series, save_json
+
+
+def test_fig1_reuse_profiles(benchmark, cfg):
+    out = run_once(benchmark, fig1_profiles, cfg)
+    rows = out["rows"]
+    print()
+    print(format_table(rows, title="Figure 1 - ordering profiles (ocean, M6)"))
+    for ordering, (xs, ys) in out["series"].items():
+        print(render_series(xs, ys, title=f"reuse distance over time: {ordering}", logy=True))
+    save_json("fig1", rows)
+
+    by = {r["ordering"]: r for r in rows}
+    # Strict ordering of reuse distances: random >> ori > bfs, with the
+    # upper quartile carrying the contrast (see driver docstring).
+    assert by["random"]["q75_reuse_distance"] > 2 * by["ori"]["q75_reuse_distance"]
+    assert by["ori"]["q75_reuse_distance"] > by["bfs"]["q75_reuse_distance"]
+    assert by["random"]["avg_reuse_distance"] > by["ori"]["avg_reuse_distance"]
+    assert by["ori"]["avg_reuse_distance"] > by["bfs"]["avg_reuse_distance"]
+    # L1 miss rates and modeled times follow the same order.
+    assert by["random"]["l1_miss_rate_%"] > by["ori"]["l1_miss_rate_%"]
+    assert by["ori"]["l1_miss_rate_%"] > by["bfs"]["l1_miss_rate_%"]
+    assert by["random"]["modeled_time_ms"] > by["ori"]["modeled_time_ms"]
+    assert by["ori"]["modeled_time_ms"] > by["bfs"]["modeled_time_ms"]

@@ -1,0 +1,27 @@
+"""Figure 4 (with Figure 5's span argument): DFS vs BFS access traces.
+
+Paper: under the BFS ordering the smoothing steps touch tightly
+clustered data-array locations, while the DFS ordering scatters each
+step's neighborhood across the array ("minimizing the span of accesses
+allows for a better spatial locality", Figure 5). The quantitative
+check is the mean per-smooth span of the coordinate locations touched.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig4_traces, save_json
+
+
+def test_fig4_trace_snippets(benchmark, cfg):
+    out = run_once(benchmark, fig4_traces, cfg, length=24)
+    print()
+    for name, locs in out["snippets"].items():
+        print(f"Figure 4 ({name}): coords locations = {locs}")
+    print("mean per-smooth span:", {k: round(v, 1) for k, v in out["mean_span"].items()})
+    save_json("fig4", out)
+
+    # BFS keeps each smoothing step's neighborhood much tighter in
+    # storage than DFS (DFS tree edges are adjacent, but the back/cross
+    # neighbors land far away).
+    assert out["mean_span"]["bfs"] < out["mean_span"]["dfs"]
+    assert len(out["snippets"]["bfs"]) == 24

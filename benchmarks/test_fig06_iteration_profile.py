@@ -1,0 +1,30 @@
+"""Figure 6: reuse-distance profiles repeat across smoothing iterations.
+
+Paper (carabiner, original ordering, 8 iterations): "the reuse distance
+has similar patterns over the different iterations" — the observation
+that justifies a one-shot (a-priori) reordering. The reproduction
+checks the per-iteration bucketed profiles correlate strongly with the
+first iteration's profile.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench import fig6_series, render_series, save_json
+
+
+def test_fig6_iteration_stability(benchmark, cfg):
+    out = run_once(benchmark, fig6_series, cfg, iterations=6)
+    series = out["series"]
+    corr = out["correlation_with_first"]
+    print()
+    ys = [y for s in series for y in s]
+    xs = list(range(len(ys)))
+    print(render_series(xs, ys, title="Figure 6 - reuse distance across iterations (M1, ORI)", logy=True))
+    print("correlation of each iteration's profile with iteration 0:", [f"{c:.2f}" for c in corr])
+    save_json("fig6", {"correlation_with_first": corr})
+
+    assert len(series) == 6
+    # Profiles are stable across iterations.
+    assert np.mean(corr) > 0.6
+    assert min(corr) > 0.3

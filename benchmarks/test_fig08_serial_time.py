@@ -1,0 +1,29 @@
+"""Figure 8: serial execution time of ORI / BFS / RDR on all nine meshes.
+
+Paper: RDR is on average 1.39x faster than ORI and 1.19x faster than
+BFS. The reproduction asserts RDR wins on every mesh against ORI, and
+on average against BFS (fidelity notes in EXPERIMENTS.md discuss the
+smaller magnitudes at benchmark scale).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench import fig8_rows, format_table, save_json
+
+
+def test_fig8_serial_execution_time(benchmark, cfg):
+    rows = run_once(benchmark, fig8_rows, cfg)
+    print()
+    print(format_table(rows, title="Figure 8 - modeled serial time (ms, 1st iteration)"))
+    save_json("fig8", rows)
+
+    assert len(rows) == 9
+    vs_ori = [r["speedup_rdr_vs_ori"] for r in rows]
+    vs_bfs = [r["speedup_rdr_vs_bfs"] for r in rows]
+    # RDR beats ORI on every mesh, comfortably on average.
+    assert min(vs_ori) > 1.05
+    assert float(np.mean(vs_ori)) > 1.15
+    # RDR beats BFS on average and never loses badly on one mesh.
+    assert float(np.mean(vs_bfs)) > 1.03
+    assert min(vs_bfs) > 0.97

@@ -1,0 +1,49 @@
+"""Figure 9 (+ the Equation-2 worked example): cache misses per level.
+
+Paper (single core, average over meshes): RDR has 25% fewer L1 misses,
+71% fewer L2 misses and 84% fewer L3 misses than ORI; for carabiner the
+Eq.(2) extra cycles are ORI 927k / BFS 528k / RDR 210k. The
+reproduction asserts the same orderings: RDR < BFS < ORI on L1 and L2
+misses (L3 sits at the compulsory floor for every ordering on the
+calibrated machine — the paper's "bare minimum" regime), and the
+Eq.(2) extra-cycle ranking for M1.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench import eq2_example, fig9_rows, format_table, save_json
+
+
+def _mean_misses(rows, ordering, level):
+    vals = [r[f"{level}_misses"] for r in rows if r["ordering"] == ordering]
+    return float(np.mean(vals))
+
+
+def test_fig9_cache_miss_rates(benchmark, cfg):
+    rows = run_once(benchmark, fig9_rows, cfg)
+    print()
+    print(format_table(rows, title="Figure 9 - cache performance (1 core, 1st iteration)"))
+    save_json("fig9", rows)
+
+    for level in ("L1", "L2"):
+        ori = _mean_misses(rows, "ori", level)
+        bfs = _mean_misses(rows, "bfs", level)
+        rdr = _mean_misses(rows, "rdr", level)
+        assert rdr < bfs < ori, f"{level}: expected rdr < bfs < ori, got {rdr}, {bfs}, {ori}"
+    # Paper's headline reductions have the right sign and substance.
+    l1_cut = 1 - _mean_misses(rows, "rdr", "L1") / _mean_misses(rows, "ori", "L1")
+    l2_cut = 1 - _mean_misses(rows, "rdr", "L2") / _mean_misses(rows, "ori", "L2")
+    print(f"mean miss reduction vs ORI: L1 {l1_cut:.0%} (paper 25%), L2 {l2_cut:.0%} (paper 71%)")
+    assert l1_cut > 0.15
+    assert l2_cut > 0.15
+
+
+def test_eq2_extra_cycles_example(benchmark, cfg):
+    rows = run_once(benchmark, eq2_example, cfg)
+    print()
+    print(format_table(rows, title="Eq.(2) extra cycles, carabiner (paper: ORI 927k / BFS 528k / RDR 210k)"))
+    save_json("eq2_example", rows)
+
+    by = {r["ordering"]: r["extra_kilocycles"] for r in rows}
+    assert by["rdr"] < by["bfs"] < by["ori"]

@@ -1,0 +1,32 @@
+"""Figure 12: mean speedup (over the nine meshes) vs core count.
+
+Paper: the mean RDR speedup reaches ~75 at 32 cores, dominating BFS and
+ORI across the sweep. The reproduction asserts RDR's mean curve
+dominates ORI's everywhere, stays competitive with BFS, and reaches a
+large top-end value.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig12_rows, format_table, render_series, save_json
+
+
+def test_fig12_mean_speedup(benchmark, cfg):
+    rows = run_once(benchmark, fig12_rows, cfg)
+    print()
+    print(format_table(rows, title="Figure 12 - mean speedup vs 1-core ORI"))
+    print(render_series([r["cores"] for r in rows], [r["rdr"] for r in rows],
+                        title="mean RDR speedup vs cores"))
+    save_json("fig12", rows)
+
+    by_p = {r["cores"]: r for r in rows}
+    for p in cfg.cores:
+        assert by_p[p]["rdr"] > by_p[p]["ori"]
+    # Super-linear regime at low-to-mid core counts.
+    assert by_p[4]["rdr"] > 4
+    assert by_p[8]["rdr"] > 8
+    # Headline top-end magnitude (paper: ~75 at 32 cores).
+    assert by_p[max(cfg.cores)]["rdr"] > 40
+    # RDR never falls far behind BFS on the mean curve.
+    for p in cfg.cores:
+        assert by_p[p]["rdr"] > 0.85 * by_p[p]["bfs"]

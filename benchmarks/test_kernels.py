@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the library's computational kernels.
+
+Unlike the experiment benches (which run once and assert shapes), these
+use pytest-benchmark's normal timing loop, so regressions in the hot
+kernels — reuse-distance analysis, LRU hierarchy simulation, RDR
+construction, the vectorized smoothing sweep, and the Delaunay
+substrate — show up as timing changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import generate_domain_mesh, rdr_ordering, reuse_distances, vertex_quality
+from repro.memsim import MemoryLayout, simulate_trace, westmere_ex
+from repro.meshgen import delaunay
+from repro.smoothing import smooth_iteration_jacobi, trace_for_traversal
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return generate_domain_mesh("ocean", target_vertices=2000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def line_stream(mesh):
+    q = vertex_quality(mesh)
+    trace = trace_for_traversal(mesh, mesh.interior_vertices())
+    return MemoryLayout.for_mesh(mesh).lines(trace)
+
+
+def test_bench_reuse_distance_kernel(benchmark, line_stream):
+    out = benchmark(reuse_distances, line_stream)
+    assert out.size == line_stream.size
+
+
+def test_bench_cache_hierarchy_kernel(benchmark, line_stream):
+    machine = westmere_ex(scale=0.01)
+    stats = benchmark(simulate_trace, line_stream, machine)
+    assert stats.l1.accesses == line_stream.size
+
+
+def test_bench_rdr_construction(benchmark, mesh):
+    q = vertex_quality(mesh)
+    order = benchmark(rdr_ordering, mesh, qualities=q)
+    assert np.array_equal(np.sort(order), np.arange(mesh.num_vertices))
+
+
+def test_bench_jacobi_sweep(benchmark, mesh):
+    g = mesh.adjacency
+    coords = mesh.vertices
+    out = benchmark(
+        smooth_iteration_jacobi, coords, g.xadj, g.adjncy, mesh.interior_mask
+    )
+    assert out.shape == coords.shape
+
+
+def test_bench_delaunay(benchmark):
+    pts = np.random.default_rng(3).random((1500, 2))
+    tris = benchmark.pedantic(delaunay, args=(pts,), rounds=3, iterations=1)
+    assert tris.shape[1] == 3
+
+
+def test_bench_vertex_quality(benchmark, mesh):
+    q = benchmark(vertex_quality, mesh)
+    assert q.shape == (mesh.num_vertices,)

@@ -1,0 +1,42 @@
+"""Seed robustness: the headline result is not a seed artifact.
+
+Re-runs the Figure 8 core comparison with a different generator seed
+(different jitter, different quality field realization, different mesh)
+and asserts the winners are unchanged.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench import BenchConfig, fig8_rows, format_table, save_json
+
+
+def test_seed_robustness(benchmark, cfg):
+    def driver():
+        out = {}
+        for seed in (0, 1):
+            alt = BenchConfig(
+                suite_scale=cfg.suite_scale,
+                scaling_scale=cfg.scaling_scale,
+                seed=seed,
+                quality_structure=cfg.quality_structure,
+            )
+            out[seed] = fig8_rows(alt)
+        return out
+
+    out = run_once(benchmark, driver)
+    print()
+    for seed, rows in out.items():
+        vs_ori = [r["speedup_rdr_vs_ori"] for r in rows]
+        print(
+            f"seed {seed}: RDR vs ORI mean {np.mean(vs_ori):.3f} "
+            f"(min {min(vs_ori):.3f})"
+        )
+    save_json("seed_robustness", {str(k): v for k, v in out.items()})
+
+    for seed, rows in out.items():
+        vs_ori = [r["speedup_rdr_vs_ori"] for r in rows]
+        vs_bfs = [r["speedup_rdr_vs_bfs"] for r in rows]
+        # Same winners at every seed.
+        assert min(vs_ori) > 1.05, seed
+        assert float(np.mean(vs_bfs)) > 1.0, seed

@@ -1,0 +1,27 @@
+"""Table 1: the nine-mesh test suite (generation + inventory)."""
+
+from conftest import run_once
+
+from repro.bench import format_table, save_json, table1_rows
+
+
+def test_table1_mesh_suite(benchmark, cfg):
+    rows = run_once(benchmark, table1_rows, cfg)
+    print()
+    print(format_table(rows, title="Table 1 - input mesh configuration"))
+    save_json("table1", rows)
+
+    assert len(rows) == 9
+    for row in rows:
+        # Scaled meshes must preserve the paper's triangle:vertex ratio
+        # (~2:1 for large planar triangulations) and have work to do.
+        assert row["vertices"] > 200
+        assert 1.5 < row["triangles"] / row["vertices"] < 2.2
+        assert row["interior"] > 0.5 * row["vertices"]
+    # Relative sizes follow the paper's: ocean (M6) and wrench (M9) are
+    # the two largest meshes (the generator's discrete pitch introduces
+    # a few-percent wobble, so exact rank order is not asserted).
+    sizes = {r["label"]: r["vertices"] for r in rows}
+    assert sizes["M6"] >= 0.97 * max(sizes.values())
+    assert sizes["M9"] >= 0.97 * max(sizes.values())
+    assert min(sizes, key=sizes.get) in {"M2", "M8", "M7"}  # smallest in paper too

@@ -1,0 +1,35 @@
+"""Table 2: reuse-distance quantiles per mesh and ordering.
+
+Paper (first iteration, per mesh): ORI has median 7-8 and a heavy tail
+(90% quantile in the hundreds-to-thousands); BFS has median 1 with 90%
+quantile ~70-100; RDR has median 1 with 90% quantile <= 11 and a maximum
+orders of magnitude below the footprint. The reproduction asserts the
+quantile ordering at every level and the RDR q90 collapse.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench import format_table, save_json, table2_rows
+
+
+def test_table2_reuse_quantiles(benchmark, cfg):
+    rows = run_once(benchmark, table2_rows, cfg)
+    print()
+    print(format_table(rows, title="Table 2 - reuse-distance quantiles (lines, 1st iteration)"))
+    save_json("table2", rows)
+
+    by = {(r["mesh"], r["ordering"]): r for r in rows}
+    meshes = sorted({r["mesh"] for r in rows})
+    for m in meshes:
+        ori, bfs, rdr = by[(m, "ori")], by[(m, "bfs")], by[(m, "rdr")]
+        # Medians: ORI noticeably above BFS/RDR (paper: 8 vs 1 vs 1).
+        assert ori["50%"] >= bfs["50%"] >= rdr["50%"]
+        assert rdr["50%"] <= 2
+        # RDR's q90 collapses relative to ORI (paper: 6 vs 1168).
+        assert rdr["90%"] < 0.25 * ori["90%"]
+    # And beats BFS's q90 on average (paper: 6 vs 99).
+    mean_rdr = np.mean([by[(m, "rdr")]["90%"] for m in meshes])
+    mean_bfs = np.mean([by[(m, "bfs")]["90%"] for m in meshes])
+    print(f"mean q90: rdr={mean_rdr:.0f} bfs={mean_bfs:.0f}")
+    assert mean_rdr < mean_bfs

@@ -1,0 +1,81 @@
+"""Deep-dive cache study on one mesh: the Figures 1/9 + Tables 2/3 view.
+
+For a chosen domain, runs the traced smoother under every registered
+ordering (including the first-touch oracle), then reports
+
+* reuse-distance quantiles (Table 2 style),
+* per-level simulated miss counts/rates (Figure 9 style),
+* the Equation-(2) cost breakdown (the paper's carabiner example),
+* an ASCII reuse-distance-over-time profile (Figure 1 style).
+
+Run:  python examples/cache_study.py [domain] [vertices]
+"""
+
+import sys
+
+from repro import compare_orderings, generate_domain_mesh
+from repro.bench import format_table, render_series
+from repro.memsim import bucketed_series
+
+ORDERINGS = ["random", "ori", "bfs", "rcm", "hilbert", "qsort", "rdr", "oracle"]
+
+
+def main() -> None:
+    domain = sys.argv[1] if len(sys.argv) > 1 else "carabiner"
+    vertices = int(sys.argv[2]) if len(sys.argv) > 2 else 1500
+
+    mesh = generate_domain_mesh(domain, target_vertices=vertices, seed=0)
+    print(f"{domain}: {mesh.num_vertices} vertices")
+    runs = compare_orderings(mesh, ORDERINGS, fixed_iterations=1)
+
+    quantiles = []
+    cache_rows = []
+    cost_rows = []
+    for name, run in runs.items():
+        prof = run.reuse_profile()
+        quantiles.append(
+            {
+                "ordering": name,
+                "50%": prof.q50,
+                "75%": prof.q75,
+                "90%": prof.q90,
+                "100%": prof.q100,
+            }
+        )
+        st = run.cache
+        cache_rows.append(
+            {
+                "ordering": name,
+                "L1_miss_%": 100 * st.l1.miss_rate,
+                "L2_miss_%": 100 * st.l2.miss_rate,
+                "L3_miss_%": 100 * st.l3.miss_rate,
+                "L1": st.l1.misses,
+                "L2": st.l2.misses,
+                "L3": st.l3.misses,
+            }
+        )
+        cost_rows.append(
+            {
+                "ordering": name,
+                "base_kcycles": run.cost.base_cycles / 1e3,
+                "miss_kcycles": run.cost.extra_cycles / 1e3,
+                "modeled_ms": run.modeled_seconds * 1e3,
+            }
+        )
+
+    print()
+    print(format_table(quantiles, title="reuse-distance quantiles (lines, 1st iteration)"))
+    print()
+    print(format_table(cache_rows, title=f"simulated cache behaviour ({runs['ori'].machine.name})"))
+    print()
+    print(format_table(cost_rows, title="Equation (2) cost model"))
+
+    print()
+    for name in ("random", "ori", "rdr"):
+        xs, ys = bucketed_series(runs[name].distances, 80)
+        print(render_series(xs, ys, title=f"reuse distance over time: {name}", logy=True))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Figure 3: Laplacian smoothing, before and after.
+
+Generates a domain mesh, smooths it to the paper's convergence
+criterion, reports the quality distribution before/after, and writes
+both meshes as OFF files so any mesh viewer can reproduce the paper's
+Figure 3 side-by-side view.
+
+Run:  python examples/figure3_before_after.py [domain] [outdir]
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import generate_domain_mesh, laplacian_smooth, vertex_quality
+from repro.bench import format_table
+from repro.mesh import write_off
+
+
+def quality_row(label: str, q: np.ndarray) -> dict:
+    return {
+        "mesh": label,
+        "min": float(q.min()),
+        "mean": float(q.mean()),
+        "q10": float(np.quantile(q, 0.10)),
+        "q90": float(np.quantile(q, 0.90)),
+        "max": float(q.max()),
+    }
+
+
+def main() -> None:
+    domain = sys.argv[1] if len(sys.argv) > 1 else "stress"
+    outdir = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("/tmp")
+
+    mesh = generate_domain_mesh(domain, target_vertices=1500, seed=0)
+    result = laplacian_smooth(mesh, max_iterations=200)
+    print(
+        f"{domain}: converged in {result.iterations} iterations "
+        f"(criterion 5e-6, the paper's)"
+    )
+
+    rows = [
+        quality_row("initial", vertex_quality(mesh)),
+        quality_row("smoothed", vertex_quality(result.mesh)),
+    ]
+    print()
+    print(format_table(rows, title="vertex quality (edge-length ratio)"))
+
+    before = write_off(mesh, outdir / f"{domain}_initial.off")
+    after = write_off(result.mesh, outdir / f"{domain}_smoothed.off")
+    print()
+    print(f"wrote {before} and {after} (open in any OFF viewer)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""The paper's Figure 5 worked example, reconstructed.
+
+A small synthetic mesh is ordered with DFS and with BFS; smoothing the
+worst-quality vertex reads its neighborhood, and the *span* of storage
+positions touched differs between the orderings — the paper's
+illustration that "minimizing the span of accesses allows for a better
+spatial locality". This example rebuilds the experiment on a 13-vertex
+mesh and prints the read sequences and spans, then scales the same
+comparison up to a real domain mesh.
+
+Run:  python examples/figure5_worked_example.py
+"""
+
+import numpy as np
+
+from repro import TriMesh, apply_ordering, vertex_quality
+from repro.ordering import invert_permutation
+from repro.quality import patch_quality
+from repro.smoothing import greedy_traversal
+
+
+def thirteen_vertex_mesh() -> TriMesh:
+    """A small fan-like mesh (13 vertices, like the paper's sketch)."""
+    ring_outer = [
+        (np.cos(t), np.sin(t)) for t in np.linspace(0, 2 * np.pi, 8, endpoint=False)
+    ]
+    ring_inner = [
+        (0.45 * np.cos(t + 0.4), 0.45 * np.sin(t + 0.4))
+        for t in np.linspace(0, 2 * np.pi, 4, endpoint=False)
+    ]
+    pts = np.array(ring_outer + ring_inner + [(0.05, 0.03)])
+    from repro.meshgen import delaunay
+
+    return TriMesh(pts, delaunay(pts), name="figure5")
+
+
+def span_of_first_smooth(mesh: TriMesh, ordering: str) -> tuple[list[int], int]:
+    q = vertex_quality(mesh)
+    permuted, order = apply_ordering(mesh, ordering, qualities=q)
+    inv = invert_permutation(order)
+    qp = q[order]
+    # The greedy smoother starts at the worst interior vertex and reads
+    # its neighbors.
+    interior = permuted.interior_vertices()
+    worst = int(interior[np.argmin(qp[interior])])
+    reads = [worst] + permuted.adjacency.neighbors(worst).tolist()
+    span = max(reads) - min(reads)
+    return reads, span
+
+
+def main() -> None:
+    mesh = thirteen_vertex_mesh()
+    print(f"mesh: {mesh.num_vertices} vertices, {mesh.num_triangles} triangles")
+    print()
+    for ordering in ("dfs", "bfs", "rdr"):
+        reads, span = span_of_first_smooth(mesh, ordering)
+        print(
+            f"{ordering:4s}: smoothing the worst vertex reads positions "
+            f"{sorted(reads)} -> span {span}"
+        )
+    print()
+    print("Scaled up to a real domain mesh: the static storage span (the")
+    print("Figure 5 quantity) and the reuse-distance q90 it ultimately")
+    print("drives. RDR deliberately trades a larger *static* span for")
+    print("*traversal alignment* — its neighborhoods sit wherever the")
+    print("greedy sweep is when it touches them — which is what collapses")
+    print("the reuse distances:")
+    from repro import compare_orderings
+    from repro.meshgen import generate_domain_mesh
+
+    big = generate_domain_mesh("stress", target_vertices=1200, seed=0)
+    rank = patch_quality(big, passes=4)
+    runs = compare_orderings(big, ["dfs", "bfs", "rdr"], fixed_iterations=1)
+    for ordering in ("dfs", "bfs", "rdr"):
+        permuted, order = apply_ordering(big, ordering, qualities=rank)
+        qp = rank[order]
+        seq = greedy_traversal(permuted, qp)
+        g = permuted.adjacency
+        spans = []
+        for v in seq.tolist():
+            nbrs = g.adjncy[g.xadj[v] : g.xadj[v + 1]]
+            spans.append(max(int(nbrs.max()), v) - min(int(nbrs.min()), v))
+        prof = runs[ordering].reuse_profile()
+        print(
+            f"  {ordering:4s}: median span {np.median(spans):6.0f}   "
+            f"reuse-distance q90 {prof.q90:6d}   "
+            f"modeled {runs[ordering].modeled_seconds * 1e3:7.3f} ms"
+        )
+
+
+if __name__ == "__main__":
+    main()

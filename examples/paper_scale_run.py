@@ -1,0 +1,72 @@
+"""Running at (a fraction of) paper scale.
+
+The benchmark suite uses ~1.5k-vertex meshes so the full trace analysis
+fits in CI time; the library itself handles much larger meshes — the
+only cost is the pure-Python trace/simulation loop (~2-3 us per access).
+This script runs one mesh at a user-chosen fraction of the paper's
+328k-vertex carabiner, reports the same Figure 8/9-style numbers, and
+prints a time budget so you can extrapolate to a full paper-scale run.
+
+Run:  python examples/paper_scale_run.py [scale]
+      scale = fraction of the paper's vertex count (default 0.02 ~ 6.5k
+      vertices, ~1 minute; 1.0 would be the full 328k).
+"""
+
+import sys
+import time
+
+from repro import compare_orderings, generate_domain_mesh
+from repro.bench import format_table
+from repro.meshgen import PAPER_SUITE
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
+    spec = PAPER_SUITE[0]  # carabiner
+    target = max(300, int(spec.paper_vertices * scale))
+
+    t0 = time.perf_counter()
+    mesh = generate_domain_mesh(spec.name, target_vertices=target, seed=0)
+    t_gen = time.perf_counter() - t0
+    print(
+        f"{spec.name} at scale {scale:g}: {mesh.num_vertices} vertices "
+        f"(paper: {spec.paper_vertices}) generated in {t_gen:.1f}s"
+    )
+
+    t0 = time.perf_counter()
+    runs = compare_orderings(mesh, ["ori", "bfs", "rdr"], fixed_iterations=1)
+    t_run = time.perf_counter() - t0
+
+    rows = []
+    base = runs["ori"].modeled_seconds
+    for name, run in runs.items():
+        prof = run.reuse_profile()
+        rows.append(
+            {
+                "ordering": name,
+                "modeled_ms": run.modeled_seconds * 1e3,
+                "speedup_vs_ori": base / run.modeled_seconds,
+                "L1_misses": run.cache.l1.misses,
+                "L2_misses": run.cache.l2.misses,
+                "q50": prof.q50,
+                "q90": prof.q90,
+            }
+        )
+    print()
+    print(format_table(rows, title=f"{spec.name} (n={mesh.num_vertices})"))
+
+    accesses = runs["ori"].cost.num_accesses * 3
+    print()
+    print(
+        f"analysis wall time: {t_run:.1f}s for {accesses} simulated accesses "
+        f"({1e6 * t_run / accesses:.1f} us/access incl. reuse analysis)"
+    )
+    full = accesses / scale
+    print(
+        f"extrapolated full paper scale (scale=1.0): "
+        f"~{t_run / scale / 60:.0f} minutes for the same three orderings"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Real (wall-clock) threaded smoothing + the reordering-cost trade-off.
+
+Runs the actual NumPy thread team on 1..N threads, measures wall time,
+and prices RDR's pre-computation against the measured per-iteration cost
+(Section 5.4's break-even argument). Wall-clock numbers on CPython are
+the *secondary* signal of this reproduction — cache effects mostly hide
+behind interpreter overhead — but the harness records them so they can
+be compared against the simulated results.
+
+Run:  python examples/real_parallel_smoothing.py [vertices] [iterations]
+"""
+
+import os
+import sys
+
+from repro import (
+    break_even_iterations,
+    generate_domain_mesh,
+    measure_reordering_cost,
+    parallel_smooth,
+)
+from repro.bench import format_table
+
+
+def main() -> None:
+    vertices = int(sys.argv[1]) if len(sys.argv) > 1 else 20000
+    iterations = int(sys.argv[2]) if len(sys.argv) > 2 else 20
+    max_threads = min(8, os.cpu_count() or 1)
+
+    mesh = generate_domain_mesh("wrench", target_vertices=vertices, seed=0)
+    print(f"wrench: {mesh.num_vertices} vertices, {iterations} Jacobi sweeps")
+
+    rows = []
+    base = None
+    threads = [t for t in (1, 2, 4, 8) if t <= max_threads]
+    for t in threads:
+        out = parallel_smooth(mesh, num_threads=t, iterations=iterations)
+        if base is None:
+            base = out.wall_time_s
+        rows.append(
+            {
+                "threads": t,
+                "wall_s": out.wall_time_s,
+                "speedup": base / out.wall_time_s,
+                "quality": out.quality_after,
+            }
+        )
+    print()
+    print(format_table(rows, title="wall-clock threaded smoothing"))
+
+    print()
+    cost = measure_reordering_cost(mesh, "rdr")
+    print(
+        f"RDR reordering costs {cost.ordering_seconds * 1e3:.1f} ms "
+        f"= {cost.iterations_equivalent:.2f} smoothing iterations"
+    )
+    for gain in (0.2, 0.3):
+        k = break_even_iterations(
+            reorder_cost_iterations=cost.iterations_equivalent,
+            gain_fraction=gain,
+        )
+        print(
+            f"  with a {gain:.0%} per-iteration gain, the reordering pays "
+            f"for itself after {k:.1f} iterations"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Multicore scaling study: the Figures 10-13 view for one mesh.
+
+Simulates statically-partitioned parallel smoothing on the calibrated
+Westmere-shaped machine for 1..32 cores under ORI / BFS / RDR, with both
+affinity policies, and prints speedup curves relative to the 1-core ORI
+baseline — including the super-linear regime the paper attributes to
+aggregate L3 growth.
+
+Run:  python examples/scaling_study.py [domain] [vertices]
+"""
+
+import sys
+
+from repro import generate_domain_mesh, run_parallel_ordering
+from repro.bench import format_table, render_series
+from repro.core import default_machine_for
+
+CORES = (1, 2, 4, 8, 16, 24, 32)
+
+
+def main() -> None:
+    domain = sys.argv[1] if len(sys.argv) > 1 else "ocean"
+    vertices = int(sys.argv[2]) if len(sys.argv) > 2 else 4000
+
+    mesh = generate_domain_mesh(domain, target_vertices=vertices, seed=0)
+    machine = default_machine_for(mesh, profile="scaling")
+    print(
+        f"{domain}: {mesh.num_vertices} vertices on {machine.name} "
+        f"(L1 {machine.l1.size_bytes // 1024}K, L2 {machine.l2.size_bytes // 1024}K, "
+        f"L3 {machine.l3.size_bytes // 1024}K per socket)"
+    )
+
+    times: dict = {}
+    for ordering in ("ori", "bfs", "rdr"):
+        for p in CORES:
+            run = run_parallel_ordering(
+                mesh, ordering, p, machine=machine, iterations=3
+            )
+            times[(ordering, p)] = run.modeled_seconds
+
+    base = times[("ori", 1)]
+    rows = []
+    for p in CORES:
+        rows.append(
+            {
+                "cores": p,
+                "ori": base / times[("ori", p)],
+                "bfs": base / times[("bfs", p)],
+                "rdr": base / times[("rdr", p)],
+                "rdr_gain_vs_ori_%": 100
+                * (times[("ori", p)] - times[("rdr", p)])
+                / times[("ori", p)],
+            }
+        )
+    print()
+    print(format_table(rows, title="speedup vs 1-core ORI (scatter affinity)"))
+    print()
+    print(render_series(CORES, [r["rdr"] for r in rows], title="RDR speedup vs cores"))
+
+    # Affinity ablation: the paper's super-linear hypothesis.
+    print()
+    aff_rows = []
+    for affinity in ("compact", "scatter"):
+        run = run_parallel_ordering(
+            mesh, "ori", 4, machine=machine, iterations=3, affinity=affinity
+        )
+        aff_rows.append(
+            {
+                "affinity": affinity,
+                "cores": 4,
+                "modeled_ms": run.modeled_seconds * 1e3,
+                "memory_accesses": run.result.access_counts()["memory"],
+            }
+        )
+    print(format_table(aff_rows, title="affinity ablation at 4 cores (ORI)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""repro — reproduction of "Locality-Aware Laplacian Mesh Smoothing"
+(Aupy, Park, Raghavan; ICPP 2016, arXiv:1606.00803).
+
+Quick tour
+----------
+>>> from repro import generate_domain_mesh, compare_orderings
+>>> mesh = generate_domain_mesh("ocean", target_vertices=800)
+>>> runs = compare_orderings(mesh, ["ori", "bfs", "rdr"], fixed_iterations=2)
+>>> runs["rdr"].modeled_seconds < runs["ori"].modeled_seconds
+True
+
+Packages
+--------
+``repro.mesh``       mesh containers, CSR adjacency, I/O, validation
+``repro.meshgen``    Bowyer-Watson Delaunay + the nine paper domains
+``repro.quality``    edge-length-ratio (and other) quality metrics
+``repro.ordering``   ordering registry + ORI/random/BFS/DFS/RCM/Hilbert/...
+``repro.core``       the paper's RDR ordering and end-to-end pipelines
+``repro.smoothing``  Laplacian smoother, traversals, access-trace model
+``repro.memsim``     reuse distance, LRU cache hierarchy, Eq.(2) timing
+``repro.parallel``   static scheduling, thread team, multicore traces
+``repro.bench``      experiment drivers, one per paper table/figure
+"""
+
+from . import core as _core  # registers the "rdr" ordering
+from .core import (
+    DEFAULT_CACHE_SCALE,
+    OrderedRun,
+    ParallelRun,
+    break_even_iterations,
+    compare_orderings,
+    measure_reordering_cost,
+    rdr_chain_heads,
+    rdr_ordering,
+    run_ordering,
+    run_parallel_ordering,
+)
+from .mesh import TriMesh, read_json, read_triangle, write_json, write_triangle
+from .meshgen import (
+    PAPER_SUITE,
+    delaunay,
+    generate_domain_mesh,
+    list_domains,
+    paper_suite,
+    structured_rectangle,
+)
+from .memsim import (
+    MemoryLayout,
+    profile_from_distances,
+    reuse_distances,
+    simulate_trace,
+    tiny_machine,
+    westmere_ex,
+)
+from .ordering import ORDERINGS, apply_ordering, get_ordering, invert_permutation
+from .parallel import parallel_smooth
+from .quality import global_quality, vertex_quality
+from .smoothing import LaplacianSmoother, laplacian_smooth, trace_for_traversal
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CACHE_SCALE",
+    "LaplacianSmoother",
+    "MemoryLayout",
+    "ORDERINGS",
+    "OrderedRun",
+    "PAPER_SUITE",
+    "ParallelRun",
+    "TriMesh",
+    "apply_ordering",
+    "break_even_iterations",
+    "compare_orderings",
+    "delaunay",
+    "generate_domain_mesh",
+    "get_ordering",
+    "global_quality",
+    "invert_permutation",
+    "laplacian_smooth",
+    "list_domains",
+    "measure_reordering_cost",
+    "paper_suite",
+    "parallel_smooth",
+    "profile_from_distances",
+    "rdr_chain_heads",
+    "rdr_ordering",
+    "read_json",
+    "read_triangle",
+    "reuse_distances",
+    "run_ordering",
+    "run_parallel_ordering",
+    "simulate_trace",
+    "structured_rectangle",
+    "tiny_machine",
+    "trace_for_traversal",
+    "vertex_quality",
+    "westmere_ex",
+    "write_json",
+    "write_triangle",
+]

@@ -1,0 +1,29 @@
+"""Other mesh kernels the paper's conclusion targets (Section 6).
+
+The paper conjectures its ordering transfers to "other mesh application
+performances such as mesh untangling, constraint mesh smoothing, and
+mesh swapping" and to "extensions of Laplacian mesh smoothing". This
+subpackage provides testable instances:
+
+* :func:`laplacian_spmv` — the graph-Laplacian SpMV of the downstream
+  PDE solver (a storage-order kernel: the bandwidth regime),
+* :func:`untangle` — local mesh untangling (Freitag-Plassmann style,
+  quality-driven traversal: RDR's regime),
+* :func:`smart_laplacian_smooth` — the guarded "smart" Laplacian
+  extension.
+"""
+
+from .smart import patch_metric, smart_laplacian_smooth
+from .spmv import SpmvResult, laplacian_matrix_dense, laplacian_spmv
+from .untangle import UntangleResult, inverted_triangles, untangle
+
+__all__ = [
+    "SpmvResult",
+    "UntangleResult",
+    "inverted_triangles",
+    "laplacian_matrix_dense",
+    "laplacian_spmv",
+    "patch_metric",
+    "smart_laplacian_smooth",
+    "untangle",
+]

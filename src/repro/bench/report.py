@@ -1,0 +1,107 @@
+"""Plain-text reporting for experiment drivers.
+
+The harness prints every reproduced table/figure as an aligned text
+table (the closest analogue of the paper's figures that makes sense in
+a terminal/CI log) and can persist the raw rows as JSON so
+EXPERIMENTS.md can cite exact numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "render_series", "save_json", "RESULTS_DIR"]
+
+#: Default directory where experiment drivers persist their raw rows.
+RESULTS_DIR = Path("bench_results")
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    title: str = "",
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    header = [str(c) for c in cols]
+    body = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in body)) for i in range(len(cols))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    xs: Iterable[float],
+    ys: Iterable[float],
+    *,
+    title: str = "",
+    width: int = 60,
+    height: int = 12,
+    logy: bool = False,
+) -> str:
+    """A tiny ASCII scatter/line chart for figure-style outputs."""
+    import math
+
+    xs = list(xs)
+    ys = list(ys)
+    pts = [(x, y) for x, y in zip(xs, ys) if y == y]  # drop NaN
+    if not pts:
+        return f"{title}\n(no data)"
+    if logy:
+        pts = [(x, math.log10(max(y, 1e-12))) for x, y in pts]
+    xmin = min(p[0] for p in pts)
+    xmax = max(p[0] for p in pts) or 1
+    ymin = min(p[1] for p in pts)
+    ymax = max(p[1] for p in pts)
+    yspan = (ymax - ymin) or 1.0
+    xspan = (xmax - xmin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in pts:
+        col = int((x - xmin) / xspan * (width - 1))
+        row = int((y - ymin) / yspan * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{(10 ** ymax if logy else ymax):.3g}"
+    bot = f"{(10 ** ymin if logy else ymin):.3g}"
+    lines.append(f"{top:>9s} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 9 + " |" + "".join(row))
+    lines.append(f"{bot:>9s} +" + "".join(grid[-1]))
+    lines.append(
+        " " * 10 + f"{xmin:<.3g}" + " " * max(1, width - 12) + f"{xmax:.3g}"
+    )
+    return "\n".join(lines)
+
+
+def save_json(name: str, payload: Any, directory: Path | None = None) -> Path:
+    """Persist a driver's raw output under ``bench_results/<name>.json``."""
+    directory = directory or RESULTS_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=str))
+    return path

@@ -1,0 +1,228 @@
+"""Command-line interface: ``repro-lms`` / ``python -m repro``.
+
+Subcommands:
+
+``generate``   build one of the nine domain meshes and write Triangle files
+``smooth``     smooth a mesh (optionally after a reordering) and report
+``reorder``    write the reordered mesh under a named ordering
+``analyze``    trace a run, break misses down per array, export the trace
+``experiment`` run one of the paper's tables/figures and print it
+``list``       show available domains, orderings and experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import bench
+from .bench import format_table
+from .core import measure_reordering_cost, run_ordering
+from .mesh import read_triangle, write_triangle
+from .meshgen import generate_domain_mesh, list_domains
+from .ordering import ORDERINGS, apply_ordering
+from .quality import global_quality
+from .smoothing import laplacian_smooth
+
+EXPERIMENTS = {
+    "table1": lambda cfg: format_table(bench.table1_rows(cfg), title="Table 1"),
+    "fig1": lambda cfg: format_table(
+        bench.fig1_profiles(cfg)["rows"], title="Figure 1 (ocean)"
+    ),
+    "fig4": lambda cfg: "\n".join(
+        [
+            f"Figure 4 ({k}): coords locations = {v}"
+            for k, v in bench.fig4_traces(cfg)["snippets"].items()
+        ]
+    ),
+    "fig6": lambda cfg: "Figure 6: correlation of iteration profiles with "
+    "iteration 0: "
+    + ", ".join(f"{c:.2f}" for c in bench.fig6_series(cfg)["correlation_with_first"]),
+    "fig8": lambda cfg: format_table(bench.fig8_rows(cfg), title="Figure 8"),
+    "fig9": lambda cfg: format_table(bench.fig9_rows(cfg), title="Figure 9"),
+    "table2": lambda cfg: format_table(bench.table2_rows(cfg), title="Table 2"),
+    "table3": lambda cfg: format_table(bench.table3_rows(cfg), title="Table 3"),
+    "fig10": lambda cfg: format_table(bench.fig10_rows(cfg), title="Figure 10"),
+    "fig11": lambda cfg: format_table(bench.fig11_rows(cfg), title="Figure 11"),
+    "fig12": lambda cfg: format_table(bench.fig12_rows(cfg), title="Figure 12"),
+    "fig13": lambda cfg: format_table(bench.fig13_rows(cfg), title="Figure 13"),
+    "sec54": lambda cfg: format_table(bench.sec54_rows(cfg), title="Section 5.4"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lms",
+        description="Locality-Aware Laplacian Mesh Smoothing (ICPP 2016) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a domain mesh")
+    gen.add_argument("domain", choices=list_domains())
+    gen.add_argument("output", help="output stem for .node/.ele files")
+    gen.add_argument("--vertices", type=int, default=1500)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--quality-structure",
+        default="ramp",
+        choices=["ramp", "hotspots", "uniform"],
+    )
+
+    sm = sub.add_parser("smooth", help="smooth a mesh from .node/.ele files")
+    sm.add_argument("input", help="input stem (reads <stem>.node/.ele)")
+    sm.add_argument("--output", help="output stem for the smoothed mesh")
+    sm.add_argument("--ordering", default=None, choices=sorted(ORDERINGS))
+    sm.add_argument("--max-iterations", type=int, default=50)
+    sm.add_argument("--traversal", default="greedy", choices=["greedy", "storage"])
+    sm.add_argument("--report-cache", action="store_true",
+                    help="simulate the memory hierarchy and print miss rates")
+
+    ro = sub.add_parser("reorder", help="reorder a mesh's vertices")
+    ro.add_argument("input", help="input stem (reads <stem>.node/.ele)")
+    ro.add_argument("output", help="output stem")
+    ro.add_argument("--ordering", default="rdr", choices=sorted(ORDERINGS))
+    ro.add_argument("--report-cost", action="store_true")
+
+    an = sub.add_parser(
+        "analyze", help="trace one smoothing iteration and break down misses"
+    )
+    an.add_argument("input", help="input stem (reads <stem>.node/.ele)")
+    an.add_argument("--ordering", default="rdr", choices=sorted(ORDERINGS))
+    an.add_argument("--iterations", type=int, default=1)
+    an.add_argument("--save-trace", help="write the access trace to this .npz path")
+
+    ex = sub.add_parser("experiment", help="run a paper table/figure")
+    ex.add_argument("name", choices=sorted(EXPERIMENTS))
+    ex.add_argument("--scale", type=float, default=None,
+                    help="mesh-suite scale relative to the paper's sizes")
+    ex.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list", help="list domains, orderings and experiments")
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    mesh = generate_domain_mesh(
+        args.domain,
+        target_vertices=args.vertices,
+        seed=args.seed,
+        quality_structure=args.quality_structure,
+    )
+    node, ele = write_triangle(mesh, args.output)
+    print(
+        f"{args.domain}: {mesh.num_vertices} vertices, "
+        f"{mesh.num_triangles} triangles, initial quality "
+        f"{global_quality(mesh):.4f}"
+    )
+    print(f"wrote {node} and {ele}")
+    return 0
+
+
+def _cmd_smooth(args) -> int:
+    mesh = read_triangle(args.input)
+    if args.report_cache and args.ordering:
+        run = run_ordering(mesh, args.ordering, traversal=args.traversal,
+                           max_iterations=args.max_iterations)
+        result = run.smoothing
+        st = run.cache
+        print(
+            f"cache (simulated): L1 {st.l1.miss_rate:.3%} "
+            f"L2 {st.l2.miss_rate:.3%} L3 {st.l3.miss_rate:.3%} miss rates; "
+            f"modeled time {run.modeled_seconds * 1e3:.3f} ms"
+        )
+        smoothed = result.mesh
+    else:
+        if args.ordering:
+            mesh, _ = apply_ordering(mesh, args.ordering)
+        result = laplacian_smooth(
+            mesh, traversal=args.traversal, max_iterations=args.max_iterations
+        )
+        smoothed = result.mesh
+    print(
+        f"smoothed in {result.iterations} iterations "
+        f"({'converged' if result.converged else 'iteration cap'}): "
+        f"quality {result.initial_quality:.4f} -> {result.final_quality:.4f}"
+    )
+    if args.output:
+        node, ele = write_triangle(smoothed, args.output)
+        print(f"wrote {node} and {ele}")
+    return 0
+
+
+def _cmd_reorder(args) -> int:
+    mesh = read_triangle(args.input)
+    permuted, _ = apply_ordering(mesh, args.ordering)
+    node, ele = write_triangle(permuted, args.output)
+    print(f"reordered {mesh.num_vertices} vertices with {args.ordering!r}")
+    print(f"wrote {node} and {ele}")
+    if args.report_cost:
+        cost = measure_reordering_cost(mesh, args.ordering)
+        print(
+            f"reordering cost: {cost.ordering_seconds * 1e3:.2f} ms "
+            f"= {cost.iterations_equivalent:.2f} smoothing iterations"
+        )
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .memsim import per_array_breakdown, trace_summary
+
+    mesh = read_triangle(args.input)
+    run = run_ordering(mesh, args.ordering, fixed_iterations=args.iterations)
+    summary = trace_summary(run.trace, run.layout)
+    print(
+        f"trace: {summary['length']} accesses over "
+        f"{summary['iterations']} iteration(s), "
+        f"{summary['distinct_lines']} distinct lines, "
+        f"cold fraction {summary['cold_fraction']:.1%}"
+    )
+    rows = [b.as_row() for b in per_array_breakdown(run.trace, run.layout, run.machine)]
+    print(format_table(rows, title=f"per-array breakdown ({args.ordering})"))
+    prof = run.reuse_profile()
+    print(
+        f"reuse distance (1st iteration): q50={prof.q50} q75={prof.q75} "
+        f"q90={prof.q90} max={prof.q100}"
+    )
+    print(f"modeled time: {run.modeled_seconds * 1e3:.3f} ms on {run.machine.name}")
+    if args.save_trace:
+        path = run.trace.save_npz(args.save_trace)
+        print(f"wrote trace to {path}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    kwargs = {"seed": args.seed}
+    if args.scale is not None:
+        kwargs["suite_scale"] = args.scale
+        kwargs["scaling_scale"] = max(args.scale, 3 * args.scale)
+    cfg = bench.BenchConfig(**kwargs)
+    print(EXPERIMENTS[args.name](cfg))
+    return 0
+
+
+def _cmd_list() -> int:
+    print("domains:    ", ", ".join(list_domains()))
+    print("orderings:  ", ", ".join(sorted(ORDERINGS)))
+    print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "smooth":
+        return _cmd_smooth(args)
+    if args.command == "reorder":
+        return _cmd_reorder(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "list":
+        return _cmd_list()
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""The paper's contribution: RDR ordering + end-to-end pipelines."""
+
+from .cost import ReorderingCost, break_even_iterations, measure_reordering_cost
+from .dynamic import DynamicRun, run_dynamic_reordering
+from .pipeline import (
+    DEFAULT_CACHE_SCALE,
+    default_machine_for,
+    OrderedRun,
+    ParallelRun,
+    compare_orderings,
+    run_ordering,
+    run_parallel_ordering,
+)
+from .rdr import (
+    first_touch_ordering,
+    rdr_chain_heads,
+    rdr_ordering,
+    sorted_neighbor_lists,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_SCALE",
+    "DynamicRun",
+    "OrderedRun",
+    "ParallelRun",
+    "ReorderingCost",
+    "break_even_iterations",
+    "compare_orderings",
+    "default_machine_for",
+    "first_touch_ordering",
+    "measure_reordering_cost",
+    "rdr_chain_heads",
+    "rdr_ordering",
+    "run_dynamic_reordering",
+    "run_ordering",
+    "run_parallel_ordering",
+    "sorted_neighbor_lists",
+]

@@ -1,0 +1,264 @@
+"""End-to-end pipelines: order -> smooth -> trace -> simulate -> report.
+
+These helpers wire the substrates together the way every experiment
+does, so benchmarks and examples stay declarative:
+
+* :func:`run_ordering` — permute a mesh under a named ordering, smooth
+  it with trace recording, translate the trace to cache lines, simulate
+  the hierarchy, and evaluate the Equation-(2) time model.
+* :func:`compare_orderings` — the above for several orderings of the
+  same mesh (sharing the base smoothing work where possible).
+* :func:`run_parallel_ordering` — the multicore version over a static
+  partition (Figures 10-13).
+
+Per-vertex quality is geometric, so the quality of a vertex does not
+change under a permutation — the pipelines compute qualities once on the
+base mesh and carry ``qualities[order]`` to the permuted mesh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..mesh import TriMesh
+from ..memsim import (
+    AccessTrace,
+    HierarchyStats,
+    MachineSpec,
+    MemoryLayout,
+    MulticoreResult,
+    ReuseProfile,
+    calibrated_machine,
+    modeled_time,
+    profile_from_distances,
+    reuse_distances,
+    simulate_multicore,
+    simulate_trace,
+)
+from ..memsim.timing import CostBreakdown
+from ..ordering import apply_ordering
+from ..parallel import parallel_traces
+from ..quality import DEFAULT_RANK_PASSES, patch_quality, vertex_quality
+from ..smoothing import LaplacianSmoother, SmoothingResult
+
+__all__ = [
+    "DEFAULT_CACHE_SCALE",
+    "OrderedRun",
+    "ParallelRun",
+    "compare_orderings",
+    "default_machine_for",
+    "run_ordering",
+    "run_parallel_ordering",
+]
+
+#: Retained for API compatibility with scale-based experiments that run
+#: at a fixed fraction of the paper's mesh sizes on the unscaled
+#: Westmere-EX description; the pipelines default to the
+#: footprint-calibrated machine instead (see
+#: :func:`repro.memsim.calibrated_machine`).
+DEFAULT_CACHE_SCALE = 0.01
+
+
+def default_machine_for(mesh: TriMesh, *, profile: str = "serial") -> MachineSpec:
+    """Footprint-calibrated Westmere-shaped machine for a mesh."""
+    layout = MemoryLayout.for_mesh(mesh)
+    return calibrated_machine(layout.total_bytes, profile=profile)
+
+
+@dataclass
+class OrderedRun:
+    """Everything measured about one (mesh, ordering) execution."""
+
+    mesh_name: str
+    ordering: str
+    order: np.ndarray
+    mesh: TriMesh
+    smoothing: SmoothingResult
+    machine: MachineSpec
+    layout: MemoryLayout
+    lines: np.ndarray
+    cache: HierarchyStats
+    cost: CostBreakdown
+    _distances: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def trace(self) -> AccessTrace:
+        assert self.smoothing.trace is not None
+        return self.smoothing.trace
+
+    @property
+    def modeled_seconds(self) -> float:
+        return self.cost.seconds(self.machine)
+
+    @property
+    def distances(self) -> np.ndarray:
+        """Reuse distances of the whole trace (computed lazily, cached)."""
+        if self._distances is None:
+            self._distances = reuse_distances(self.lines)
+        return self._distances
+
+    def reuse_profile(self, *, iteration: int | None = 0) -> ReuseProfile:
+        """Reuse-distance summary, by default of the first iteration
+        (the population the paper's Table 2 reports)."""
+        if iteration is None:
+            return profile_from_distances(self.distances)
+        trace = self.trace.iteration(iteration)
+        lines = self.layout.lines(trace)
+        return profile_from_distances(reuse_distances(lines))
+
+
+def _prepare(
+    mesh: TriMesh,
+    ordering: str,
+    qualities: np.ndarray | None,
+    seed: int,
+    rank_passes: int = DEFAULT_RANK_PASSES,
+) -> tuple[TriMesh, np.ndarray, np.ndarray]:
+    """Rank-smooth the quality signal and permute the mesh under it.
+
+    The same patch-widened signal drives the ordering here and the
+    greedy traversal inside the smoother, keeping the two aligned (the
+    alignment is what RDR exploits).
+    """
+    if qualities is None:
+        qualities = vertex_quality(mesh)
+    rank_q = patch_quality(mesh, passes=rank_passes, base=qualities)
+    permuted, order = apply_ordering(mesh, ordering, seed=seed, qualities=rank_q)
+    return permuted, order, rank_q[order]
+
+
+def run_ordering(
+    mesh: TriMesh,
+    ordering: str,
+    *,
+    machine: MachineSpec | None = None,
+    traversal: str = "greedy",
+    max_iterations: int = 50,
+    fixed_iterations: int | None = None,
+    qualities: np.ndarray | None = None,
+    seed: int = 0,
+    rank_passes_override: int | None = None,
+    smoother_kwargs: dict | None = None,
+) -> OrderedRun:
+    """Order, smooth (with tracing), simulate, and price one execution.
+
+    ``fixed_iterations`` overrides convergence (useful when comparing
+    orderings at identical work, mirroring the paper's note that
+    orderings did not change the iteration count).
+    ``rank_passes_override`` changes the patch-widening of the ranking
+    signal for both the ordering and the traversal (default:
+    :data:`repro.quality.DEFAULT_RANK_PASSES`).
+    """
+    if machine is None:
+        machine = default_machine_for(mesh, profile="serial")
+    rank_passes = (
+        DEFAULT_RANK_PASSES if rank_passes_override is None else rank_passes_override
+    )
+    permuted, order, _ = _prepare(mesh, ordering, qualities, seed, rank_passes)
+
+    kwargs = dict(smoother_kwargs or {})
+    kwargs.setdefault("traversal", traversal)
+    kwargs.setdefault("max_iterations", max_iterations)
+    kwargs.setdefault("rank_passes", rank_passes)
+    if fixed_iterations is not None:
+        kwargs["max_iterations"] = fixed_iterations
+        kwargs["tol"] = -np.inf  # never converge early
+    smoother = LaplacianSmoother(record_trace=True, **kwargs)
+    result = smoother.smooth(permuted)
+    assert result.trace is not None
+
+    layout = MemoryLayout.for_mesh(permuted, line_size=machine.line_size)
+    lines = layout.lines(result.trace)
+    cache = simulate_trace(lines, machine)
+    cost = modeled_time(cache, machine)
+    return OrderedRun(
+        mesh_name=mesh.name,
+        ordering=ordering,
+        order=order,
+        mesh=permuted,
+        smoothing=result,
+        machine=machine,
+        layout=layout,
+        lines=lines,
+        cache=cache,
+        cost=cost,
+    )
+
+
+def compare_orderings(
+    mesh: TriMesh,
+    orderings: list[str],
+    *,
+    machine: MachineSpec | None = None,
+    **kwargs,
+) -> dict[str, OrderedRun]:
+    """Run several orderings of one mesh under identical settings."""
+    qualities = kwargs.pop("qualities", None)
+    if qualities is None:
+        qualities = vertex_quality(mesh)
+    return {
+        name: run_ordering(
+            mesh, name, machine=machine, qualities=qualities, **kwargs
+        )
+        for name in orderings
+    }
+
+
+@dataclass
+class ParallelRun:
+    """Multicore simulation of one (mesh, ordering, p) configuration."""
+
+    mesh_name: str
+    ordering: str
+    num_cores: int
+    result: MulticoreResult
+    iterations: int
+
+    @property
+    def modeled_seconds(self) -> float:
+        return self.result.modeled_seconds
+
+
+def run_parallel_ordering(
+    mesh: TriMesh,
+    ordering: str,
+    num_cores: int,
+    *,
+    machine: MachineSpec | None = None,
+    iterations: int = 8,
+    traversal: str = "greedy",
+    affinity: str = "scatter",
+    qualities: np.ndarray | None = None,
+    seed: int = 0,
+) -> ParallelRun:
+    """Simulate a ``num_cores``-thread smoothing run under an ordering.
+
+    Default affinity is ``scatter`` — the distribution the paper
+    hypothesises its machine used for few-thread runs (the source of the
+    super-linear speedups); the ablation bench flips it to ``compact``.
+    """
+    if machine is None:
+        machine = default_machine_for(mesh, profile="scaling")
+    if qualities is None:
+        qualities = vertex_quality(mesh)
+    permuted, order, perm_q = _prepare(mesh, ordering, qualities, seed)
+    traces = parallel_traces(
+        permuted,
+        num_cores,
+        iterations=iterations,
+        traversal=traversal,
+        qualities=perm_q,
+        ordering=ordering,
+    )
+    layout = MemoryLayout.for_mesh(permuted, line_size=machine.line_size)
+    lines_per_core = [layout.lines(t) for t in traces]
+    result = simulate_multicore(lines_per_core, machine, affinity=affinity)
+    return ParallelRun(
+        mesh_name=mesh.name,
+        ordering=ordering,
+        num_cores=num_cores,
+        result=result,
+        iterations=iterations,
+    )

@@ -1,0 +1,78 @@
+"""Memory-hierarchy simulation substrate.
+
+Replaces the paper's PAPI-instrumented Westmere-EX runs: access traces
+recorded from the smoother are translated to cache lines by the layout
+model and fed to reuse-distance analysis, an inclusive LRU hierarchy
+simulator, the Equation-(2) timing model, and a multicore (shared-L3)
+simulator.
+"""
+
+from .analysis import ArrayBreakdown, per_array_breakdown, trace_summary
+from .cache import (
+    CacheHierarchy,
+    HierarchyStats,
+    LevelStats,
+    LRUCache,
+    simulate_trace,
+)
+from .layout import DEFAULT_ELEMENT_SIZES, MemoryLayout
+from .machine import (
+    CacheSpec,
+    MachineSpec,
+    calibrated_machine,
+    tiny_machine,
+    westmere_ex,
+)
+from .multicore import (
+    CoreResult,
+    MulticoreResult,
+    affinity_sockets,
+    simulate_multicore,
+)
+from .reuse import (
+    COLD,
+    ReuseProfile,
+    bucketed_series,
+    hits_under_capacity,
+    max_elements_within,
+    profile_from_distances,
+    reuse_distances,
+)
+from .timing import CostBreakdown, extra_miss_cycles, modeled_time
+from .trace import ARRAY_IDS, ARRAY_NAMES, AccessTrace, TraceBuilder
+
+__all__ = [
+    "ARRAY_IDS",
+    "ARRAY_NAMES",
+    "AccessTrace",
+    "ArrayBreakdown",
+    "CacheHierarchy",
+    "CacheSpec",
+    "COLD",
+    "CoreResult",
+    "CostBreakdown",
+    "DEFAULT_ELEMENT_SIZES",
+    "HierarchyStats",
+    "LevelStats",
+    "LRUCache",
+    "MachineSpec",
+    "MemoryLayout",
+    "MulticoreResult",
+    "ReuseProfile",
+    "TraceBuilder",
+    "affinity_sockets",
+    "bucketed_series",
+    "calibrated_machine",
+    "extra_miss_cycles",
+    "hits_under_capacity",
+    "max_elements_within",
+    "modeled_time",
+    "per_array_breakdown",
+    "profile_from_distances",
+    "reuse_distances",
+    "simulate_multicore",
+    "simulate_trace",
+    "tiny_machine",
+    "trace_summary",
+    "westmere_ex",
+]

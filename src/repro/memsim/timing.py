@@ -1,0 +1,84 @@
+"""The paper's Equation (2) cost model and modeled execution time.
+
+Equation (2): with ``m1, m2, m3`` the per-level miss *rates* and
+``c2, c3, cm`` the access costs of L2, L3 and memory,
+
+    extra_cycles = (m1*c2 + m1*m2*c3 + m1*m2*m3*cm) * num_accesses
+
+which, multiplying through, is simply
+
+    misses(L1)*c2 + misses(L2)*c3 + misses(L3)*cm.
+
+The modeled execution time adds a uniform base cost per access (covering
+the arithmetic and the L1 latency) to the extra miss cycles:
+
+    cycles = base_cycles_per_access * num_accesses + extra_cycles
+    seconds = cycles / frequency
+
+Because CPython's wall clock cannot expose hardware cache behaviour
+(repro band 3/5), this model is the primary "execution time" of every
+experiment; all speedups and gains in the benchmark reports are ratios
+of modeled times, exactly as the paper's are ratios of measured times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cache import HierarchyStats
+from .machine import MachineSpec
+
+__all__ = ["CostBreakdown", "extra_miss_cycles", "modeled_time"]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Cycle accounting of one simulated execution."""
+
+    num_accesses: int
+    base_cycles: float
+    l2_fill_cycles: float
+    l3_fill_cycles: float
+    memory_cycles: float
+
+    @property
+    def extra_cycles(self) -> float:
+        """Equation (2): cycles attributable to cache misses."""
+        return self.l2_fill_cycles + self.l3_fill_cycles + self.memory_cycles
+
+    @property
+    def total_cycles(self) -> float:
+        return self.base_cycles + self.extra_cycles
+
+    def seconds(self, machine: MachineSpec) -> float:
+        return self.total_cycles / machine.frequency_hz
+
+
+def extra_miss_cycles(stats: HierarchyStats, machine: MachineSpec) -> float:
+    """Equation (2) evaluated on simulated miss counts."""
+    return (
+        stats.l1.misses * machine.l2.latency_cycles
+        + stats.l2.misses * machine.l3.latency_cycles
+        + stats.l3.misses * machine.memory_latency_cycles
+    )
+
+
+def modeled_time(
+    stats: HierarchyStats,
+    machine: MachineSpec,
+    *,
+    num_accesses: int | None = None,
+) -> CostBreakdown:
+    """Full cost breakdown for a simulated trace.
+
+    ``num_accesses`` defaults to the L1 access count of ``stats`` (every
+    logical access touches L1 first).
+    """
+    n = stats.l1.accesses if num_accesses is None else num_accesses
+    return CostBreakdown(
+        num_accesses=n,
+        base_cycles=machine.base_cycles_per_access * n,
+        l2_fill_cycles=stats.l1.misses * machine.l2.latency_cycles,
+        l3_fill_cycles=stats.l2.misses * machine.l3.latency_cycles,
+        memory_cycles=stats.l3.misses * machine.memory_latency_cycles,
+    )

@@ -1,0 +1,201 @@
+"""Access-trace container shared by the smoother and the simulators.
+
+A trace is a compact, columnar record of every logical data access the
+smoothing kernel performs: which array (coordinates, flags, CSR row
+pointers, CSR adjacency, quality), which element index, and whether it
+was a write. The memory-layout model (:mod:`repro.memsim.layout`) turns
+these logical accesses into byte addresses / cache lines; nothing else
+in the library needs to know about addresses.
+
+Array ids are stable small integers so traces stay cheap to store and
+concatenate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["ARRAY_NAMES", "ARRAY_IDS", "AccessTrace", "TraceBuilder"]
+
+#: Logical arrays of the smoothing working set, in layout order.
+ARRAY_NAMES: tuple[str, ...] = ("coords", "flags", "xadj", "adjncy", "quality")
+ARRAY_IDS: dict[str, int] = {name: i for i, name in enumerate(ARRAY_NAMES)}
+
+
+@dataclass
+class AccessTrace:
+    """A sequence of logical data accesses.
+
+    Attributes
+    ----------
+    array_ids:
+        uint8 array; index into :data:`ARRAY_NAMES`.
+    indices:
+        int64 array; element index within the logical array.
+    is_write:
+        bool array; True for stores.
+    iteration_starts:
+        Offsets (into the trace) where each smoothing iteration begins;
+        lets analyses slice per-iteration (Figure 6, Table 2 use the
+        first iteration only).
+    meta:
+        Free-form labels (mesh name, ordering, ...), used by reports.
+    """
+
+    array_ids: np.ndarray
+    indices: np.ndarray
+    is_write: np.ndarray
+    iteration_starts: np.ndarray = field(
+        default_factory=lambda: np.zeros(1, dtype=np.int64)
+    )
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.array_ids = np.ascontiguousarray(self.array_ids, dtype=np.uint8)
+        self.indices = np.ascontiguousarray(self.indices, dtype=np.int64)
+        self.is_write = np.ascontiguousarray(self.is_write, dtype=bool)
+        self.iteration_starts = np.ascontiguousarray(
+            self.iteration_starts, dtype=np.int64
+        )
+        if not (
+            self.array_ids.shape == self.indices.shape == self.is_write.shape
+        ):
+            raise ValueError("trace columns must have identical shapes")
+        if self.array_ids.size and self.array_ids.max() >= len(ARRAY_NAMES):
+            raise ValueError("array id out of range")
+
+    def __len__(self) -> int:
+        return self.array_ids.size
+
+    @property
+    def num_iterations(self) -> int:
+        return self.iteration_starts.size
+
+    def iteration(self, k: int) -> "AccessTrace":
+        """The sub-trace of smoothing iteration ``k`` (0-based)."""
+        if not 0 <= k < self.num_iterations:
+            raise IndexError(f"iteration {k} out of range")
+        lo = int(self.iteration_starts[k])
+        hi = (
+            int(self.iteration_starts[k + 1])
+            if k + 1 < self.num_iterations
+            else len(self)
+        )
+        return AccessTrace(
+            self.array_ids[lo:hi],
+            self.indices[lo:hi],
+            self.is_write[lo:hi],
+            iteration_starts=np.zeros(1, dtype=np.int64),
+            meta=dict(self.meta, iteration=k),
+        )
+
+    def filtered(self, array: str) -> "AccessTrace":
+        """The subsequence of accesses to one logical array."""
+        mask = self.array_ids == ARRAY_IDS[array]
+        return AccessTrace(
+            self.array_ids[mask],
+            self.indices[mask],
+            self.is_write[mask],
+            iteration_starts=np.zeros(1, dtype=np.int64),
+            meta=dict(self.meta, array=array),
+        )
+
+    def slice(self, lo: int, hi: int) -> "AccessTrace":
+        """An arbitrary contiguous sub-trace (iteration info dropped)."""
+        return AccessTrace(
+            self.array_ids[lo:hi],
+            self.indices[lo:hi],
+            self.is_write[lo:hi],
+            iteration_starts=np.zeros(1, dtype=np.int64),
+            meta=dict(self.meta),
+        )
+
+    # -- persistence ----------------------------------------------------
+    def save_npz(self, path) -> Path:
+        """Persist the trace (compressed). Meta goes along as JSON."""
+        path = Path(path)
+        np.savez_compressed(
+            path,
+            array_ids=self.array_ids,
+            indices=self.indices,
+            is_write=self.is_write,
+            iteration_starts=self.iteration_starts,
+            meta=np.frombuffer(
+                json.dumps(self.meta, default=str).encode(), dtype=np.uint8
+            ),
+        )
+        # np.savez appends .npz when missing.
+        return path if path.suffix == ".npz" else path.with_suffix(
+            path.suffix + ".npz"
+        )
+
+    @classmethod
+    def load_npz(cls, path) -> "AccessTrace":
+        """Load a trace written by :meth:`save_npz`."""
+        with np.load(Path(path)) as data:
+            meta = json.loads(bytes(data["meta"].tobytes()).decode())
+            return cls(
+                data["array_ids"],
+                data["indices"],
+                data["is_write"],
+                iteration_starts=data["iteration_starts"],
+                meta=meta,
+            )
+
+
+class TraceBuilder:
+    """Incremental trace construction with amortised appends.
+
+    The smoother appends one small burst per smoothed vertex; bursts are
+    buffered in Python lists of ndarrays and concatenated once at the
+    end, keeping recording overhead low.
+    """
+
+    def __init__(self) -> None:
+        self._ids: list[np.ndarray] = []
+        self._idx: list[np.ndarray] = []
+        self._wr: list[np.ndarray] = []
+        self._length = 0
+        self._iter_starts: list[int] = []
+
+    def __len__(self) -> int:
+        return self._length
+
+    def begin_iteration(self) -> None:
+        self._iter_starts.append(self._length)
+
+    def append(
+        self, array: str, indices: np.ndarray | int, *, write: bool = False
+    ) -> None:
+        """Record accesses to ``array`` at ``indices`` (scalar or 1-D)."""
+        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        k = idx.size
+        if k == 0:
+            return
+        self._ids.append(np.full(k, ARRAY_IDS[array], dtype=np.uint8))
+        self._idx.append(idx)
+        self._wr.append(np.full(k, write, dtype=bool))
+        self._length += k
+
+    def build(self, **meta) -> AccessTrace:
+        if not self._iter_starts:
+            self._iter_starts = [0]
+        if self._length == 0:
+            return AccessTrace(
+                np.empty(0, dtype=np.uint8),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=bool),
+                iteration_starts=np.asarray(self._iter_starts, dtype=np.int64),
+                meta=meta,
+            )
+        return AccessTrace(
+            np.concatenate(self._ids),
+            np.concatenate(self._idx),
+            np.concatenate(self._wr),
+            iteration_starts=np.asarray(self._iter_starts, dtype=np.int64),
+            meta=meta,
+        )

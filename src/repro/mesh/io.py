@@ -1,0 +1,170 @@
+"""Mesh I/O in Jonathan Shewchuk's Triangle format and a JSON sidecar.
+
+The paper's meshes were produced by Triangle, whose native on-disk format
+is a pair of files: ``<stem>.node`` (vertices) and ``<stem>.ele``
+(triangles). We read and write that format so meshes can be exchanged
+with the original toolchain, plus a single-file JSON form that is handier
+for test fixtures.
+
+Triangle format reference (plain text, ``#`` comments allowed):
+
+``.node``::
+
+    <#vertices> <dim=2> <#attrs> <#boundary markers 0|1>
+    <id> <x> <y> [attrs...] [marker]
+
+``.ele``::
+
+    <#triangles> <nodes per tri = 3> <#attrs>
+    <id> <v1> <v2> <v3> [attrs...]
+
+Vertex ids may start at 0 or 1; we detect and normalise to 0-based.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .trimesh import TriMesh
+
+__all__ = [
+    "write_triangle",
+    "read_triangle",
+    "write_json",
+    "read_json",
+    "write_off",
+    "read_off",
+]
+
+
+def _data_lines(path: Path) -> list[list[str]]:
+    lines: list[list[str]] = []
+    for raw in path.read_text().splitlines():
+        stripped = raw.split("#", 1)[0].strip()
+        if stripped:
+            lines.append(stripped.split())
+    return lines
+
+
+def write_triangle(mesh: TriMesh, stem: str | Path) -> tuple[Path, Path]:
+    """Write ``<stem>.node`` and ``<stem>.ele``; returns the two paths."""
+    stem = Path(stem)
+    node_path = stem.with_suffix(".node")
+    ele_path = stem.with_suffix(".ele")
+
+    markers = mesh.boundary_mask.astype(int)
+    with node_path.open("w") as fh:
+        fh.write(f"{mesh.num_vertices} 2 0 1\n")
+        for i, (x, y) in enumerate(mesh.vertices):
+            # repr of a Python float is shortest-exact, so coordinates
+            # round-trip bit-for-bit.
+            fh.write(f"{i} {float(x)!r} {float(y)!r} {markers[i]}\n")
+
+    with ele_path.open("w") as fh:
+        fh.write(f"{mesh.num_triangles} 3 0\n")
+        for i, (a, b, c) in enumerate(mesh.triangles):
+            fh.write(f"{i} {a} {b} {c}\n")
+    return node_path, ele_path
+
+
+def read_triangle(stem: str | Path, name: str = "") -> TriMesh:
+    """Read a ``.node``/``.ele`` pair written by Triangle or by us."""
+    stem = Path(stem)
+    node_lines = _data_lines(stem.with_suffix(".node"))
+    ele_lines = _data_lines(stem.with_suffix(".ele"))
+    if not node_lines or not ele_lines:
+        raise ValueError(f"empty Triangle files at {stem}")
+
+    n_vertices = int(node_lines[0][0])
+    dim = int(node_lines[0][1])
+    if dim != 2:
+        raise ValueError("only 2-D .node files are supported")
+    body = node_lines[1 : 1 + n_vertices]
+    if len(body) != n_vertices:
+        raise ValueError(".node header count does not match data lines")
+    ids = np.array([int(row[0]) for row in body], dtype=np.int64)
+    coords = np.array([[float(row[1]), float(row[2])] for row in body])
+    base = int(ids.min()) if n_vertices else 0
+    if base not in (0, 1):
+        raise ValueError("vertex ids must be 0- or 1-based")
+    order = np.argsort(ids, kind="stable")
+    coords = coords[order]
+
+    n_tris = int(ele_lines[0][0])
+    nodes_per = int(ele_lines[0][1])
+    if nodes_per != 3:
+        raise ValueError("only 3-node triangles are supported")
+    tri_body = ele_lines[1 : 1 + n_tris]
+    if len(tri_body) != n_tris:
+        raise ValueError(".ele header count does not match data lines")
+    tris = np.array(
+        [[int(row[1]), int(row[2]), int(row[3])] for row in tri_body],
+        dtype=np.int64,
+    )
+    tris -= base
+    return TriMesh(coords, tris, name=name or stem.name)
+
+
+def write_off(mesh: TriMesh, path: str | Path) -> Path:
+    """Write the mesh in the Object File Format (planar, z = 0).
+
+    OFF is what most mesh viewers read, so this is the interchange path
+    for inspecting generated/smoothed meshes visually.
+    """
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write("OFF\n")
+        fh.write(f"{mesh.num_vertices} {mesh.num_triangles} 0\n")
+        for x, y in mesh.vertices:
+            fh.write(f"{float(x)!r} {float(y)!r} 0.0\n")
+        for a, b, c in mesh.triangles:
+            fh.write(f"3 {a} {b} {c}\n")
+    return path
+
+
+def read_off(path: str | Path, name: str = "") -> TriMesh:
+    """Read an OFF file (triangles only; z coordinates dropped)."""
+    path = Path(path)
+    lines = _data_lines(path)
+    if not lines or lines[0][0].upper() != "OFF":
+        raise ValueError(f"{path} is not an OFF file")
+    nv, nf = int(lines[1][0]), int(lines[1][1])
+    body = lines[2:]
+    if len(body) < nv + nf:
+        raise ValueError("OFF header counts do not match data lines")
+    coords = np.array(
+        [[float(row[0]), float(row[1])] for row in body[:nv]], dtype=np.float64
+    )
+    tris = []
+    for row in body[nv : nv + nf]:
+        if int(row[0]) != 3:
+            raise ValueError("only triangular OFF faces are supported")
+        tris.append([int(row[1]), int(row[2]), int(row[3])])
+    return TriMesh(
+        coords, np.asarray(tris, dtype=np.int64), name=name or path.stem
+    )
+
+
+def write_json(mesh: TriMesh, path: str | Path) -> Path:
+    """Single-file JSON form: ``{"name", "vertices", "triangles"}``."""
+    path = Path(path)
+    payload = {
+        "name": mesh.name,
+        "vertices": mesh.vertices.tolist(),
+        "triangles": mesh.triangles.tolist(),
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def read_json(path: str | Path) -> TriMesh:
+    """Read a mesh written by :func:`write_json`."""
+    payload = json.loads(Path(path).read_text())
+    return TriMesh(
+        np.asarray(payload["vertices"], dtype=np.float64),
+        np.asarray(payload["triangles"], dtype=np.int64),
+        name=payload.get("name", ""),
+    )

@@ -1,0 +1,26 @@
+"""Mesh generation substrate: Delaunay triangulator + the nine domains."""
+
+from .delaunay import DelaunayError, delaunay, morton_order
+from .domains import (
+    PAPER_SUITE,
+    MeshSpec,
+    domain_rings,
+    generate_domain_mesh,
+    list_domains,
+    paper_suite,
+)
+from .structured import perturb_interior, structured_rectangle
+
+__all__ = [
+    "DelaunayError",
+    "MeshSpec",
+    "PAPER_SUITE",
+    "delaunay",
+    "domain_rings",
+    "generate_domain_mesh",
+    "list_domains",
+    "morton_order",
+    "paper_suite",
+    "perturb_interior",
+    "structured_rectangle",
+]

@@ -1,0 +1,284 @@
+"""A from-scratch incremental Delaunay triangulator (Bowyer-Watson).
+
+This module replaces Jonathan Shewchuk's *Triangle* as the mesh-creation
+substrate of the reproduction. It implements the classic Bowyer-Watson
+incremental insertion with
+
+* a super-triangle enclosing all points,
+* point location by walking from the most recently created triangle
+  (points are pre-sorted along a Morton curve so consecutive insertions
+  are spatially close and walks are short),
+* cavity retriangulation with full neighbor bookkeeping.
+
+The triangulator is deliberately simple — float64 predicates with a
+relative tolerance instead of exact arithmetic — which is adequate for
+the jittered, non-degenerate point sets the generators feed it. The
+test-suite validates the empty-circumcircle property directly and
+cross-checks edge sets against ``scipy.spatial.Delaunay`` when SciPy is
+available.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["delaunay", "morton_order", "DelaunayError"]
+
+
+class DelaunayError(RuntimeError):
+    """Raised when triangulation cannot proceed (duplicate points, ...)."""
+
+
+def morton_order(points: np.ndarray, bits: int = 16) -> np.ndarray:
+    """Indices that sort points along a Morton (Z-order) curve.
+
+    Used to give the incremental insertion spatial locality; also reused
+    by the ordering package as a cheap space-filling-curve baseline.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    lo = pts.min(axis=0)
+    span = pts.max(axis=0) - lo
+    span[span == 0.0] = 1.0
+    scale = (1 << bits) - 1
+    q = np.clip((pts - lo) / span * scale, 0, scale).astype(np.uint64)
+    code = np.zeros(pts.shape[0], dtype=np.uint64)
+    for b in range(bits):
+        code |= ((q[:, 0] >> np.uint64(b)) & np.uint64(1)) << np.uint64(2 * b)
+        code |= ((q[:, 1] >> np.uint64(b)) & np.uint64(1)) << np.uint64(2 * b + 1)
+    return np.argsort(code, kind="stable")
+
+
+def _orient(ax, ay, bx, by, cx, cy) -> float:
+    """Twice the signed area of triangle (a, b, c)."""
+    return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+
+
+class _Triangulation:
+    """Mutable triangle store with neighbor pointers.
+
+    ``verts[t]`` holds the three CCW vertex ids of triangle ``t``;
+    ``nbrs[t][i]`` is the triangle across the edge opposite ``verts[t][i]``
+    (-1 when on the hull). Deleted triangles are recycled via a free list.
+    """
+
+    def __init__(self, points: np.ndarray, num_real: int):
+        self.px = points[:, 0]
+        self.py = points[:, 1]
+        self.num_real = num_real  # vertices >= num_real are super vertices
+        self.verts: list[list[int]] = []
+        self.nbrs: list[list[int]] = []
+        self.free: list[int] = []
+        self.last = 0  # walk start hint
+
+    # -- storage ------------------------------------------------------
+    def new_tri(self, a: int, b: int, c: int) -> int:
+        if self.free:
+            t = self.free.pop()
+            self.verts[t] = [a, b, c]
+            self.nbrs[t] = [-1, -1, -1]
+        else:
+            t = len(self.verts)
+            self.verts.append([a, b, c])
+            self.nbrs.append([-1, -1, -1])
+        return t
+
+    def kill(self, t: int) -> None:
+        self.verts[t] = [-1, -1, -1]
+        self.free.append(t)
+
+    def alive(self, t: int) -> bool:
+        return self.verts[t][0] != -1
+
+    # -- predicates ----------------------------------------------------
+    def orient_edge(self, t: int, i: int, p: int) -> float:
+        """Orientation of point p against the directed edge opposite vertex i."""
+        v = self.verts[t]
+        a, b = v[(i + 1) % 3], v[(i + 2) % 3]
+        return _orient(
+            self.px[a], self.py[a], self.px[b], self.py[b], self.px[p], self.py[p]
+        )
+
+    def in_circumcircle(self, t: int, p: int) -> bool:
+        a, b, c = self.verts[t]
+        n = self.num_real
+        supers = [i for i, v in enumerate((a, b, c)) if v >= n]
+        if supers:
+            # Treat super vertices as points at infinity: the circumcircle
+            # of a triangle with one infinite vertex degenerates to the
+            # open half-plane left of the directed edge of its two real
+            # vertices (taken in CCW triangle order). This removes the
+            # hull-sliver artifacts of a finite super triangle.
+            if len(supers) >= 2:
+                return False
+            i = supers[0]
+            v = self.verts[t]
+            ra, rb = v[(i + 1) % 3], v[(i + 2) % 3]
+            d = _orient(
+                self.px[ra],
+                self.py[ra],
+                self.px[rb],
+                self.py[rb],
+                self.px[p],
+                self.py[p],
+            )
+            scale = (
+                abs(self.px[rb] - self.px[ra]) + abs(self.py[rb] - self.py[ra])
+            ) * (abs(self.px[p]) + abs(self.py[p]) + 1.0)
+            return d > 1e-14 * scale
+        px, py = self.px[p], self.py[p]
+        adx = self.px[a] - px
+        ady = self.py[a] - py
+        bdx = self.px[b] - px
+        bdy = self.py[b] - py
+        cdx = self.px[c] - px
+        cdy = self.py[c] - py
+        ad = adx * adx + ady * ady
+        bd = bdx * bdx + bdy * bdy
+        cd = cdx * cdx + cdy * cdy
+        det = (
+            adx * (bdy * cd - bd * cdy)
+            - ady * (bdx * cd - bd * cdx)
+            + ad * (bdx * cdy - bdy * cdx)
+        )
+        # Scale-aware tolerance: points exactly on the circle count as
+        # outside, keeping cavities minimal.
+        mag = abs(ad) + abs(bd) + abs(cd)
+        return det > 1e-12 * mag
+
+    # -- point location -------------------------------------------------
+    def locate(self, p: int) -> int:
+        """Walk from ``self.last`` to a triangle containing point ``p``."""
+        t = self.last
+        if not self.alive(t):
+            t = next(i for i in range(len(self.verts)) if self.alive(i))
+        budget = 4 * len(self.verts) + 64
+        i = 0
+        while budget > 0:
+            budget -= 1
+            moved = False
+            for k in (i % 3, (i + 1) % 3, (i + 2) % 3):
+                if self.orient_edge(t, k, p) < 0.0:
+                    nxt = self.nbrs[t][k]
+                    if nxt == -1:
+                        raise DelaunayError(
+                            "walk left the triangulation; point outside hull"
+                        )
+                    t = nxt
+                    moved = True
+                    break
+            if not moved:
+                return t
+            i += 1
+        # Degenerate walk (numerical cycling): fall back to a scan.
+        for t in range(len(self.verts)):
+            if self.alive(t) and all(
+                self.orient_edge(t, k, p) >= 0.0 for k in range(3)
+            ):
+                return t
+        raise DelaunayError("point location failed")
+
+    # -- insertion -------------------------------------------------------
+    def insert(self, p: int) -> None:
+        seed = self.locate(p)
+        # Grow the cavity: all triangles whose circumcircle contains p.
+        cavity = {seed}
+        stack = [seed]
+        while stack:
+            t = stack.pop()
+            for nb in self.nbrs[t]:
+                if nb != -1 and nb not in cavity and self.in_circumcircle(nb, p):
+                    cavity.add(nb)
+                    stack.append(nb)
+
+        # Collect the directed boundary edges (a -> b) of the cavity with
+        # the outside triangle across each.
+        boundary: list[tuple[int, int, int]] = []
+        for t in cavity:
+            v = self.verts[t]
+            for i in range(3):
+                nb = self.nbrs[t][i]
+                if nb not in cavity or nb == -1:
+                    a, b = v[(i + 1) % 3], v[(i + 2) % 3]
+                    boundary.append((a, b, nb))
+        for t in cavity:
+            self.kill(t)
+
+        # Retriangulate: one new triangle (a, b, p) per boundary edge.
+        first_of: dict[int, int] = {}
+        second_of: dict[int, int] = {}
+        created: list[tuple[int, int, int, int]] = []
+        for a, b, outer in boundary:
+            t = self.new_tri(a, b, p)
+            created.append((t, a, b, outer))
+            first_of[a] = t
+            second_of[b] = t
+        for t, a, b, outer in created:
+            self.nbrs[t][2] = outer  # across (a, b)
+            if outer != -1:
+                ov = self.verts[outer]
+                for i in range(3):
+                    x, y = ov[(i + 1) % 3], ov[(i + 2) % 3]
+                    if (x, y) == (b, a):
+                        self.nbrs[outer][i] = t
+                        break
+            self.nbrs[t][0] = first_of[b]  # across (b, p)
+            self.nbrs[t][1] = second_of[a]  # across (p, a)
+        self.last = created[0][0]
+
+
+def delaunay(points: np.ndarray, *, presort: bool = True) -> np.ndarray:
+    """Delaunay-triangulate a 2-D point set.
+
+    Parameters
+    ----------
+    points:
+        Float array of shape ``(n, 2)`` with ``n >= 3``, no duplicates.
+    presort:
+        Insert points in Morton order (faster walks). The output triangle
+        vertex ids always refer to the *input* order.
+
+    Returns
+    -------
+    Int64 array of shape ``(m, 3)`` of CCW triangles.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError("points must have shape (n, 2)")
+    n = pts.shape[0]
+    if n < 3:
+        raise DelaunayError("need at least three points")
+    uniq = np.unique(pts, axis=0)
+    if uniq.shape[0] != n:
+        raise DelaunayError("duplicate points are not supported")
+
+    lo = pts.min(axis=0)
+    hi = pts.max(axis=0)
+    center = 0.5 * (lo + hi)
+    diag = float(np.linalg.norm(hi - lo))
+    if diag == 0.0:
+        raise DelaunayError("all points coincide")
+    r = 50.0 * diag
+    # Super-triangle vertices appended after the real points.
+    sup = center + r * np.array(
+        [[0.0, 2.0], [-1.9, -1.0], [1.9, -1.0]], dtype=np.float64
+    )
+    allpts = np.vstack([pts, sup])
+
+    tri = _Triangulation(allpts, n)
+    t0 = tri.new_tri(n, n + 1, n + 2)
+    tri.last = t0
+
+    order = morton_order(pts) if presort else np.arange(n)
+    for p in order:
+        tri.insert(int(p))
+
+    out = [
+        v
+        for v in tri.verts
+        if v[0] != -1 and v[0] < n and v[1] < n and v[2] < n
+    ]
+    if not out:
+        raise DelaunayError("triangulation produced no interior triangles")
+    return np.asarray(out, dtype=np.int64)

@@ -1,0 +1,171 @@
+"""Planar-geometry primitives used by the domain mesh generators.
+
+A *domain* is described by a list of rings (closed polylines): the first
+ring is the outer boundary, the remaining rings are holes. Functions here
+are vectorized over query points; the generators call them on thousands
+of candidate points at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "polygon_area",
+    "ensure_ccw",
+    "points_in_rings",
+    "distance_to_rings",
+    "resample_ring",
+    "circle_ring",
+    "rounded_rect_ring",
+    "blob_ring",
+]
+
+
+def polygon_area(ring: np.ndarray) -> float:
+    """Signed area of a closed ring (positive = counter-clockwise)."""
+    p = np.asarray(ring, dtype=np.float64)
+    x, y = p[:, 0], p[:, 1]
+    return 0.5 * float(np.sum(x * np.roll(y, -1) - np.roll(x, -1) * y))
+
+
+def ensure_ccw(ring: np.ndarray, ccw: bool = True) -> np.ndarray:
+    """Return the ring with the requested orientation."""
+    ring = np.asarray(ring, dtype=np.float64)
+    if (polygon_area(ring) > 0) != ccw:
+        return ring[::-1].copy()
+    return ring
+
+
+def points_in_rings(points: np.ndarray, rings: list[np.ndarray]) -> np.ndarray:
+    """Even-odd point-in-polygon test against a set of rings.
+
+    With the outer boundary as the first ring and holes as further rings,
+    the even-odd rule directly yields "inside the domain".
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    inside = np.zeros(pts.shape[0], dtype=bool)
+    px = pts[:, 0][:, None]
+    py = pts[:, 1][:, None]
+    for ring in rings:
+        a = np.asarray(ring, dtype=np.float64)
+        b = np.roll(a, -1, axis=0)
+        ax, ay = a[:, 0][None, :], a[:, 1][None, :]
+        bx, by = b[:, 0][None, :], b[:, 1][None, :]
+        # Ray casting towards +x: edge straddles the horizontal line
+        # through the point and the intersection lies right of the point.
+        straddle = (ay > py) != (by > py)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            xint = ax + (py - ay) * (bx - ax) / (by - ay)
+        hit = straddle & (px < xint)
+        inside ^= (np.count_nonzero(hit, axis=1) % 2).astype(bool)
+    return inside
+
+
+def distance_to_rings(points: np.ndarray, rings: list[np.ndarray]) -> np.ndarray:
+    """Euclidean distance from each point to the nearest ring segment."""
+    pts = np.asarray(points, dtype=np.float64)
+    best = np.full(pts.shape[0], np.inf)
+    for ring in rings:
+        a = np.asarray(ring, dtype=np.float64)
+        b = np.roll(a, -1, axis=0)
+        ab = b - a  # (s, 2)
+        ab_len2 = np.einsum("ij,ij->i", ab, ab)
+        ab_len2 = np.where(ab_len2 == 0.0, 1.0, ab_len2)
+        # (p, s, 2) differences; chunk points to bound memory.
+        chunk = max(1, int(2_000_000 // max(1, a.shape[0])))
+        for lo in range(0, pts.shape[0], chunk):
+            p = pts[lo : lo + chunk]
+            ap = p[:, None, :] - a[None, :, :]
+            t = np.clip(np.einsum("psk,sk->ps", ap, ab) / ab_len2, 0.0, 1.0)
+            closest = a[None, :, :] + t[:, :, None] * ab[None, :, :]
+            d = np.linalg.norm(p[:, None, :] - closest, axis=2).min(axis=1)
+            np.minimum(best[lo : lo + chunk], d, out=best[lo : lo + chunk])
+    return best
+
+
+def resample_ring(ring: np.ndarray, spacing: float) -> np.ndarray:
+    """Resample a closed ring at (approximately) uniform arc spacing."""
+    p = np.asarray(ring, dtype=np.float64)
+    closed = np.vstack([p, p[:1]])
+    seg = np.linalg.norm(np.diff(closed, axis=0), axis=1)
+    arclen = np.concatenate([[0.0], np.cumsum(seg)])
+    total = arclen[-1]
+    if total <= 0:
+        raise ValueError("ring has zero perimeter")
+    count = max(4, int(round(total / spacing)))
+    targets = np.linspace(0.0, total, count, endpoint=False)
+    x = np.interp(targets, arclen, closed[:, 0])
+    y = np.interp(targets, arclen, closed[:, 1])
+    return np.stack([x, y], axis=1)
+
+
+def circle_ring(
+    center: tuple[float, float],
+    radius: float,
+    *,
+    segments: int = 64,
+) -> np.ndarray:
+    """A counter-clockwise circular ring."""
+    t = np.linspace(0.0, 2.0 * np.pi, segments, endpoint=False)
+    return np.stack(
+        [center[0] + radius * np.cos(t), center[1] + radius * np.sin(t)], axis=1
+    )
+
+
+def rounded_rect_ring(
+    lo: tuple[float, float],
+    hi: tuple[float, float],
+    *,
+    radius: float = 0.0,
+    segments_per_corner: int = 8,
+) -> np.ndarray:
+    """Axis-aligned rectangle, optionally with rounded corners (CCW)."""
+    x0, y0 = lo
+    x1, y1 = hi
+    if x1 <= x0 or y1 <= y0:
+        raise ValueError("rectangle must have positive extent")
+    r = min(radius, 0.5 * (x1 - x0), 0.5 * (y1 - y0))
+    if r <= 0.0:
+        return np.array(
+            [[x0, y0], [x1, y0], [x1, y1], [x0, y1]], dtype=np.float64
+        )
+    pts: list[np.ndarray] = []
+    corners = [
+        ((x1 - r, y0 + r), -0.5 * np.pi),  # bottom-right
+        ((x1 - r, y1 - r), 0.0),  # top-right
+        ((x0 + r, y1 - r), 0.5 * np.pi),  # top-left
+        ((x0 + r, y0 + r), np.pi),  # bottom-left
+    ]
+    for (cx, cy), start in corners:
+        t = start + np.linspace(0.0, 0.5 * np.pi, segments_per_corner)
+        pts.append(np.stack([cx + r * np.cos(t), cy + r * np.sin(t)], axis=1))
+    return np.concatenate(pts)
+
+
+def blob_ring(
+    center: tuple[float, float],
+    radius: float,
+    *,
+    seed: int,
+    harmonics: int = 5,
+    roughness: float = 0.25,
+    segments: int = 96,
+) -> np.ndarray:
+    """An organic blob: a circle with seeded Fourier radial perturbation.
+
+    Used for the "crake" and "lake" domains, whose exact paper geometry
+    is unavailable; any irregular simply-connected shape plays the same
+    role in the experiments.
+    """
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0.0, 2.0 * np.pi, segments, endpoint=False)
+    r = np.full_like(t, 1.0)
+    for k in range(1, harmonics + 1):
+        amp = roughness * rng.uniform(0.2, 1.0) / k
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        r += amp * np.cos(k * t + phase)
+    r = np.clip(r, 0.35, None) * radius
+    return np.stack(
+        [center[0] + r * np.cos(t), center[1] + r * np.sin(t)], axis=1
+    )

@@ -1,0 +1,53 @@
+"""Vertex orderings: registry, the paper's baselines, and extras.
+
+Importing this package registers: ``ori``, ``random``, ``bfs``, ``rbfs``,
+``dfs``, ``rcm``, ``hilbert``, ``morton``, ``qsort``, ``degree``. The
+paper's contribution, ``rdr``, registers on import of :mod:`repro.core`
+(or the top-level :mod:`repro` package).
+"""
+
+from .base import (
+    ORDERINGS,
+    OrderingFn,
+    apply_ordering,
+    check_permutation,
+    get_ordering,
+    invert_permutation,
+    register_ordering,
+)
+from .quality_orders import degree_ordering, quality_sort_ordering
+from .sfc import hilbert_indices, hilbert_ordering, morton_ordering
+from .sloan import sloan_ordering
+from .spectral import fiedler_vector, spectral_ordering
+from .traversals import (
+    bfs_ordering,
+    dfs_ordering,
+    ori_ordering,
+    random_ordering,
+    rcm_ordering,
+    reverse_bfs_ordering,
+)
+
+__all__ = [
+    "ORDERINGS",
+    "OrderingFn",
+    "apply_ordering",
+    "bfs_ordering",
+    "check_permutation",
+    "degree_ordering",
+    "dfs_ordering",
+    "fiedler_vector",
+    "get_ordering",
+    "hilbert_indices",
+    "hilbert_ordering",
+    "invert_permutation",
+    "morton_ordering",
+    "ori_ordering",
+    "quality_sort_ordering",
+    "random_ordering",
+    "rcm_ordering",
+    "register_ordering",
+    "reverse_bfs_ordering",
+    "sloan_ordering",
+    "spectral_ordering",
+]

@@ -1,0 +1,42 @@
+"""Quality-based orderings that are NOT the paper's RDR.
+
+These exist for the ablation studies: RDR combines two ingredients —
+(a) prioritising low-quality vertices and (b) appending each vertex's
+neighborhood contiguously. ``qsort`` keeps only ingredient (a), and
+``degree`` is a structural sort with no quality at all. Comparing them
+against RDR isolates how much of the win comes from the
+neighborhood-contiguity part of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh import TriMesh
+from ..quality import vertex_quality
+from .base import register_ordering
+
+__all__ = ["quality_sort_ordering", "degree_ordering"]
+
+
+@register_ordering("qsort")
+def quality_sort_ordering(
+    mesh: TriMesh, *, seed: int = 0, qualities: np.ndarray | None = None
+) -> np.ndarray:
+    """Global sort by increasing initial vertex quality (worst first).
+
+    This is "RDR without the neighborhood walk": the greedy smoother's
+    *seed* preference is respected, but neighbors of a vertex end up
+    scattered wherever their own quality places them.
+    """
+    if qualities is None:
+        qualities = vertex_quality(mesh)
+    return np.argsort(qualities, kind="stable").astype(np.int64)
+
+
+@register_ordering("degree")
+def degree_ordering(
+    mesh: TriMesh, *, seed: int = 0, qualities=None
+) -> np.ndarray:
+    """Sort by vertex degree (stable): a cheap structural baseline."""
+    return np.argsort(mesh.adjacency.degrees(), kind="stable").astype(np.int64)

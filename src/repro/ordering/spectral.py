@@ -1,0 +1,77 @@
+"""Spectral (Fiedler-vector) ordering.
+
+Sorting vertices by the second eigenvector of the graph Laplacian is
+the classic spectral envelope-reduction heuristic (Barnard/Pothen/Simon
+1995): the Fiedler vector varies smoothly along the mesh, so sorting by
+it produces a sweep with small edge spans. Included as the strongest
+"structural" baseline of the extended ordering zoo.
+
+The Fiedler vector is computed with a shifted power iteration on the
+normalised adjacency (pure NumPy, no sparse-eigensolver dependency):
+deflating the trivial constant eigenvector of the random-walk matrix
+and iterating to its second-dominant eigenvector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh import TriMesh
+from .base import register_ordering
+
+__all__ = ["fiedler_vector", "spectral_ordering"]
+
+
+def fiedler_vector(
+    mesh: TriMesh, *, iterations: int = 300, tol: float = 1e-10, seed: int = 0
+) -> np.ndarray:
+    """Approximate Fiedler vector via deflated power iteration.
+
+    Uses ``P = D^-1 A`` (random-walk matrix): its dominant eigenvector
+    is constant; the next one, orthogonal to the degree-weighted
+    constant, is the sign-structure of the Fiedler vector of the
+    normalised Laplacian — exactly what the ordering needs.
+    """
+    g = mesh.adjacency
+    xadj, adjncy = g.xadj, g.adjncy
+    n = mesh.num_vertices
+    deg = np.diff(xadj).astype(np.float64)
+    safe_deg = np.where(deg == 0, 1.0, deg)
+    weights = deg / max(deg.sum(), 1.0)
+
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    if adjncy.size == 0:
+        return x
+    offsets = np.minimum(xadj[:-1], adjncy.size - 1)
+
+    def step(v: np.ndarray) -> np.ndarray:
+        sums = np.add.reduceat(v[adjncy], offsets)
+        sums[deg == 0] = 0.0
+        return sums / safe_deg
+
+    prev = None
+    for _ in range(iterations):
+        # Deflate the stationary component (degree-weighted mean).
+        x = x - (weights @ x) * np.ones(n)
+        # One application of P, plus a 0.5 shift to damp the -1 end of
+        # the spectrum (bipartite-ish oscillation).
+        x = 0.5 * (x + step(x))
+        norm = np.linalg.norm(x)
+        if norm == 0.0:
+            x = rng.standard_normal(n)
+            continue
+        x /= norm
+        if prev is not None and np.linalg.norm(x - prev) < tol:
+            break
+        prev = x
+    return x
+
+
+@register_ordering("spectral")
+def spectral_ordering(
+    mesh: TriMesh, *, seed: int = 0, qualities=None
+) -> np.ndarray:
+    """Sort vertices by their Fiedler-vector value."""
+    f = fiedler_vector(mesh, seed=seed)
+    return np.argsort(f, kind="stable").astype(np.int64)

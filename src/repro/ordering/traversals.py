@@ -1,0 +1,167 @@
+"""Graph-traversal orderings: ORI, random, BFS, reverse-BFS, DFS, RCM.
+
+These are the baselines the paper compares against:
+
+* **ORI** — the mesh's native order (identity permutation), standing in
+  for Triangle's divide-and-conquer output order (Figure 1b).
+* **random** — the worst case (Figure 1a).
+* **BFS** — breadth-first search, the Strout & Hovland (2004) reordering
+  the paper treats as the state of the art (Figure 1c).
+* **reverse BFS** — Munson & Hovland's FeasNewt variant: breadth-first
+  order, reversed.
+* **DFS** — depth-first search (Figure 4a's poorly-performing trace).
+* **RCM** — reverse Cuthill-McKee: BFS from a pseudo-peripheral vertex
+  with neighbor lists expanded in increasing-degree order, reversed; the
+  classic bandwidth-reduction ordering, included as an extra baseline.
+
+All traversals handle disconnected meshes by restarting from the lowest
+unvisited vertex, and all return ``order`` with ``order[new] = old``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..mesh import TriMesh
+from .base import register_ordering
+
+__all__ = [
+    "ori_ordering",
+    "random_ordering",
+    "bfs_ordering",
+    "reverse_bfs_ordering",
+    "dfs_ordering",
+    "rcm_ordering",
+]
+
+
+@register_ordering("ori")
+def ori_ordering(mesh: TriMesh, *, seed: int = 0, qualities=None) -> np.ndarray:
+    """The identity permutation: keep the mesh generator's native order."""
+    return np.arange(mesh.num_vertices, dtype=np.int64)
+
+
+@register_ordering("random")
+def random_ordering(mesh: TriMesh, *, seed: int = 0, qualities=None) -> np.ndarray:
+    """A uniformly random permutation (the paper's worst baseline)."""
+    rng = np.random.default_rng(seed)
+    return rng.permutation(mesh.num_vertices).astype(np.int64)
+
+
+def _bfs_order(
+    xadj: np.ndarray,
+    adjncy: np.ndarray,
+    n: int,
+    start: int,
+    *,
+    by_degree: bool = False,
+) -> np.ndarray:
+    """Plain BFS visit order over all components, seeded at ``start``."""
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    degrees = np.diff(xadj) if by_degree else None
+    pos = 0
+    seeds = [start] + [v for v in range(n) if v != start]
+    q: deque[int] = deque()
+    for s in seeds:
+        if visited[s]:
+            continue
+        visited[s] = True
+        q.append(s)
+        while q:
+            v = q.popleft()
+            order[pos] = v
+            pos += 1
+            nbrs = adjncy[xadj[v] : xadj[v + 1]]
+            fresh = nbrs[~visited[nbrs]]
+            if fresh.size:
+                if by_degree:
+                    fresh = fresh[np.argsort(degrees[fresh], kind="stable")]
+                visited[fresh] = True
+                q.extend(fresh.tolist())
+    return order
+
+
+@register_ordering("bfs")
+def bfs_ordering(mesh: TriMesh, *, seed: int = 0, qualities=None) -> np.ndarray:
+    """Breadth-first ordering (Strout & Hovland). ``seed`` picks the root."""
+    g = mesh.adjacency
+    n = mesh.num_vertices
+    start = int(seed) % n if n else 0
+    return _bfs_order(g.xadj, g.adjncy, n, start)
+
+
+@register_ordering("rbfs")
+def reverse_bfs_ordering(
+    mesh: TriMesh, *, seed: int = 0, qualities=None
+) -> np.ndarray:
+    """BFS order reversed (Munson & Hovland's FeasNewt choice)."""
+    return bfs_ordering(mesh, seed=seed, qualities=qualities)[::-1].copy()
+
+
+@register_ordering("dfs")
+def dfs_ordering(mesh: TriMesh, *, seed: int = 0, qualities=None) -> np.ndarray:
+    """Iterative depth-first (preorder) ordering."""
+    g = mesh.adjacency
+    n = mesh.num_vertices
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    start = int(seed) % n
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    pos = 0
+    seeds = [start] + [v for v in range(n) if v != start]
+    for s in seeds:
+        if visited[s]:
+            continue
+        stack = [s]
+        while stack:
+            v = stack.pop()
+            if visited[v]:
+                continue
+            visited[v] = True
+            order[pos] = v
+            pos += 1
+            nbrs = g.adjncy[g.xadj[v] : g.xadj[v + 1]]
+            # Reversed so the smallest-index neighbor is popped first,
+            # matching the recursive definition.
+            stack.extend(nbrs[~visited[nbrs]][::-1].tolist())
+    return order
+
+
+def _pseudo_peripheral(xadj: np.ndarray, adjncy: np.ndarray, n: int, start: int) -> int:
+    """George-Liu style pseudo-peripheral vertex finder (few BFS sweeps)."""
+    current = start
+    last_ecc = -1
+    for _ in range(8):
+        dist = np.full(n, -1, dtype=np.int64)
+        dist[current] = 0
+        q = deque([current])
+        far = current
+        while q:
+            v = q.popleft()
+            far = v
+            for w in adjncy[xadj[v] : xadj[v + 1]]:
+                if dist[w] == -1:
+                    dist[w] = dist[v] + 1
+                    q.append(int(w))
+        ecc = int(dist[far])
+        if ecc <= last_ecc:
+            break
+        last_ecc = ecc
+        current = int(far)
+    return current
+
+
+@register_ordering("rcm")
+def rcm_ordering(mesh: TriMesh, *, seed: int = 0, qualities=None) -> np.ndarray:
+    """Reverse Cuthill-McKee from a pseudo-peripheral root."""
+    g = mesh.adjacency
+    n = mesh.num_vertices
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    start = _pseudo_peripheral(g.xadj, g.adjncy, n, int(seed) % n)
+    cm = _bfs_order(g.xadj, g.adjncy, n, start, by_degree=True)
+    return cm[::-1].copy()

@@ -1,0 +1,12 @@
+"""Parallel execution substrate: static scheduling + thread team."""
+
+from .scheduler import parallel_traces, partition_interior, partitioned_traversals
+from .team import ParallelSmoothingResult, parallel_smooth
+
+__all__ = [
+    "ParallelSmoothingResult",
+    "parallel_smooth",
+    "parallel_traces",
+    "partition_interior",
+    "partitioned_traversals",
+]

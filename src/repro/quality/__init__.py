@@ -1,0 +1,24 @@
+"""Quality metrics (edge-length ratio and friends)."""
+
+from .metrics import (
+    TRIANGLE_METRICS,
+    aspect_ratio_quality,
+    edge_length_ratio,
+    global_quality,
+    min_angle_quality,
+    triangle_edge_lengths,
+    vertex_quality,
+)
+from .patch import DEFAULT_RANK_PASSES, patch_quality
+
+__all__ = [
+    "DEFAULT_RANK_PASSES",
+    "TRIANGLE_METRICS",
+    "patch_quality",
+    "aspect_ratio_quality",
+    "edge_length_ratio",
+    "global_quality",
+    "min_angle_quality",
+    "triangle_edge_lengths",
+    "vertex_quality",
+]

@@ -1,0 +1,74 @@
+"""Patch-aggregated quality: the ranking signal for quality-driven order.
+
+Mesquite evaluates quality over *patches* (a vertex with its surrounding
+elements), so the signal that drives its scheduling is intrinsically
+smoother than a single triangle's metric. :func:`patch_quality` iterates
+neighbor averaging over the per-vertex quality, widening the patch by
+one ring per pass.
+
+Why this matters here: the greedy smoothing traversal and the RDR
+ordering both *rank* vertices by quality. Ranking by a noisy per-vertex
+signal makes the traversal wander (neighbors with similar geometry can
+rank far apart), which inflates reuse distances for every ordering; the
+patch signal keeps ranks spatially coherent, which is the regime the
+paper's meshes exhibit (their measured RDR reuse distances imply
+near-perfectly coherent traversals). The ablation bench
+(``test_ablation_rank_smoothing``) quantifies the effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh import TriMesh
+from .metrics import vertex_quality
+
+__all__ = ["patch_quality", "DEFAULT_RANK_PASSES"]
+
+#: Default number of widening passes used by the pipelines.
+DEFAULT_RANK_PASSES = 4
+
+
+def patch_quality(
+    mesh: TriMesh,
+    *,
+    passes: int = DEFAULT_RANK_PASSES,
+    base: np.ndarray | None = None,
+    metric: str = "edge_length_ratio",
+) -> np.ndarray:
+    """Per-vertex quality averaged over a ``passes``-ring patch.
+
+    Parameters
+    ----------
+    passes:
+        Number of neighbor-averaging sweeps (0 returns the base signal).
+    base:
+        Precomputed per-vertex quality; computed from ``metric`` when
+        omitted.
+
+    Each sweep replaces a vertex's value by the mean of itself and its
+    neighbors, so values stay within the original range and isolated
+    vertices keep their value.
+    """
+    if passes < 0:
+        raise ValueError("passes must be >= 0")
+    q = (
+        vertex_quality(mesh, metric=metric)
+        if base is None
+        else np.asarray(base, dtype=np.float64).copy()
+    )
+    if q.shape != (mesh.num_vertices,):
+        raise ValueError("base must have one value per vertex")
+    if passes == 0:
+        return q
+    g = mesh.adjacency
+    xadj, adjncy = g.xadj, g.adjncy
+    deg = np.diff(xadj)
+    if adjncy.size == 0:
+        return q
+    offsets = np.minimum(xadj[:-1], adjncy.size - 1)
+    for _ in range(passes):
+        sums = np.add.reduceat(q[adjncy], offsets)
+        sums[deg == 0] = 0.0
+        q = (q + sums) / (1 + deg)
+    return q

@@ -1,0 +1,26 @@
+"""Laplacian mesh smoothing: kernels, traversals, trace generation."""
+
+from .laplacian import (
+    DEFAULT_CONVERGENCE_TOL,
+    LaplacianSmoother,
+    SmoothingResult,
+    laplacian_smooth,
+    smooth_iteration_jacobi,
+)
+from .trace import accesses_per_vertex, append_smooth_accesses, trace_for_traversal
+from .traversal import TRAVERSALS, greedy_traversal, make_traversal, storage_traversal
+
+__all__ = [
+    "DEFAULT_CONVERGENCE_TOL",
+    "LaplacianSmoother",
+    "SmoothingResult",
+    "TRAVERSALS",
+    "accesses_per_vertex",
+    "append_smooth_accesses",
+    "greedy_traversal",
+    "laplacian_smooth",
+    "make_traversal",
+    "smooth_iteration_jacobi",
+    "storage_traversal",
+    "trace_for_traversal",
+]

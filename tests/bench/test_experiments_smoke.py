@@ -1,0 +1,108 @@
+"""Smoke tests for the experiment drivers at a tiny scale.
+
+The real assertions live in ``benchmarks/``; here we check every driver
+runs end to end on a minimal configuration and produces rows with the
+expected schema, so a broken driver fails fast in the unit suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    clear_caches,
+    eq2_example,
+    fig1_profiles,
+    fig4_traces,
+    fig6_series,
+    fig8_rows,
+    fig9_rows,
+    fig10_rows,
+    fig11_rows,
+    fig12_rows,
+    fig13_rows,
+    scaling_sweep,
+    sec54_rows,
+    suite_meshes,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_cfg():
+    clear_caches()
+    cfg = BenchConfig(
+        suite_scale=0.0012,
+        scaling_scale=0.0015,
+        cores=(1, 2, 4),
+        scaling_iterations=1,
+    )
+    yield cfg
+    clear_caches()
+
+
+def test_suite_meshes(tiny_cfg):
+    meshes = suite_meshes(tiny_cfg)
+    assert len(meshes) == 9
+    assert all(m.num_vertices >= 200 for m in meshes.values())
+    # Cached: same objects on second call.
+    assert suite_meshes(tiny_cfg)["M1"] is meshes["M1"]
+
+
+def test_table1(tiny_cfg):
+    rows = table1_rows(tiny_cfg)
+    assert {r["label"] for r in rows} == {f"M{i}" for i in range(1, 10)}
+
+
+def test_fig1(tiny_cfg):
+    out = fig1_profiles(tiny_cfg, orderings=("ori", "bfs"))
+    assert {r["ordering"] for r in out["rows"]} == {"ori", "bfs"}
+    assert set(out["series"]) == {"ori", "bfs"}
+
+
+def test_fig4(tiny_cfg):
+    out = fig4_traces(tiny_cfg, length=8)
+    assert set(out["snippets"]) == {"dfs", "bfs"}
+    assert all(len(v) == 8 for v in out["snippets"].values())
+
+
+def test_fig6(tiny_cfg):
+    out = fig6_series(tiny_cfg, iterations=2, buckets=20)
+    assert len(out["series"]) == 2
+    assert len(out["correlation_with_first"]) == 1
+
+
+def test_fig8_and_fig9_and_tables(tiny_cfg):
+    f8 = fig8_rows(tiny_cfg)
+    assert len(f8) == 9 and "speedup_rdr_vs_ori" in f8[0]
+    f9 = fig9_rows(tiny_cfg)
+    assert len(f9) == 27
+    t2 = table2_rows(tiny_cfg)
+    assert all(r["50%"] >= 0 for r in t2)
+    t3 = table3_rows(tiny_cfg)
+    assert all(r["L3_cap_misses"] >= 0 for r in t3)
+    e2 = eq2_example(tiny_cfg)
+    assert {r["ordering"] for r in e2} == {"ori", "bfs", "rdr"}
+
+
+def test_scaling_family(tiny_cfg):
+    sweep = scaling_sweep(tiny_cfg, labels=("M1", "M2"), orderings=("ori", "rdr"))
+    assert ("M1", "ori", 1) in sweep["times"]
+    # Cache hit on re-request.
+    assert scaling_sweep(tiny_cfg, labels=("M1", "M2"), orderings=("ori", "rdr")) is sweep
+
+    f10 = fig10_rows(tiny_cfg, labels=("M1", "M2"), orderings=("ori", "rdr"))
+    assert {r["cores"] for r in f10} == {1, 2, 4}
+    f11 = fig11_rows(tiny_cfg, labels=("M1",))
+    assert all("memory_accesses" in r for r in f11)
+    f12 = fig12_rows(tiny_cfg, orderings=("ori", "rdr"))
+    assert len(f12) == 3
+    f13 = fig13_rows(tiny_cfg)
+    assert {r["vs"] for r in f13} == {"ori", "bfs"}
+
+
+def test_sec54(tiny_cfg):
+    rows = sec54_rows(tiny_cfg, orderings=("rdr",), labels=("M1",))
+    assert rows[0]["iterations_equivalent"] > 0

@@ -1,0 +1,68 @@
+"""Unit tests for benchmark reporting helpers."""
+
+import json
+
+import pytest
+
+from repro.bench import format_table, render_series, save_json
+
+
+class TestFormatTable:
+    def test_basic_table(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        out = format_table(rows, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        # title + header + separator + two data rows
+        assert len(lines) == 5
+
+    def test_alignment(self):
+        rows = [{"x": 1}, {"x": 1000}]
+        out = format_table(rows)
+        body = out.splitlines()[2:]
+        assert body[0].endswith("1")
+        assert body[1].endswith("1000")
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        out = format_table(rows, columns=["c", "a"])
+        assert "b" not in out.splitlines()[0]
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([], title="E")
+
+    def test_float_formatting(self):
+        rows = [{"v": 0.000123}, {"v": 123456.0}]
+        out = format_table(rows)
+        assert "0.000123" in out
+        assert "1.23e+05" in out
+
+
+class TestRenderSeries:
+    def test_contains_marks(self):
+        out = render_series([0, 1, 2, 3], [1.0, 2.0, 4.0, 8.0], title="s")
+        assert out.splitlines()[0] == "s"
+        assert "*" in out
+
+    def test_log_scale(self):
+        out = render_series([0, 1], [1.0, 1000.0], logy=True)
+        assert "1e+03" in out or "1000" in out
+
+    def test_nan_skipped(self):
+        out = render_series([0, 1, 2], [1.0, float("nan"), 3.0])
+        assert out.count("*") == 2
+
+    def test_all_nan(self):
+        assert "(no data)" in render_series([0], [float("nan")])
+
+
+class TestSaveJson:
+    def test_roundtrip(self, tmp_path):
+        path = save_json("unit", {"x": [1, 2]}, directory=tmp_path)
+        assert json.loads(path.read_text()) == {"x": [1, 2]}
+
+    def test_directory_created(self, tmp_path):
+        target = tmp_path / "deep" / "dir"
+        path = save_json("unit", [1], directory=target)
+        assert path.exists()

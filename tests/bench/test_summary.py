@@ -1,0 +1,43 @@
+"""Unit tests for the benchmark results summarizer."""
+
+import json
+
+from repro.bench import load_result, save_json, summarize_results
+
+
+def test_load_result_missing(tmp_path):
+    assert load_result("nothing", directory=tmp_path) is None
+
+
+def test_load_result_roundtrip(tmp_path):
+    save_json("fig8", [{"speedup_rdr_vs_ori": 1.2, "speedup_rdr_vs_bfs": 1.1}],
+              directory=tmp_path)
+    assert load_result("fig8", directory=tmp_path)[0]["speedup_rdr_vs_ori"] == 1.2
+
+
+def test_summarize_empty_directory(tmp_path):
+    out = summarize_results(directory=tmp_path)
+    assert "No persisted results" in out
+
+
+def test_summarize_renders_available_sections(tmp_path):
+    save_json(
+        "fig8",
+        [
+            {"speedup_rdr_vs_ori": 1.25, "speedup_rdr_vs_bfs": 1.08},
+            {"speedup_rdr_vs_ori": 1.21, "speedup_rdr_vs_bfs": 1.12},
+        ],
+        directory=tmp_path,
+    )
+    save_json(
+        "fig12",
+        [
+            {"cores": 1, "ori": 1.0, "bfs": 1.3, "rdr": 1.5},
+            {"cores": 32, "ori": 70.0, "bfs": 95.0, "rdr": 85.0},
+        ],
+        directory=tmp_path,
+    )
+    out = summarize_results(directory=tmp_path)
+    assert "Figure 8" in out and "1.23x" in out
+    assert "Figure 12" in out and "85.0x" in out
+    assert "Table 2" not in out  # absent inputs are skipped

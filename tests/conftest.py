@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite.
+
+Meshes used across many test modules are built once per session. Tests
+that need mutation work on copies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mesh import TriMesh
+from repro.meshgen import generate_domain_mesh, structured_rectangle, perturb_interior
+
+
+@pytest.fixture(scope="session")
+def grid_mesh() -> TriMesh:
+    """A 6x7 structured rectangle (42 vertices, regular adjacency)."""
+    return structured_rectangle(6, 7, name="grid")
+
+
+@pytest.fixture(scope="session")
+def bumpy_mesh() -> TriMesh:
+    """A perturbed structured mesh with a genuine quality spread."""
+    base = structured_rectangle(9, 9, name="bumpy")
+    return perturb_interior(base, amplitude=0.04, seed=3)
+
+
+@pytest.fixture(scope="session")
+def ocean_mesh() -> TriMesh:
+    """A small real domain mesh (Delaunay, boundary-ramped quality)."""
+    return generate_domain_mesh("ocean", target_vertices=400, seed=1)
+
+
+@pytest.fixture()
+def tiny_mesh() -> TriMesh:
+    """Five vertices, four triangles: one interior vertex (index 4).
+
+    Layout::
+
+        3 --- 2
+        | \\ / |
+        |  4  |
+        | / \\ |
+        0 --- 1
+    """
+    vertices = np.array(
+        [[0.0, 0.0], [2.0, 0.0], [2.0, 2.0], [0.0, 2.0], [1.2, 0.9]]
+    )
+    triangles = np.array([[0, 1, 4], [1, 2, 4], [2, 3, 4], [3, 0, 4]])
+    return TriMesh(vertices, triangles, name="tiny")
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,43 @@
+"""Unit tests for reordering-cost accounting (Section 5.4)."""
+
+import pytest
+
+from repro.core import break_even_iterations, measure_reordering_cost
+
+
+class TestMeasureReorderingCost:
+    def test_fields_positive(self, ocean_mesh):
+        cost = measure_reordering_cost(ocean_mesh, "rdr", repeats=1)
+        assert cost.ordering == "rdr"
+        assert cost.mesh_name == ocean_mesh.name
+        assert cost.ordering_seconds > 0
+        assert cost.iteration_seconds > 0
+        assert cost.iterations_equivalent > 0
+
+    def test_cheap_ordering_cheaper_than_rdr(self, ocean_mesh):
+        ori = measure_reordering_cost(ocean_mesh, "ori", repeats=2)
+        rdr = measure_reordering_cost(ocean_mesh, "rdr", repeats=2)
+        assert ori.ordering_seconds < rdr.ordering_seconds
+
+
+class TestBreakEven:
+    def test_papers_numbers(self):
+        # Cost of ~1 iteration, 25% gain -> ~4 iterations to pay off.
+        assert break_even_iterations(
+            reorder_cost_iterations=1.0, gain_fraction=0.25
+        ) == pytest.approx(4.0)
+
+    def test_scales_with_cost(self):
+        assert break_even_iterations(
+            reorder_cost_iterations=2.0, gain_fraction=0.25
+        ) == pytest.approx(8.0)
+
+    def test_rejects_bad_gain(self):
+        with pytest.raises(ValueError, match="gain_fraction"):
+            break_even_iterations(reorder_cost_iterations=1.0, gain_fraction=0.0)
+        with pytest.raises(ValueError, match="gain_fraction"):
+            break_even_iterations(reorder_cost_iterations=1.0, gain_fraction=1.5)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError, match="reorder_cost"):
+            break_even_iterations(reorder_cost_iterations=-1.0, gain_fraction=0.5)

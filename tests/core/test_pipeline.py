@@ -1,0 +1,79 @@
+"""Unit tests for the end-to-end pipelines."""
+
+import numpy as np
+import pytest
+
+from repro import compare_orderings, run_ordering, run_parallel_ordering
+from repro.core import default_machine_for
+from repro.memsim import tiny_machine
+
+
+class TestRunOrdering:
+    def test_result_consistency(self, ocean_mesh):
+        run = run_ordering(ocean_mesh, "bfs", fixed_iterations=2)
+        assert run.ordering == "bfs"
+        assert run.mesh_name == ocean_mesh.name
+        assert run.smoothing.iterations == 2
+        assert run.trace.num_iterations == 2
+        assert len(run.lines) == len(run.trace)
+        assert run.cache.l1.accesses == len(run.trace)
+        assert run.modeled_seconds > 0
+
+    def test_fixed_iterations_disables_convergence(self, ocean_mesh):
+        run = run_ordering(ocean_mesh, "ori", fixed_iterations=1)
+        assert run.smoothing.iterations == 1
+
+    def test_convergent_run_by_default(self, ocean_mesh):
+        run = run_ordering(ocean_mesh, "ori", max_iterations=40)
+        assert run.smoothing.converged
+
+    def test_distances_cached(self, ocean_mesh):
+        run = run_ordering(ocean_mesh, "ori", fixed_iterations=1)
+        assert run.distances is run.distances
+
+    def test_reuse_profile_first_iteration(self, ocean_mesh):
+        run = run_ordering(ocean_mesh, "rdr", fixed_iterations=2)
+        prof_it0 = run.reuse_profile(iteration=0)
+        prof_all = run.reuse_profile(iteration=None)
+        assert prof_it0.num_accesses < prof_all.num_accesses
+
+    def test_custom_machine(self, ocean_mesh):
+        run = run_ordering(ocean_mesh, "ori", machine=tiny_machine(), fixed_iterations=1)
+        assert run.machine.name == "tiny"
+
+    def test_default_machine_calibrated_to_mesh(self, ocean_mesh):
+        machine = default_machine_for(ocean_mesh)
+        run = run_ordering(ocean_mesh, "ori", fixed_iterations=1)
+        assert run.machine.l3.size_bytes == machine.l3.size_bytes
+
+    def test_rank_passes_override_changes_order(self, ocean_mesh):
+        a = run_ordering(ocean_mesh, "rdr", fixed_iterations=1, rank_passes_override=0)
+        b = run_ordering(ocean_mesh, "rdr", fixed_iterations=1, rank_passes_override=4)
+        assert not np.array_equal(a.order, b.order)
+
+
+class TestCompareOrderings:
+    def test_all_requested_orderings_run(self, ocean_mesh):
+        runs = compare_orderings(ocean_mesh, ["ori", "bfs"], fixed_iterations=1)
+        assert set(runs) == {"ori", "bfs"}
+
+    def test_identical_workload(self, ocean_mesh):
+        runs = compare_orderings(ocean_mesh, ["ori", "rdr"], fixed_iterations=1)
+        assert runs["ori"].cost.num_accesses == runs["rdr"].cost.num_accesses
+
+
+class TestRunParallelOrdering:
+    def test_fields(self, ocean_mesh):
+        pr = run_parallel_ordering(
+            ocean_mesh, "ori", 2, machine=tiny_machine(), iterations=2
+        )
+        assert pr.num_cores == 2
+        assert pr.iterations == 2
+        assert pr.modeled_seconds > 0
+        assert pr.result.num_cores == 2
+
+    def test_work_conserved_across_cores(self, ocean_mesh):
+        m = tiny_machine()
+        one = run_parallel_ordering(ocean_mesh, "ori", 1, machine=m, iterations=2)
+        two = run_parallel_ordering(ocean_mesh, "ori", 2, machine=m, iterations=2)
+        assert one.result.total_accesses == two.result.total_accesses

@@ -1,0 +1,118 @@
+"""Unit tests for trace analysis and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_ordering
+from repro.memsim import (
+    AccessTrace,
+    MemoryLayout,
+    per_array_breakdown,
+    simulate_trace,
+    tiny_machine,
+    trace_summary,
+)
+from repro.smoothing import trace_for_traversal
+
+
+@pytest.fixture(scope="module")
+def traced_run(request):
+    from repro.meshgen import generate_domain_mesh
+
+    mesh = generate_domain_mesh("ocean", target_vertices=400, seed=1)
+    return run_ordering(mesh, "rdr", fixed_iterations=1)
+
+
+class TestPerArrayBreakdown:
+    def test_totals_match_aggregate_simulation(self, traced_run):
+        rows = per_array_breakdown(
+            traced_run.trace, traced_run.layout, traced_run.machine
+        )
+        assert sum(r.accesses for r in rows) == len(traced_run.trace)
+        assert sum(r.l1_misses for r in rows) == traced_run.cache.l1.misses
+        assert sum(r.l2_misses for r in rows) == traced_run.cache.l2.misses
+        assert sum(r.l3_misses for r in rows) == traced_run.cache.l3.misses
+
+    def test_writes_only_in_coords(self, traced_run):
+        rows = {r.array: r for r in per_array_breakdown(
+            traced_run.trace, traced_run.layout, traced_run.machine
+        )}
+        assert rows["coords"].writes > 0
+        for name in ("flags", "xadj", "adjncy"):
+            assert rows[name].writes == 0
+
+    def test_miss_rate_property(self, traced_run):
+        rows = per_array_breakdown(
+            traced_run.trace, traced_run.layout, traced_run.machine
+        )
+        for r in rows:
+            assert 0.0 <= r.l1_miss_rate <= 1.0
+            assert set(r.as_row()) >= {"array", "accesses", "L1_misses"}
+
+    def test_empty_arrays_skipped(self, traced_run):
+        rows = per_array_breakdown(
+            traced_run.trace, traced_run.layout, traced_run.machine
+        )
+        names = {r.array for r in rows}
+        assert "quality" not in names  # smoother never touches it
+
+
+class TestTraceSummary:
+    def test_fields(self, traced_run):
+        s = trace_summary(traced_run.trace, traced_run.layout)
+        assert s["length"] == len(traced_run.trace)
+        assert s["iterations"] == 1
+        assert s["writes"] > 0
+        assert 0 < s["cold_fraction"] < 1
+        assert s["distinct_elements"] >= s["distinct_lines"]
+        assert sum(s["per_array"].values()) == s["length"]
+
+
+class TestTracePersistence:
+    def test_roundtrip(self, traced_run, tmp_path):
+        path = traced_run.trace.save_npz(tmp_path / "trace.npz")
+        back = AccessTrace.load_npz(path)
+        assert np.array_equal(back.array_ids, traced_run.trace.array_ids)
+        assert np.array_equal(back.indices, traced_run.trace.indices)
+        assert np.array_equal(back.is_write, traced_run.trace.is_write)
+        assert np.array_equal(
+            back.iteration_starts, traced_run.trace.iteration_starts
+        )
+        assert back.meta["mesh"] == traced_run.trace.meta["mesh"]
+
+    def test_suffix_appended(self, traced_run, tmp_path):
+        path = traced_run.trace.save_npz(tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+
+class TestReplacementPolicies:
+    def test_policies_change_miss_counts(self, rng):
+        stream = np.tile(np.arange(200), 5)
+        lru = simulate_trace(stream, tiny_machine(), policy="lru")
+        fifo = simulate_trace(stream, tiny_machine(), policy="fifo")
+        rnd = simulate_trace(stream, tiny_machine(), policy="random")
+        counts = {lru.l1.misses, fifo.l1.misses, rnd.l1.misses}
+        assert len(counts) >= 2  # at least one policy differs
+
+    def test_random_policy_deterministic(self, rng):
+        stream = rng.integers(0, 300, 1000)
+        a = simulate_trace(stream, tiny_machine(), policy="random")
+        b = simulate_trace(stream, tiny_machine(), policy="random")
+        assert a.l1.misses == b.l1.misses
+
+    def test_unknown_policy_rejected(self):
+        from repro.memsim import CacheSpec, LRUCache
+
+        with pytest.raises(ValueError, match="policy"):
+            LRUCache(CacheSpec("c", 4 * 64, 4, 1.0, 64), policy="plru")
+
+    def test_fifo_does_not_refresh_on_hit(self):
+        from repro.memsim import CacheSpec, LRUCache
+
+        c = LRUCache(CacheSpec("c", 2 * 64, 2, 1.0, 64), policy="fifo")
+        c.access(0)
+        c.access(2)
+        c.access(0)  # hit: must NOT refresh under FIFO
+        _, ev = c.access(4)
+        assert ev == 0  # oldest insertion evicted despite the recent hit

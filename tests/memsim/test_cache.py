@@ -1,0 +1,193 @@
+"""Unit tests for the LRU cache and inclusive hierarchy simulators."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import (
+    COLD,
+    CacheHierarchy,
+    CacheSpec,
+    LRUCache,
+    MachineSpec,
+    hits_under_capacity,
+    reuse_distances,
+    simulate_trace,
+    tiny_machine,
+)
+
+
+def fully_assoc(name, lines, latency=1.0):
+    return CacheSpec(name, lines * 64, lines, latency, 64)
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self):
+        c = LRUCache(fully_assoc("c", 4))
+        hit, ev = c.access(10)
+        assert not hit and ev == -1
+        hit, ev = c.access(10)
+        assert hit
+
+    def test_lru_eviction_order(self):
+        c = LRUCache(fully_assoc("c", 2))
+        c.access(1)
+        c.access(2)
+        c.access(1)  # 1 is now MRU
+        hit, ev = c.access(3)
+        assert ev == 2  # least recently used
+
+    def test_set_mapping_conflicts(self):
+        # 2 sets x 1 way: lines 0 and 2 share set 0 and evict each other.
+        spec = CacheSpec("c", 2 * 64, 1, 1.0, 64)
+        c = LRUCache(spec)
+        c.access(0)
+        hit, ev = c.access(2)
+        assert not hit and ev == 0
+        hit, _ = c.access(1)  # set 1 untouched
+        assert not hit
+        hit, _ = c.access(2)
+        assert hit
+
+    def test_invalidate(self):
+        c = LRUCache(fully_assoc("c", 4))
+        c.access(5)
+        assert c.contains(5)
+        assert c.invalidate(5)
+        assert not c.contains(5)
+        assert not c.invalidate(5)
+
+    def test_resident_lines(self):
+        c = LRUCache(fully_assoc("c", 4))
+        for line in (1, 2, 3):
+            c.access(line)
+        assert c.resident_lines() == {1, 2, 3}
+
+    def test_reset(self):
+        c = LRUCache(fully_assoc("c", 4))
+        c.access(1)
+        c.reset()
+        assert not c.contains(1)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="multiple"):
+            CacheSpec("bad", 100, 3, 1.0, 64)
+        with pytest.raises(ValueError, match="positive"):
+            CacheSpec("bad", 0, 1, 1.0, 64)
+
+
+class TestFullyAssociativeEquivalence:
+    """The cornerstone cross-check: a fully-associative LRU cache of
+    capacity C hits exactly the accesses with reuse distance < C."""
+
+    @pytest.mark.parametrize("capacity", [1, 2, 4, 16])
+    def test_hits_match_reuse_distance_model(self, capacity, rng):
+        stream = rng.integers(0, 30, 500)
+        cache = LRUCache(fully_assoc("c", capacity))
+        hits = sum(cache.access(int(x))[0] for x in stream)
+        dists = reuse_distances(stream)
+        assert hits == hits_under_capacity(dists, capacity)
+
+
+class TestHierarchy:
+    def test_first_access_goes_to_memory(self):
+        h = CacheHierarchy(tiny_machine())
+        assert h.access(42) == 4
+
+    def test_second_access_hits_l1(self):
+        h = CacheHierarchy(tiny_machine())
+        h.access(42)
+        assert h.access(42) == 1
+
+    def test_l2_hit_after_l1_eviction(self):
+        m = tiny_machine()  # L1: 8 lines fully covering 4 sets x 2 ways
+        h = CacheHierarchy(m)
+        h.access(0)
+        # Push 0 out of L1 (same set: lines congruent mod num_sets).
+        sets = m.l1.num_sets
+        for k in range(1, 3):
+            h.access(k * sets)
+        level = h.access(0)
+        assert level == 2
+
+    def test_stats_accounting(self, rng):
+        h = CacheHierarchy(tiny_machine())
+        stream = rng.integers(0, 50, 400)
+        h.run(stream)
+        s = h.stats
+        assert s.l1.accesses == 400
+        assert s.l2.accesses == s.l1.misses
+        assert s.l3.accesses == s.l2.misses
+        assert 0 <= s.l3.misses <= s.l3.accesses
+
+    def test_inclusive_back_invalidation(self):
+        # After an L3 eviction, the victim must not hit in L1/L2.
+        m = tiny_machine()
+        h = CacheHierarchy(m)
+        h.access(0)
+        l3_sets = m.l3.num_sets
+        ways = m.l3.spec.associativity if hasattr(m.l3, "spec") else m.l3.associativity
+        # Fill line 0's L3 set beyond capacity with same-set lines.
+        for k in range(1, m.l3.associativity + 1):
+            h.access(k * l3_sets)
+        assert not h.l1.contains(0)
+        assert not h.l2.contains(0)
+        assert not h.l3.contains(0)
+
+    def test_simulate_trace_wrapper(self, rng):
+        stream = rng.integers(0, 64, 256)
+        stats = simulate_trace(stream, tiny_machine())
+        assert stats.l1.accesses == 256
+
+    def test_miss_rate_property(self):
+        from repro.memsim import LevelStats
+
+        s = LevelStats("L1", accesses=100, hits=75)
+        assert s.misses == 25
+        assert s.miss_rate == 0.25
+        assert LevelStats("x").miss_rate == 0.0
+
+    def test_merged_with(self):
+        from repro.memsim import HierarchyStats, LevelStats
+
+        a = HierarchyStats(
+            LevelStats("L1", 10, 5), LevelStats("L2", 5, 2), LevelStats("L3", 3, 1)
+        )
+        b = HierarchyStats(
+            LevelStats("L1", 20, 10), LevelStats("L2", 10, 6), LevelStats("L3", 4, 4)
+        )
+        m = a.merged_with(b)
+        assert m.l1.accesses == 30 and m.l1.hits == 15
+        assert m.memory_accesses == m.l3.misses == 2
+
+
+class TestHierarchyVsReuseModel:
+    def test_fully_associative_hierarchy_matches_model(self, rng):
+        """With fully-associative levels, per-level hit counts follow
+        directly from the reuse-distance distribution."""
+        line = 64
+        machine = MachineSpec(
+            name="fa",
+            l1=CacheSpec("L1", 4 * line, 4, 1.0, line),
+            l2=CacheSpec("L2", 16 * line, 16, 4.0, line),
+            l3=CacheSpec("L3", 64 * line, 64, 16.0, line),
+            memory_latency_cycles=100.0,
+            remote_l3_extra_cycles=0.0,
+            frequency_hz=1e9,
+        )
+        stream = rng.integers(0, 100, 1000)
+        stats = simulate_trace(stream, machine)
+        dists = reuse_distances(stream)
+        # L1 sees every access, so its hits follow the stack model
+        # exactly.
+        assert stats.l1.hits == hits_under_capacity(dists, 4)
+        # Outer levels only update recency on the accesses that reach
+        # them (inner hits do not refresh them), so they track — but do
+        # not exactly equal — the single-stack model. Keep them within a
+        # small tolerance; this mirrors real inclusive hardware.
+        model_16 = hits_under_capacity(dists, 16)
+        model_64 = hits_under_capacity(dists, 64)
+        assert abs(stats.l1.hits + stats.l2.hits - model_16) <= 0.03 * 1000
+        assert (
+            abs(stats.l1.hits + stats.l2.hits + stats.l3.hits - model_64)
+            <= 0.03 * 1000
+        )

@@ -1,0 +1,123 @@
+"""Unit tests for the memory-layout model."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import AccessTrace, MemoryLayout
+from repro.memsim.trace import ARRAY_IDS
+
+
+def trace_of(array, indices):
+    n = len(indices)
+    return AccessTrace(
+        np.full(n, ARRAY_IDS[array], dtype=np.uint8),
+        np.asarray(indices, dtype=np.int64),
+        np.zeros(n, dtype=bool),
+    )
+
+
+class TestMemoryLayout:
+    def test_coords_addressing(self):
+        layout = MemoryLayout(num_vertices=100, num_adjacency=600)
+        trace = trace_of("coords", [0, 1, 4])
+        addrs = layout.addresses(trace)
+        assert addrs.tolist() == [0, 16, 64]
+
+    def test_coords_line_sharing(self):
+        # 16-byte coords, 64-byte lines: 4 vertices per line.
+        layout = MemoryLayout(num_vertices=100, num_adjacency=600)
+        lines = layout.lines(trace_of("coords", [0, 3, 4, 7, 8]))
+        assert lines.tolist() == [0, 0, 1, 1, 2]
+
+    def test_arrays_do_not_overlap(self):
+        layout = MemoryLayout(num_vertices=64, num_adjacency=300)
+        ranges = []
+        for name, count in [
+            ("coords", 64),
+            ("flags", 64),
+            ("xadj", 65),
+            ("adjncy", 300),
+            ("quality", 64),
+        ]:
+            t = trace_of(name, [0, count - 1])
+            a = layout.addresses(t)
+            ranges.append((name, int(a[0]), int(a[1])))
+        ranges.sort(key=lambda r: r[1])
+        for (n1, lo1, hi1), (n2, lo2, hi2) in zip(ranges, ranges[1:]):
+            assert hi1 < lo2, (n1, n2)
+
+    def test_arrays_line_aligned(self):
+        layout = MemoryLayout(num_vertices=3, num_adjacency=5)
+        for name in ("coords", "flags", "xadj", "adjncy", "quality"):
+            addr = layout.addresses(trace_of(name, [0]))[0]
+            assert addr % 64 == 0
+
+    def test_no_access_straddles_lines(self):
+        layout = MemoryLayout(num_vertices=50, num_adjacency=222)
+        for name, size, count in [
+            ("coords", 16, 50),
+            ("flags", 4, 50),
+            ("xadj", 8, 51),
+            ("adjncy", 8, 222),
+        ]:
+            t = trace_of(name, list(range(count)))
+            a = layout.addresses(t)
+            assert ((a % 64) + size <= 64).all(), name
+
+    def test_element_ids_globally_unique(self):
+        layout = MemoryLayout(num_vertices=10, num_adjacency=40)
+        ids = []
+        for name, count in [
+            ("coords", 10),
+            ("flags", 10),
+            ("xadj", 11),
+            ("adjncy", 40),
+            ("quality", 10),
+        ]:
+            ids.extend(layout.element_ids(trace_of(name, range(count))).tolist())
+        assert len(set(ids)) == len(ids)
+
+    def test_total_bytes_covers_all_arrays(self):
+        layout = MemoryLayout(num_vertices=100, num_adjacency=600)
+        last = layout.addresses(trace_of("quality", [99]))[0]
+        assert layout.total_bytes >= last + 8
+        assert layout.total_bytes % 64 == 0
+
+    def test_for_mesh(self, ocean_mesh):
+        layout = MemoryLayout.for_mesh(ocean_mesh)
+        assert layout.num_vertices == ocean_mesh.num_vertices
+        assert layout.num_adjacency == ocean_mesh.adjacency.adjncy.size
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError, match="power of two"):
+            MemoryLayout(num_vertices=4, num_adjacency=4, line_size=48)
+
+    def test_rejects_element_size_not_dividing_line(self):
+        with pytest.raises(ValueError, match="divide"):
+            MemoryLayout(
+                num_vertices=4,
+                num_adjacency=4,
+                element_sizes={
+                    "coords": 24,
+                    "flags": 4,
+                    "xadj": 8,
+                    "adjncy": 8,
+                    "quality": 8,
+                },
+            )
+
+    def test_custom_element_sizes(self):
+        layout = MemoryLayout(
+            num_vertices=8,
+            num_adjacency=8,
+            element_sizes={
+                "coords": 32,
+                "flags": 4,
+                "xadj": 8,
+                "adjncy": 8,
+                "quality": 8,
+            },
+        )
+        # 32-byte coords: two vertices per line.
+        lines = layout.lines(trace_of("coords", [0, 1, 2]))
+        assert lines.tolist() == [0, 0, 1]

@@ -1,0 +1,82 @@
+"""Unit tests for machine descriptions."""
+
+import pytest
+
+from repro.memsim import CacheSpec, calibrated_machine, tiny_machine, westmere_ex
+
+
+class TestWestmereEx:
+    def test_paper_geometry(self):
+        m = westmere_ex()
+        assert m.l1.size_bytes == 32 * 1024
+        assert m.l2.size_bytes == 256 * 1024
+        assert m.l3.size_bytes == 24 * 1024 * 1024
+        assert m.cores_per_socket == 8
+        assert m.num_sockets == 4
+        assert m.num_cores == 32
+        assert m.line_size == 64
+
+    def test_paper_latencies(self):
+        m = westmere_ex()
+        assert m.l1.latency_cycles == 4.0
+        assert m.l2.latency_cycles == 10.0
+        assert m.l3.latency_cycles == 38.0
+        assert m.memory_latency_cycles == 175.0
+
+    def test_scaling_shrinks_caches(self):
+        m = westmere_ex(scale=0.01)
+        assert m.l1.size_bytes < 32 * 1024
+        assert m.l2.size_bytes < 256 * 1024
+        # Sizes remain legal (line * ways multiples).
+        for spec in m.levels():
+            assert spec.size_bytes % (spec.line_size * spec.associativity) == 0
+
+    def test_num_sets(self):
+        m = westmere_ex()
+        assert m.l1.num_lines == 512
+        assert m.l1.num_sets == 64
+
+
+class TestCalibratedMachine:
+    def test_serial_profile_l3_exceeds_footprint(self):
+        fp = 1_000_000
+        m = calibrated_machine(fp, profile="serial")
+        assert m.l3.size_bytes >= fp
+        assert m.l2.size_bytes < fp
+        assert m.l1.num_lines == 64
+
+    def test_scaling_profile_l3_below_footprint(self):
+        fp = 1_000_000
+        m = calibrated_machine(fp, profile="scaling")
+        assert m.l3.size_bytes < fp
+        assert m.l2.size_bytes <= fp // 32
+
+    def test_levels_nested(self):
+        for profile in ("serial", "scaling"):
+            m = calibrated_machine(500_000, profile=profile)
+            assert m.l1.size_bytes < m.l2.size_bytes < m.l3.size_bytes
+
+    def test_tiny_footprint_floors(self):
+        m = calibrated_machine(1024)
+        assert m.l1.size_bytes <= m.l2.size_bytes <= m.l3.size_bytes
+
+    def test_rejects_bad_profile(self):
+        with pytest.raises(ValueError, match="profile"):
+            calibrated_machine(1000, profile="warp")
+
+    def test_rejects_bad_footprint(self):
+        with pytest.raises(ValueError, match="positive"):
+            calibrated_machine(0)
+
+
+class TestTinyMachine:
+    def test_valid_and_small(self):
+        m = tiny_machine()
+        assert m.l1.num_lines == 8
+        assert m.num_cores == 4
+
+
+class TestCacheSpecValidation:
+    def test_size_multiple_of_ways(self):
+        with pytest.raises(ValueError):
+            CacheSpec("x", 64 * 3, 2, 1.0, 64)

@@ -1,0 +1,91 @@
+"""Unit tests for the multicore (shared-L3) simulator."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import (
+    affinity_sockets,
+    simulate_multicore,
+    simulate_trace,
+    tiny_machine,
+)
+
+
+class TestAffinity:
+    def test_compact_fills_sockets_in_order(self):
+        m = tiny_machine()  # 2 cores/socket, 2 sockets
+        assert affinity_sockets(4, m, "compact").tolist() == [0, 0, 1, 1]
+        assert affinity_sockets(3, m, "compact").tolist() == [0, 0, 1]
+
+    def test_scatter_round_robins(self):
+        m = tiny_machine()
+        assert affinity_sockets(4, m, "scatter").tolist() == [0, 1, 0, 1]
+        assert affinity_sockets(2, m, "scatter").tolist() == [0, 1]
+
+    def test_rejects_too_many_cores(self):
+        with pytest.raises(ValueError, match="1\\.\\."):
+            affinity_sockets(5, tiny_machine())
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            affinity_sockets(2, tiny_machine(), "diagonal")
+
+
+class TestSimulateMulticore:
+    def test_single_core_matches_serial_simulation(self, rng):
+        m = tiny_machine()
+        stream = rng.integers(0, 200, 600)
+        mc = simulate_multicore([stream], m)
+        serial = simulate_trace(stream, m)
+        assert mc.per_core[0].stats.l1.hits == serial.l1.hits
+        assert mc.per_core[0].stats.l3.misses == serial.l3.misses
+
+    def test_result_bookkeeping(self, rng):
+        m = tiny_machine()
+        streams = [rng.integers(0, 100, 200) for _ in range(3)]
+        mc = simulate_multicore(streams, m)
+        assert mc.num_cores == 3
+        assert mc.total_accesses == 600
+        assert mc.combined.l1.accesses == 600
+        counts = mc.access_counts()
+        assert counts["L2"] == mc.combined.l2.accesses
+        assert counts["memory"] == mc.combined.l3.misses
+
+    def test_critical_path_time(self, rng):
+        m = tiny_machine()
+        small = rng.integers(0, 10, 10)
+        big = rng.integers(0, 400, 2000)
+        mc = simulate_multicore([small, big], m, affinity="scatter")
+        times = [c.cost.seconds(m) for c in mc.per_core]
+        assert mc.modeled_seconds == max(times)
+
+    def test_shared_l3_contention(self, rng):
+        """Two cores on ONE socket thrash a shared L3 that either core
+        alone would fit in; the same cores on separate sockets do not."""
+        m = tiny_machine()  # L3: 128 lines per socket
+        # Each core cycles through 100 distinct lines (fits alone, 200
+        # lines together overflow the shared L3).
+        s1 = np.tile(np.arange(100), 8)
+        s2 = np.tile(np.arange(1000, 1100), 8)
+        together = simulate_multicore([s1, s2], m, affinity="compact")
+        apart = simulate_multicore([s1, s2], m, affinity="scatter")
+        assert (
+            together.combined.l3.misses > apart.combined.l3.misses
+        )
+
+    def test_aggregate_cache_reduces_memory_traffic(self, rng):
+        """Splitting one working set across sockets reduces off-chip
+        accesses — the mechanism behind the paper's Figure 11."""
+        m = tiny_machine()
+        stream = np.tile(np.arange(240), 6)  # > one L3 (128 lines)
+        one_core = simulate_multicore([stream], m)
+        halves = [stream[stream < 120], stream[stream >= 120]]
+        two_sockets = simulate_multicore(halves, m, affinity="scatter")
+        assert (
+            two_sockets.combined.l3.misses < one_core.combined.l3.misses
+        )
+
+    def test_empty_stream_core(self):
+        m = tiny_machine()
+        mc = simulate_multicore([np.array([1, 2, 3]), np.array([], dtype=int)], m)
+        assert mc.per_core[1].cost.num_accesses == 0

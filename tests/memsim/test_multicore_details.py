@@ -1,0 +1,48 @@
+"""Additional multicore-simulator behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import simulate_multicore, tiny_machine
+
+
+class TestQuantum:
+    def test_quantum_changes_interleaving_not_work(self, rng):
+        m = tiny_machine()
+        streams = [rng.integers(0, 150, 400), rng.integers(200, 350, 400)]
+        coarse = simulate_multicore(streams, m, affinity="compact", quantum=256)
+        fine = simulate_multicore(streams, m, affinity="compact", quantum=8)
+        # Total accesses identical; shared-L3 contention differs with
+        # the interleaving grain.
+        assert coarse.total_accesses == fine.total_accesses
+        assert coarse.combined.l1.accesses == fine.combined.l1.accesses
+
+    def test_private_levels_immune_to_quantum(self, rng):
+        m = tiny_machine()
+        streams = [rng.integers(0, 150, 400), rng.integers(200, 350, 400)]
+        coarse = simulate_multicore(streams, m, affinity="compact", quantum=256)
+        fine = simulate_multicore(streams, m, affinity="compact", quantum=8)
+        # L1/L2 are private: their hit counts cannot depend on how the
+        # socket interleaves its cores.
+        for a, b in zip(coarse.per_core, fine.per_core):
+            assert a.stats.l1.hits == b.stats.l1.hits
+            assert a.stats.l2.hits == b.stats.l2.hits
+
+
+class TestUnevenStreams:
+    def test_cores_with_different_lengths(self, rng):
+        m = tiny_machine()
+        streams = [
+            rng.integers(0, 50, 1000),
+            rng.integers(0, 50, 10),
+            rng.integers(0, 50, 0),
+        ]
+        mc = simulate_multicore(streams, m, affinity="scatter")
+        assert [c.cost.num_accesses for c in mc.per_core] == [1000, 10, 0]
+
+    def test_per_core_sockets_recorded(self):
+        m = tiny_machine()
+        mc = simulate_multicore(
+            [np.arange(10)] * 4, m, affinity="compact"
+        )
+        assert [c.socket for c in mc.per_core] == [0, 0, 1, 1]

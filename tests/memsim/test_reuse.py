@@ -1,0 +1,147 @@
+"""Unit tests for reuse-distance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import (
+    COLD,
+    bucketed_series,
+    hits_under_capacity,
+    max_elements_within,
+    profile_from_distances,
+    reuse_distances,
+)
+
+
+def brute_force_reuse(stream):
+    """O(n^2) reference implementation."""
+    out = []
+    last = {}
+    for t, x in enumerate(stream):
+        if x in last:
+            distinct = len(set(stream[last[x] + 1 : t]))
+            out.append(distinct)
+        else:
+            out.append(COLD)
+        last[x] = t
+    return np.array(out)
+
+
+class TestReuseDistances:
+    def test_immediate_reuse_is_zero(self):
+        assert reuse_distances(np.array([7, 7])).tolist() == [COLD, 0]
+
+    def test_classic_example(self):
+        # a b c a : reuse of a sees {b, c} in between -> distance 2.
+        out = reuse_distances(np.array([1, 2, 3, 1]))
+        assert out.tolist() == [COLD, COLD, COLD, 2]
+
+    def test_repeated_intermediate_counted_once(self):
+        # a b b b a : only one distinct element in between.
+        out = reuse_distances(np.array([1, 2, 2, 2, 1]))
+        assert out.tolist() == [COLD, COLD, 0, 0, 1]
+
+    def test_all_cold(self):
+        out = reuse_distances(np.arange(10))
+        assert (out == COLD).all()
+
+    def test_cyclic_stream(self):
+        # Repeating 0..4: every reuse sees the 4 other elements.
+        stream = np.tile(np.arange(5), 3)
+        out = reuse_distances(stream)
+        assert (out[5:] == 4).all()
+
+    def test_matches_brute_force(self, rng):
+        stream = rng.integers(0, 20, 300).tolist()
+        fast = reuse_distances(np.array(stream))
+        slow = brute_force_reuse(stream)
+        assert np.array_equal(fast, slow)
+
+    def test_arbitrary_ids_compressed(self):
+        out = reuse_distances(np.array([10**12, -5, 10**12]))
+        assert out.tolist() == [COLD, COLD, 1]
+
+    def test_empty_stream(self):
+        assert reuse_distances(np.array([], dtype=int)).size == 0
+
+
+class TestProfile:
+    def test_quantile_definition(self):
+        # Population 1..10: the paper's X-quantile is the smallest value
+        # with at least proportion X at or below it.
+        dists = np.arange(1, 11)
+        prof = profile_from_distances(dists)
+        assert prof.q50 == 5
+        assert prof.q75 == 8  # ceil(0.75*10) = 8th smallest
+        assert prof.q90 == 9
+        assert prof.q100 == 10
+
+    def test_cold_excluded(self):
+        dists = np.array([COLD, COLD, 4, 6])
+        prof = profile_from_distances(dists)
+        assert prof.num_cold == 2
+        assert prof.num_reuses == 2
+        assert prof.mean == 5.0
+
+    def test_all_cold_profile(self):
+        prof = profile_from_distances(np.array([COLD, COLD]))
+        assert prof.num_cold == 2
+        assert np.isnan(prof.mean)
+
+    def test_as_row_keys(self):
+        prof = profile_from_distances(np.array([1, 2, 3]))
+        assert set(prof.as_row()) == {
+            "accesses",
+            "cold",
+            "mean",
+            "50%",
+            "75%",
+            "90%",
+            "100%",
+        }
+
+
+class TestBucketedSeries:
+    def test_bucket_count(self):
+        dists = np.arange(100)
+        xs, ys = bucketed_series(dists, 10)
+        assert xs.size == ys.size == 10
+
+    def test_means_correct(self):
+        dists = np.array([2.0, 4.0, 10.0, 20.0])
+        xs, ys = bucketed_series(dists, 2)
+        assert ys.tolist() == [3.0, 15.0]
+
+    def test_cold_skipped(self):
+        dists = np.array([COLD, 6.0, COLD, COLD])
+        xs, ys = bucketed_series(dists, 2)
+        assert ys[0] == 6.0 and np.isnan(ys[1])
+
+    def test_empty(self):
+        xs, ys = bucketed_series(np.array([]), 5)
+        assert xs.size == ys.size == 0
+
+
+class TestCapacityModel:
+    def test_hits_under_capacity(self):
+        dists = np.array([COLD, 0, 3, 10, 5])
+        assert hits_under_capacity(dists, 6) == 3  # 0, 3, 5 hit
+        assert hits_under_capacity(dists, 1) == 1  # only the 0
+
+    def test_max_elements_inverse(self):
+        dists = np.array([COLD, 1, 2, 3, 4, 5])
+        # If exactly 2 accesses missed, they were distances {4, 5}: the
+        # implied capacity is 4.
+        assert max_elements_within(dists, 2) == 4
+
+    def test_zero_misses_means_everything_fits(self):
+        dists = np.array([COLD, 1, 2, 7])
+        assert max_elements_within(dists, 0) == 8
+
+    def test_all_missed(self):
+        dists = np.array([COLD, 3, 9])
+        assert max_elements_within(dists, 2) == 3
+
+    def test_misses_clamped(self):
+        dists = np.array([COLD, 3])
+        assert max_elements_within(dists, 100) == 3

@@ -1,0 +1,73 @@
+"""Unit tests for the Equation-(2) timing model."""
+
+import pytest
+
+from repro.memsim import HierarchyStats, LevelStats, extra_miss_cycles, modeled_time
+from repro.memsim.machine import tiny_machine
+
+
+def stats(l1_acc, l1_hit, l2_hit, l3_hit):
+    l2_acc = l1_acc - l1_hit
+    l3_acc = l2_acc - l2_hit
+    return HierarchyStats(
+        LevelStats("L1", l1_acc, l1_hit),
+        LevelStats("L2", l2_acc, l2_hit),
+        LevelStats("L3", l3_acc, l3_hit),
+    )
+
+
+class TestEquation2:
+    def test_miss_count_form(self):
+        m = tiny_machine()
+        s = stats(1000, 900, 60, 30)
+        expected = (
+            100 * m.l2.latency_cycles
+            + 40 * m.l3.latency_cycles
+            + 10 * m.memory_latency_cycles
+        )
+        assert extra_miss_cycles(s, m) == expected
+
+    def test_rate_form_equivalence(self):
+        """Equation (2) as printed — (m1*c2 + m1*m2*c3 + m1*m2*m3*cm) * N —
+        equals the per-miss-count form."""
+        m = tiny_machine()
+        s = stats(1000, 900, 60, 30)
+        m1 = s.l1.miss_rate
+        m2 = s.l2.miss_rate
+        m3 = s.l3.miss_rate
+        n = s.l1.accesses
+        rate_form = (
+            m1 * m.l2.latency_cycles
+            + m1 * m2 * m.l3.latency_cycles
+            + m1 * m2 * m3 * m.memory_latency_cycles
+        ) * n
+        assert rate_form == pytest.approx(extra_miss_cycles(s, m))
+
+    def test_no_misses_no_extra_cost(self):
+        m = tiny_machine()
+        s = stats(500, 500, 0, 0)
+        assert extra_miss_cycles(s, m) == 0.0
+
+
+class TestModeledTime:
+    def test_breakdown_sums(self):
+        m = tiny_machine()
+        s = stats(1000, 900, 60, 30)
+        cost = modeled_time(s, m)
+        assert cost.num_accesses == 1000
+        assert cost.base_cycles == 1000 * m.base_cycles_per_access
+        assert cost.total_cycles == cost.base_cycles + cost.extra_cycles
+        assert cost.extra_cycles == extra_miss_cycles(s, m)
+
+    def test_seconds_conversion(self):
+        m = tiny_machine()
+        s = stats(100, 100, 0, 0)
+        cost = modeled_time(s, m)
+        assert cost.seconds(m) == pytest.approx(100 / m.frequency_hz)
+
+    def test_explicit_access_count(self):
+        m = tiny_machine()
+        s = stats(100, 100, 0, 0)
+        cost = modeled_time(s, m, num_accesses=500)
+        assert cost.num_accesses == 500
+        assert cost.base_cycles == 500.0

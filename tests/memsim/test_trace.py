@@ -1,0 +1,100 @@
+"""Unit tests for the access-trace container and builder."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import ARRAY_IDS, ARRAY_NAMES, AccessTrace, TraceBuilder
+
+
+def make_trace(n=10, iterations=(0, 4)):
+    return AccessTrace(
+        np.zeros(n, dtype=np.uint8),
+        np.arange(n, dtype=np.int64),
+        np.zeros(n, dtype=bool),
+        iteration_starts=np.asarray(iterations, dtype=np.int64),
+    )
+
+
+class TestAccessTrace:
+    def test_len(self):
+        assert len(make_trace(7)) == 7
+
+    def test_iteration_slicing(self):
+        t = make_trace(10, iterations=(0, 4))
+        first = t.iteration(0)
+        second = t.iteration(1)
+        assert len(first) == 4 and len(second) == 6
+        assert first.indices.tolist() == [0, 1, 2, 3]
+        assert second.indices.tolist() == [4, 5, 6, 7, 8, 9]
+
+    def test_iteration_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_trace().iteration(2)
+
+    def test_slice(self):
+        sub = make_trace(10).slice(2, 5)
+        assert sub.indices.tolist() == [2, 3, 4]
+
+    def test_filtered(self):
+        t = AccessTrace(
+            np.array([0, 3, 0], dtype=np.uint8),
+            np.array([5, 6, 7]),
+            np.array([False, False, True]),
+        )
+        coords = t.filtered("coords")
+        assert coords.indices.tolist() == [5, 7]
+        assert coords.is_write.tolist() == [False, True]
+
+    def test_rejects_mismatched_columns(self):
+        with pytest.raises(ValueError, match="identical shapes"):
+            AccessTrace(
+                np.zeros(3, dtype=np.uint8),
+                np.zeros(2, dtype=np.int64),
+                np.zeros(3, dtype=bool),
+            )
+
+    def test_rejects_bad_array_id(self):
+        with pytest.raises(ValueError, match="array id"):
+            AccessTrace(
+                np.array([99], dtype=np.uint8),
+                np.array([0]),
+                np.array([False]),
+            )
+
+    def test_array_names_and_ids_consistent(self):
+        assert [ARRAY_IDS[n] for n in ARRAY_NAMES] == list(range(len(ARRAY_NAMES)))
+
+
+class TestTraceBuilder:
+    def test_append_scalar_and_vector(self):
+        tb = TraceBuilder()
+        tb.append("coords", 3)
+        tb.append("adjncy", np.array([1, 2, 3]))
+        tb.append("coords", 9, write=True)
+        trace = tb.build()
+        assert len(trace) == 5
+        assert trace.is_write.tolist() == [False] * 4 + [True]
+
+    def test_empty_append_ignored(self):
+        tb = TraceBuilder()
+        tb.append("coords", np.array([], dtype=np.int64))
+        assert len(tb) == 0
+
+    def test_iteration_marking(self):
+        tb = TraceBuilder()
+        tb.begin_iteration()
+        tb.append("coords", 0)
+        tb.begin_iteration()
+        tb.append("coords", 1)
+        trace = tb.build()
+        assert trace.iteration_starts.tolist() == [0, 1]
+
+    def test_empty_build(self):
+        trace = TraceBuilder().build(mesh="x")
+        assert len(trace) == 0
+        assert trace.meta["mesh"] == "x"
+        assert trace.num_iterations == 1
+
+    def test_unknown_array_rejected(self):
+        with pytest.raises(KeyError):
+            TraceBuilder().append("nonsense", 0)

@@ -1,0 +1,155 @@
+"""Unit tests for CSR adjacency construction and permutation."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import (
+    CSRGraph,
+    adjacency_from_triangles,
+    edges_from_triangles,
+    is_symmetric,
+    permute_csr,
+)
+
+
+@pytest.fixture
+def square_tris():
+    # Two triangles forming a square 0-1-2-3 with diagonal 0-2.
+    return np.array([[0, 1, 2], [0, 2, 3]])
+
+
+class TestEdgesFromTriangles:
+    def test_unique_edges_of_square(self, square_tris):
+        edges = edges_from_triangles(square_tris)
+        expected = {(0, 1), (1, 2), (0, 2), (2, 3), (0, 3)}
+        assert set(map(tuple, edges)) == expected
+
+    def test_edges_sorted_lexicographically(self, square_tris):
+        edges = edges_from_triangles(square_tris)
+        as_tuples = list(map(tuple, edges))
+        assert as_tuples == sorted(as_tuples)
+
+    def test_edge_endpoints_ordered(self, square_tris):
+        edges = edges_from_triangles(square_tris)
+        assert (edges[:, 0] < edges[:, 1]).all()
+
+    def test_shared_edge_counted_once(self):
+        tris = np.array([[0, 1, 2], [2, 1, 3]])
+        edges = edges_from_triangles(tris)
+        assert len(edges) == 5  # not 6: edge (1,2) shared
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            edges_from_triangles(np.array([[0, 1], [1, 2]]))
+
+
+class TestAdjacencyFromTriangles:
+    def test_neighbor_sets(self, square_tris):
+        g = adjacency_from_triangles(square_tris, 4)
+        assert set(g.neighbors(0)) == {1, 2, 3}
+        assert set(g.neighbors(1)) == {0, 2}
+        assert set(g.neighbors(2)) == {0, 1, 3}
+        assert set(g.neighbors(3)) == {0, 2}
+
+    def test_neighbors_sorted(self, square_tris):
+        g = adjacency_from_triangles(square_tris, 4)
+        for v in range(4):
+            nbrs = g.neighbors(v)
+            assert (np.diff(nbrs) > 0).all()
+
+    def test_degrees(self, square_tris):
+        g = adjacency_from_triangles(square_tris, 4)
+        assert g.degrees().tolist() == [3, 2, 3, 2]
+
+    def test_num_edges(self, square_tris):
+        g = adjacency_from_triangles(square_tris, 4)
+        assert g.num_edges == 5
+
+    def test_isolated_vertex_has_empty_row(self, square_tris):
+        g = adjacency_from_triangles(square_tris, 6)
+        assert g.neighbors(4).size == 0
+        assert g.neighbors(5).size == 0
+        assert g.num_vertices == 6
+
+    def test_symmetry(self, square_tris):
+        assert is_symmetric(adjacency_from_triangles(square_tris, 4))
+
+    def test_has_edge(self, square_tris):
+        g = adjacency_from_triangles(square_tris, 4)
+        assert g.has_edge(0, 2)
+        assert g.has_edge(2, 0)
+        assert not g.has_edge(1, 3)
+
+    def test_rejects_out_of_range_index(self, square_tris):
+        with pytest.raises(ValueError, match=">= num_vertices"):
+            adjacency_from_triangles(square_tris, 2)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError, match="negative"):
+            adjacency_from_triangles(np.array([[0, -1, 2]]), 4)
+
+
+class TestCSRGraphValidation:
+    def test_rejects_bad_xadj_start(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0, 1]))
+
+    def test_rejects_decreasing_xadj(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSRGraph(np.array([0, 2, 1]), np.array([1]))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([1, 2, 3]))
+
+    def test_rejects_empty_xadj(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CSRGraph(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+
+
+class TestPermuteCSR:
+    def test_identity_permutation(self, square_tris):
+        g = adjacency_from_triangles(square_tris, 4)
+        p = permute_csr(g, np.arange(4))
+        assert np.array_equal(p.xadj, g.xadj)
+        assert np.array_equal(p.adjncy, g.adjncy)
+
+    def test_permuted_neighbors_match_relabeling(self, square_tris):
+        g = adjacency_from_triangles(square_tris, 4)
+        order = np.array([2, 0, 3, 1])  # new position k holds old order[k]
+        p = permute_csr(g, order)
+        inverse = np.empty(4, dtype=int)
+        inverse[order] = np.arange(4)
+        for new_v in range(4):
+            old_v = order[new_v]
+            expected = sorted(inverse[g.neighbors(old_v)])
+            assert p.neighbors(new_v).tolist() == expected
+
+    def test_permuted_graph_is_symmetric(self, square_tris):
+        g = adjacency_from_triangles(square_tris, 4)
+        p = permute_csr(g, np.array([3, 1, 0, 2]))
+        assert is_symmetric(p)
+
+    def test_double_permutation_roundtrip(self, square_tris):
+        g = adjacency_from_triangles(square_tris, 4)
+        order = np.array([2, 0, 3, 1])
+        inverse = np.empty(4, dtype=np.int64)
+        inverse[order] = np.arange(4)
+        roundtrip = permute_csr(permute_csr(g, order), inverse)
+        assert np.array_equal(roundtrip.xadj, g.xadj)
+        assert np.array_equal(roundtrip.adjncy, g.adjncy)
+
+    def test_rejects_wrong_length(self, square_tris):
+        g = adjacency_from_triangles(square_tris, 4)
+        with pytest.raises(ValueError, match="shape"):
+            permute_csr(g, np.array([0, 1]))
+
+
+class TestIsSymmetric:
+    def test_asymmetric_graph_detected(self):
+        g = CSRGraph(np.array([0, 1, 1]), np.array([1]))  # 0->1 without 1->0
+        assert not is_symmetric(g)
+
+    def test_empty_graph_symmetric(self):
+        g = CSRGraph(np.array([0, 0, 0]), np.array([], dtype=np.int64))
+        assert is_symmetric(g)

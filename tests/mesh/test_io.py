@@ -1,0 +1,88 @@
+"""Unit tests for Triangle-format and JSON mesh I/O."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import (
+    TriMesh,
+    read_json,
+    read_triangle,
+    write_json,
+    write_triangle,
+)
+
+
+class TestTriangleFormat:
+    def test_roundtrip(self, tiny_mesh, tmp_path):
+        write_triangle(tiny_mesh, tmp_path / "tiny")
+        back = read_triangle(tmp_path / "tiny")
+        assert np.allclose(back.vertices, tiny_mesh.vertices)
+        assert np.array_equal(back.triangles, tiny_mesh.triangles)
+
+    def test_roundtrip_preserves_boundary(self, ocean_mesh, tmp_path):
+        write_triangle(ocean_mesh, tmp_path / "ocean")
+        back = read_triangle(tmp_path / "ocean")
+        assert np.array_equal(back.boundary_mask, ocean_mesh.boundary_mask)
+
+    def test_written_files_exist(self, tiny_mesh, tmp_path):
+        node, ele = write_triangle(tiny_mesh, tmp_path / "m")
+        assert node.name == "m.node" and node.exists()
+        assert ele.name == "m.ele" and ele.exists()
+
+    def test_reads_one_based_ids(self, tmp_path):
+        (tmp_path / "one.node").write_text(
+            "3 2 0 0\n1 0.0 0.0\n2 1.0 0.0\n3 0.0 1.0\n"
+        )
+        (tmp_path / "one.ele").write_text("1 3 0\n1 1 2 3\n")
+        mesh = read_triangle(tmp_path / "one")
+        assert mesh.triangles.tolist() == [[0, 1, 2]]
+
+    def test_ignores_comments_and_blank_lines(self, tmp_path):
+        (tmp_path / "c.node").write_text(
+            "# header comment\n3 2 0 0\n\n0 0.0 0.0  # vertex 0\n1 1.0 0.0\n2 0.0 1.0\n"
+        )
+        (tmp_path / "c.ele").write_text("1 3 0\n0 0 1 2\n")
+        mesh = read_triangle(tmp_path / "c")
+        assert mesh.num_vertices == 3
+
+    def test_rejects_3d_nodes(self, tmp_path):
+        (tmp_path / "d.node").write_text("1 3 0 0\n0 0.0 0.0 0.0\n")
+        (tmp_path / "d.ele").write_text("0 3 0\n")
+        with pytest.raises(ValueError, match="2-D"):
+            read_triangle(tmp_path / "d")
+
+    def test_rejects_quad_elements(self, tmp_path):
+        (tmp_path / "q.node").write_text(
+            "4 2 0 0\n0 0 0\n1 1 0\n2 1 1\n3 0 1\n"
+        )
+        (tmp_path / "q.ele").write_text("1 4 0\n0 0 1 2 3\n")
+        with pytest.raises(ValueError, match="3-node"):
+            read_triangle(tmp_path / "q")
+
+    def test_rejects_count_mismatch(self, tmp_path):
+        (tmp_path / "bad.node").write_text("5 2 0 0\n0 0.0 0.0\n")
+        (tmp_path / "bad.ele").write_text("0 3 0\n")
+        with pytest.raises(ValueError, match="count"):
+            read_triangle(tmp_path / "bad")
+
+    def test_name_defaults_to_stem(self, tiny_mesh, tmp_path):
+        write_triangle(tiny_mesh, tmp_path / "stemname")
+        back = read_triangle(tmp_path / "stemname")
+        assert back.name == "stemname"
+
+
+class TestJsonFormat:
+    def test_roundtrip(self, tiny_mesh, tmp_path):
+        path = write_json(tiny_mesh, tmp_path / "tiny.json")
+        back = read_json(path)
+        assert np.allclose(back.vertices, tiny_mesh.vertices)
+        assert np.array_equal(back.triangles, tiny_mesh.triangles)
+        assert back.name == tiny_mesh.name
+
+    def test_exact_float_roundtrip(self, tmp_path):
+        mesh = TriMesh(
+            np.array([[0.1, 0.2], [1.0 / 3.0, 0.0], [0.0, 2.0 / 7.0]]),
+            np.array([[0, 1, 2]]),
+        )
+        back = read_json(write_json(mesh, tmp_path / "f.json"))
+        assert np.array_equal(back.vertices, mesh.vertices)

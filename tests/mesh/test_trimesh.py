@@ -1,0 +1,137 @@
+"""Unit tests for the TriMesh container."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import TriMesh, boundary_vertices_from_triangles
+
+
+class TestConstruction:
+    def test_basic_counts(self, tiny_mesh):
+        assert tiny_mesh.num_vertices == 5
+        assert tiny_mesh.num_triangles == 4
+
+    def test_dtype_coercion(self):
+        m = TriMesh(
+            np.array([[0, 0], [1, 0], [0, 1]], dtype=np.float32),
+            np.array([[0, 1, 2]], dtype=np.int32),
+        )
+        assert m.vertices.dtype == np.float64
+        assert m.triangles.dtype == np.int64
+
+    def test_rejects_bad_vertex_shape(self):
+        with pytest.raises(ValueError, match="vertices"):
+            TriMesh(np.zeros((3, 3)), np.array([[0, 1, 2]]))
+
+    def test_rejects_bad_triangle_shape(self):
+        with pytest.raises(ValueError, match="triangles"):
+            TriMesh(np.zeros((3, 2)), np.array([[0, 1]]))
+
+    def test_rejects_out_of_range_triangle(self):
+        with pytest.raises(ValueError, match="out of range"):
+            TriMesh(np.zeros((3, 2)), np.array([[0, 1, 3]]))
+
+
+class TestBoundary:
+    def test_tiny_mesh_boundary(self, tiny_mesh):
+        # Vertices 0-3 are corners (boundary), 4 is the interior apex.
+        assert tiny_mesh.boundary_mask.tolist() == [True] * 4 + [False]
+        assert tiny_mesh.interior_vertices().tolist() == [4]
+
+    def test_grid_boundary_count(self, grid_mesh):
+        # A 6x7 grid has 2*(6+7) - 4 = 22 boundary vertices.
+        assert int(grid_mesh.boundary_mask.sum()) == 22
+        assert grid_mesh.interior_vertices().size == 42 - 22
+
+    def test_isolated_vertex_is_boundary(self):
+        mask = boundary_vertices_from_triangles(np.array([[0, 1, 2]]), 4)
+        assert mask[3]  # isolated
+
+    def test_no_triangles_all_boundary(self):
+        mask = boundary_vertices_from_triangles(np.empty((0, 3), dtype=int), 3)
+        assert mask.all()
+
+    def test_interior_mask_is_complement(self, grid_mesh):
+        assert np.array_equal(grid_mesh.interior_mask, ~grid_mesh.boundary_mask)
+
+
+class TestDerivedStructures:
+    def test_adjacency_cached(self, tiny_mesh):
+        assert tiny_mesh.adjacency is tiny_mesh.adjacency
+
+    def test_apex_neighbors(self, tiny_mesh):
+        assert set(tiny_mesh.adjacency.neighbors(4)) == {0, 1, 2, 3}
+
+    def test_vertex_triangles_incidence(self, tiny_mesh):
+        xadj, tri_ids = tiny_mesh.vertex_triangles
+        # The apex touches all four triangles.
+        assert set(tri_ids[xadj[4] : xadj[5]]) == {0, 1, 2, 3}
+        # Corner 0 touches triangles 0 and 3.
+        assert set(tri_ids[xadj[0] : xadj[1]]) == {0, 3}
+
+    def test_triangle_areas_positive_for_ccw(self, tiny_mesh):
+        assert (tiny_mesh.triangle_areas() > 0).all()
+
+    def test_total_area(self, tiny_mesh):
+        # The four triangles tile the 2x2 square.
+        assert np.isclose(tiny_mesh.triangle_areas().sum(), 4.0)
+
+    def test_edges(self, tiny_mesh):
+        edges = tiny_mesh.edges()
+        assert len(edges) == 8  # 4 sides + 4 spokes
+
+
+class TestPermute:
+    def test_permute_preserves_geometry(self, tiny_mesh):
+        order = np.array([4, 0, 2, 1, 3])
+        p = tiny_mesh.permute(order)
+        assert np.allclose(p.vertices, tiny_mesh.vertices[order])
+
+    def test_permute_relabels_triangles(self, tiny_mesh):
+        order = np.array([4, 0, 2, 1, 3])
+        p = tiny_mesh.permute(order)
+        # Each permuted triangle maps back to an original triangle.
+        originals = {tuple(sorted(t)) for t in tiny_mesh.triangles.tolist()}
+        for t in p.triangles.tolist():
+            back = tuple(sorted(int(order[i]) for i in t))
+            assert back in originals
+
+    def test_permute_preserves_boundary_semantics(self, tiny_mesh):
+        order = np.array([4, 0, 2, 1, 3])
+        _ = tiny_mesh.boundary_mask  # force cache
+        p = tiny_mesh.permute(order)
+        assert p.boundary_mask.tolist() == [False, True, True, True, True]
+
+    def test_permute_adjacency_consistent_with_rebuild(self, bumpy_mesh, rng):
+        order = rng.permutation(bumpy_mesh.num_vertices)
+        _ = bumpy_mesh.adjacency
+        p = bumpy_mesh.permute(order)  # permutes cached adjacency
+        rebuilt = TriMesh(p.vertices, p.triangles).adjacency
+        assert np.array_equal(p.adjacency.xadj, rebuilt.xadj)
+        assert np.array_equal(p.adjacency.adjncy, rebuilt.adjncy)
+
+    def test_permute_identity(self, tiny_mesh):
+        p = tiny_mesh.permute(np.arange(5))
+        assert np.allclose(p.vertices, tiny_mesh.vertices)
+        assert np.array_equal(p.triangles, tiny_mesh.triangles)
+
+    def test_rejects_non_permutation(self, tiny_mesh):
+        with pytest.raises(ValueError, match="permutation"):
+            tiny_mesh.permute(np.array([0, 0, 1, 2, 3]))
+
+    def test_rejects_wrong_length(self, tiny_mesh):
+        with pytest.raises(ValueError, match="shape"):
+            tiny_mesh.permute(np.array([0, 1, 2]))
+
+
+class TestWithVertices:
+    def test_shares_connectivity_and_caches(self, tiny_mesh):
+        _ = tiny_mesh.adjacency
+        moved = tiny_mesh.with_vertices(tiny_mesh.vertices + 1.0)
+        assert moved.adjacency is tiny_mesh.adjacency
+        assert np.array_equal(moved.triangles, tiny_mesh.triangles)
+
+    def test_copy_is_independent(self, tiny_mesh):
+        c = tiny_mesh.copy()
+        c.vertices[0, 0] = 99.0
+        assert tiny_mesh.vertices[0, 0] != 99.0

@@ -1,0 +1,144 @@
+"""Unit tests for the Bowyer-Watson Delaunay substrate."""
+
+import numpy as np
+import pytest
+
+from repro.meshgen import DelaunayError, delaunay, morton_order
+
+
+def _circumcircle_violations(pts, tris, tol=1e-9):
+    """Count (triangle, point) pairs violating the empty-circle property."""
+    violations = 0
+    for a, b, c in tris:
+        pa, pb, pc = pts[a], pts[b], pts[c]
+        for p in range(len(pts)):
+            if p in (a, b, c):
+                continue
+            pd = pts[p]
+            m = np.array(
+                [
+                    [pa[0] - pd[0], pa[1] - pd[1], (pa - pd) @ (pa - pd)],
+                    [pb[0] - pd[0], pb[1] - pd[1], (pb - pd) @ (pb - pd)],
+                    [pc[0] - pd[0], pc[1] - pd[1], (pc - pd) @ (pc - pd)],
+                ]
+            )
+            det = np.linalg.det(m)
+            # CCW triangle: det > 0 means p strictly inside.
+            if det > tol * max(1.0, abs(m).max() ** 3):
+                violations += 1
+    return violations
+
+
+class TestDelaunayBasics:
+    def test_single_triangle(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        tris = delaunay(pts)
+        assert len(tris) == 1
+        assert sorted(tris[0]) == [0, 1, 2]
+
+    def test_square_two_triangles(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.01]])
+        tris = delaunay(pts)
+        assert len(tris) == 2
+
+    def test_triangles_are_ccw(self, rng):
+        pts = rng.random((50, 2))
+        tris = delaunay(pts)
+        p = pts[tris]
+        areas = 0.5 * (
+            (p[:, 1, 0] - p[:, 0, 0]) * (p[:, 2, 1] - p[:, 0, 1])
+            - (p[:, 1, 1] - p[:, 0, 1]) * (p[:, 2, 0] - p[:, 0, 0])
+        )
+        assert (areas > 0).all()
+
+    def test_empty_circumcircle_property(self, rng):
+        pts = rng.random((80, 2))
+        tris = delaunay(pts)
+        assert _circumcircle_violations(pts, tris) == 0
+
+    def test_euler_formula(self, rng):
+        # For a triangulation of the convex hull: T = 2n - 2 - h where h
+        # is the number of hull vertices (allowing for dropped hull
+        # slivers, the count never exceeds the bound).
+        pts = rng.random((120, 2))
+        tris = delaunay(pts)
+        from scipy.spatial import ConvexHull
+
+        h = len(ConvexHull(pts).vertices)
+        assert len(tris) <= 2 * len(pts) - 2 - h
+        assert len(tris) >= 2 * len(pts) - 2 - h - 5  # few slivers at most
+
+    def test_every_point_used(self, rng):
+        pts = rng.random((60, 2))
+        tris = delaunay(pts)
+        assert set(tris.ravel().tolist()) == set(range(60))
+
+    def test_presort_false_gives_valid_result(self, rng):
+        pts = rng.random((40, 2))
+        a = delaunay(pts, presort=True)
+        b = delaunay(pts, presort=False)
+        # Same triangulation up to ordering of the triangle list.
+        canon = lambda T: set(map(tuple, np.sort(T, axis=1).tolist()))
+        assert canon(a) == canon(b)
+
+
+class TestDelaunayAgainstScipy:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 7])
+    def test_edge_sets_match(self, seed):
+        scipy_spatial = pytest.importorskip("scipy.spatial")
+        pts = np.random.default_rng(seed).random((200, 2))
+        ours = delaunay(pts)
+        theirs = scipy_spatial.Delaunay(pts).simplices
+
+        def edges(T):
+            e = np.concatenate([T[:, [0, 1]], T[:, [1, 2]], T[:, [2, 0]]])
+            e.sort(axis=1)
+            return set(map(tuple, np.unique(e, axis=0)))
+
+        a, b = edges(ours), edges(theirs)
+        # Identical up to near-degenerate hull slivers (see module docs).
+        assert len(a ^ b) <= max(2, 0.005 * len(b))
+        assert a <= b or len(a - b) <= 2
+
+
+class TestDelaunayErrors:
+    def test_too_few_points(self):
+        with pytest.raises(DelaunayError, match="three"):
+            delaunay(np.array([[0.0, 0.0], [1.0, 0.0]]))
+
+    def test_duplicate_points(self):
+        with pytest.raises(DelaunayError, match="duplicate"):
+            delaunay(np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 0.0], [1, 1.0]]))
+
+    def test_coincident_points(self):
+        with pytest.raises(DelaunayError):
+            delaunay(np.zeros((3, 2)))
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            delaunay(np.zeros((3, 3)))
+
+
+class TestMortonOrder:
+    def test_is_permutation(self, rng):
+        pts = rng.random((100, 2))
+        order = morton_order(pts)
+        assert np.array_equal(np.sort(order), np.arange(100))
+
+    def test_locality(self, rng):
+        # Consecutive points along the Morton curve are spatially close
+        # on average (much closer than random order).
+        pts = rng.random((500, 2))
+        order = morton_order(pts)
+        sorted_pts = pts[order]
+        morton_step = np.linalg.norm(np.diff(sorted_pts, axis=0), axis=1).mean()
+        random_step = np.linalg.norm(np.diff(pts, axis=0), axis=1).mean()
+        assert morton_step < 0.5 * random_step
+
+    def test_empty_input(self):
+        assert morton_order(np.empty((0, 2))).size == 0
+
+    def test_identical_coordinates_ok(self):
+        pts = np.array([[0.5, 0.5]] * 4)
+        order = morton_order(pts)
+        assert np.array_equal(np.sort(order), np.arange(4))

@@ -1,0 +1,127 @@
+"""Unit tests for the nine domain generators."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import mesh_issues
+from repro.meshgen import (
+    PAPER_SUITE,
+    domain_rings,
+    generate_domain_mesh,
+    list_domains,
+    paper_suite,
+)
+from repro.meshgen.geometry import polygon_area
+from repro.quality import vertex_quality
+
+
+class TestDomainRings:
+    @pytest.mark.parametrize("name", list_domains())
+    def test_outer_ring_is_ccw(self, name):
+        rings = domain_rings(name)
+        assert polygon_area(rings[0]) > 0
+
+    @pytest.mark.parametrize("name", list_domains())
+    def test_holes_are_cw(self, name):
+        for hole in domain_rings(name)[1:]:
+            assert polygon_area(hole) < 0
+
+    def test_multiply_connected_domains(self):
+        assert len(domain_rings("carabiner")) == 2
+        assert len(domain_rings("ocean")) == 3
+        assert len(domain_rings("stress")) == 2
+
+    def test_unknown_domain(self):
+        with pytest.raises(KeyError, match="unknown domain"):
+            domain_rings("nonsense")
+
+
+class TestGenerateDomainMesh:
+    @pytest.mark.parametrize("name", list_domains())
+    def test_all_domains_generate_valid_meshes(self, name):
+        mesh = generate_domain_mesh(name, target_vertices=350, seed=0)
+        assert mesh_issues(mesh) == []
+        assert mesh.name == name
+
+    def test_vertex_budget_respected(self):
+        for target in (300, 900):
+            mesh = generate_domain_mesh("stress", target_vertices=target, seed=0)
+            assert 0.6 * target < mesh.num_vertices < 1.6 * target
+
+    def test_deterministic(self):
+        a = generate_domain_mesh("lake", target_vertices=300, seed=4)
+        b = generate_domain_mesh("lake", target_vertices=300, seed=4)
+        assert np.array_equal(a.vertices, b.vertices)
+        assert np.array_equal(a.triangles, b.triangles)
+
+    def test_seed_changes_mesh(self):
+        a = generate_domain_mesh("lake", target_vertices=300, seed=4)
+        b = generate_domain_mesh("lake", target_vertices=300, seed=5)
+        assert a.num_vertices != b.num_vertices or not np.allclose(
+            a.vertices[: min(a.num_vertices, b.num_vertices)],
+            b.vertices[: min(a.num_vertices, b.num_vertices)],
+        )
+
+    def test_initial_quality_degraded(self, ocean_mesh):
+        q = vertex_quality(ocean_mesh)
+        # The perturbation must leave real smoothing work.
+        assert q.mean() < 0.85
+        assert q.min() < 0.6
+
+    def test_ramp_structure_quality_correlates_with_depth(self):
+        from repro.meshgen.geometry import distance_to_rings
+
+        mesh = generate_domain_mesh(
+            "stress", target_vertices=700, seed=0, quality_structure="ramp"
+        )
+        q = vertex_quality(mesh)
+        d = distance_to_rings(mesh.vertices, domain_rings("stress"))
+        interior = mesh.interior_mask
+        corr = np.corrcoef(q[interior], d[interior])[0, 1]
+        assert corr > 0.2  # worse near the boundary
+
+    def test_uniform_structure_has_no_depth_correlation(self):
+        from repro.meshgen.geometry import distance_to_rings
+
+        mesh = generate_domain_mesh(
+            "stress", target_vertices=700, seed=0, quality_structure="uniform"
+        )
+        q = vertex_quality(mesh)
+        d = distance_to_rings(mesh.vertices, domain_rings("stress"))
+        interior = mesh.interior_mask
+        corr = np.corrcoef(q[interior], d[interior])[0, 1]
+        assert abs(corr) < 0.25
+
+    def test_native_order_is_y_sweep(self, ocean_mesh):
+        # The native order is a y-sweep of the *unperturbed* points; the
+        # quality perturbation afterwards jiggles coordinates, so check
+        # rank correlation rather than strict monotonicity.
+        y = ocean_mesh.vertices[:, 1]
+        ranks = np.argsort(np.argsort(y))
+        idx = np.arange(y.size)
+        corr = np.corrcoef(ranks, idx)[0, 1]
+        assert corr > 0.99
+
+    def test_rejects_tiny_budget(self):
+        with pytest.raises(ValueError, match="at least"):
+            generate_domain_mesh("lake", target_vertices=4)
+
+    def test_unknown_structure(self):
+        with pytest.raises(ValueError, match="quality structure"):
+            generate_domain_mesh("lake", target_vertices=300, quality_structure="x")
+
+
+class TestPaperSuite:
+    def test_suite_has_nine_labels(self):
+        suite = paper_suite(scale=0.001)
+        assert set(suite) == {spec.label for spec in PAPER_SUITE}
+
+    def test_scale_controls_size(self):
+        small = paper_suite(scale=0.001)
+        assert all(200 <= m.num_vertices <= 700 for m in small.values())
+
+    def test_spec_counts_match_paper(self):
+        by_label = {s.label: s for s in PAPER_SUITE}
+        assert by_label["M1"].name == "carabiner"
+        assert by_label["M1"].paper_vertices == 328082
+        assert by_label["M6"].paper_triangles == 783040

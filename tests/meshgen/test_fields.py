@@ -1,0 +1,94 @@
+"""Unit tests for quality-structuring perturbation fields."""
+
+import numpy as np
+import pytest
+
+from repro.meshgen.domains import domain_rings
+from repro.meshgen.fields import (
+    QUALITY_STRUCTURES,
+    anti_smoothing_directions,
+    apply_quality_structure,
+)
+from repro.meshgen import structured_rectangle
+from repro.quality import global_quality, vertex_quality
+
+
+@pytest.fixture
+def square_setup():
+    # The anti-smoothing field is proportional to a vertex's offset from
+    # its neighbor centroid, so it needs a (lightly) irregular mesh —
+    # on a perfect grid it vanishes, exactly like on the real jittered
+    # Delaunay meshes before jittering.
+    from repro.meshgen import perturb_interior
+
+    mesh = perturb_interior(
+        structured_rectangle(15, 15, name="sq"), amplitude=0.015, seed=7
+    )
+    rings = [np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])]
+    return mesh, rings
+
+
+class TestAntiSmoothingDirections:
+    def test_zero_for_perfectly_centered_vertices(self):
+        # In a right-diagonal structured grid, interior vertices are the
+        # centroid of their (symmetric) neighborhoods only for the
+        # 6-degree pattern; check magnitudes are small relative to pitch.
+        mesh = structured_rectangle(10, 10)
+        d = anti_smoothing_directions(mesh)
+        assert d.shape == mesh.vertices.shape
+        pitch = 1.0 / 9.0
+        assert np.linalg.norm(d, axis=1).max() < pitch
+
+    def test_opposite_of_smoothing_step(self, square_setup):
+        mesh, _ = square_setup
+        from repro.smoothing import smooth_iteration_jacobi
+
+        g = mesh.adjacency
+        jac = smooth_iteration_jacobi(
+            mesh.vertices, g.xadj, g.adjncy, np.ones(mesh.num_vertices, bool)
+        )
+        anti = anti_smoothing_directions(mesh)
+        # jacobi moves to the centroid; anti points away from it.
+        assert np.allclose(mesh.vertices + anti, 2 * mesh.vertices - jac)
+
+
+class TestApplyQualityStructure:
+    @pytest.mark.parametrize("structure", QUALITY_STRUCTURES)
+    def test_degrades_quality(self, square_setup, structure):
+        mesh, rings = square_setup
+        rng = np.random.default_rng(0)
+        out = apply_quality_structure(
+            mesh, rings, structure=structure, rng=rng
+        )
+        assert global_quality(out) < global_quality(mesh)
+
+    def test_boundary_fixed(self, square_setup):
+        mesh, rings = square_setup
+        out = apply_quality_structure(mesh, rings, rng=np.random.default_rng(0))
+        b = mesh.boundary_mask
+        assert np.array_equal(out.vertices[b], mesh.vertices[b])
+
+    def test_ramp_worse_near_boundary(self, square_setup):
+        mesh, rings = square_setup
+        out = apply_quality_structure(
+            mesh, rings, structure="ramp", rng=np.random.default_rng(0)
+        )
+        q = vertex_quality(out)
+        interior = mesh.interior_mask
+        from repro.meshgen.geometry import distance_to_rings
+
+        d = distance_to_rings(mesh.vertices, rings)
+        near = interior & (d < 0.2)
+        far = interior & (d > 0.35)
+        assert q[near].mean() < q[far].mean()
+
+    def test_unknown_structure_rejected(self, square_setup):
+        mesh, rings = square_setup
+        with pytest.raises(ValueError, match="quality structure"):
+            apply_quality_structure(mesh, rings, structure="bogus")
+
+    def test_deterministic_given_rng(self, square_setup):
+        mesh, rings = square_setup
+        a = apply_quality_structure(mesh, rings, rng=np.random.default_rng(9))
+        b = apply_quality_structure(mesh, rings, rng=np.random.default_rng(9))
+        assert np.array_equal(a.vertices, b.vertices)

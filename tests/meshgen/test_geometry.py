@@ -1,0 +1,132 @@
+"""Unit tests for planar-geometry primitives."""
+
+import numpy as np
+import pytest
+
+from repro.meshgen.geometry import (
+    blob_ring,
+    circle_ring,
+    distance_to_rings,
+    ensure_ccw,
+    points_in_rings,
+    polygon_area,
+    resample_ring,
+    rounded_rect_ring,
+)
+
+
+UNIT_SQUARE = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+
+
+class TestPolygonArea:
+    def test_unit_square(self):
+        assert polygon_area(UNIT_SQUARE) == pytest.approx(1.0)
+
+    def test_clockwise_negative(self):
+        assert polygon_area(UNIT_SQUARE[::-1]) == pytest.approx(-1.0)
+
+    def test_circle_area(self):
+        ring = circle_ring((0, 0), 2.0, segments=720)
+        assert polygon_area(ring) == pytest.approx(np.pi * 4.0, rel=1e-3)
+
+
+class TestEnsureCCW:
+    def test_flips_clockwise(self):
+        out = ensure_ccw(UNIT_SQUARE[::-1])
+        assert polygon_area(out) > 0
+
+    def test_keeps_ccw(self):
+        out = ensure_ccw(UNIT_SQUARE)
+        assert np.array_equal(out, UNIT_SQUARE)
+
+    def test_can_request_cw(self):
+        out = ensure_ccw(UNIT_SQUARE, ccw=False)
+        assert polygon_area(out) < 0
+
+
+class TestPointsInRings:
+    def test_inside_outside_square(self):
+        pts = np.array([[0.5, 0.5], [1.5, 0.5], [-0.1, 0.2], [0.99, 0.99]])
+        inside = points_in_rings(pts, [UNIT_SQUARE])
+        assert inside.tolist() == [True, False, False, True]
+
+    def test_hole_via_even_odd(self):
+        outer = circle_ring((0, 0), 2.0, segments=64)
+        hole = circle_ring((0, 0), 1.0, segments=64)
+        pts = np.array([[0.0, 0.0], [1.5, 0.0], [2.5, 0.0]])
+        inside = points_in_rings(pts, [outer, hole])
+        assert inside.tolist() == [False, True, False]
+
+    def test_empty_points(self):
+        assert points_in_rings(np.empty((0, 2)), [UNIT_SQUARE]).size == 0
+
+
+class TestDistanceToRings:
+    def test_distance_from_center_of_square(self):
+        d = distance_to_rings(np.array([[0.5, 0.5]]), [UNIT_SQUARE])
+        assert d[0] == pytest.approx(0.5)
+
+    def test_distance_outside(self):
+        d = distance_to_rings(np.array([[2.0, 0.5]]), [UNIT_SQUARE])
+        assert d[0] == pytest.approx(1.0)
+
+    def test_point_on_boundary(self):
+        d = distance_to_rings(np.array([[0.0, 0.3]]), [UNIT_SQUARE])
+        assert d[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_multiple_rings_takes_min(self):
+        hole = circle_ring((0.5, 0.5), 0.1, segments=32)
+        d = distance_to_rings(np.array([[0.5, 0.35]]), [UNIT_SQUARE, hole])
+        assert d[0] == pytest.approx(0.05, abs=1e-3)
+
+
+class TestResampleRing:
+    def test_spacing_roughly_uniform(self):
+        out = resample_ring(UNIT_SQUARE, 0.1)
+        closed = np.vstack([out, out[:1]])
+        seg = np.linalg.norm(np.diff(closed, axis=0), axis=1)
+        assert seg.max() / seg.min() < 1.5
+        assert abs(seg.mean() - 0.1) < 0.02
+
+    def test_count_scales_with_spacing(self):
+        fine = resample_ring(UNIT_SQUARE, 0.05)
+        coarse = resample_ring(UNIT_SQUARE, 0.2)
+        assert len(fine) > 3 * len(coarse)
+
+    def test_zero_perimeter_rejected(self):
+        with pytest.raises(ValueError, match="perimeter"):
+            resample_ring(np.zeros((4, 2)), 0.1)
+
+
+class TestRingBuilders:
+    def test_circle_ring_radius(self):
+        ring = circle_ring((1.0, 2.0), 0.5, segments=100)
+        r = np.linalg.norm(ring - [1.0, 2.0], axis=1)
+        assert np.allclose(r, 0.5)
+
+    def test_rounded_rect_stays_inside_bbox(self):
+        ring = rounded_rect_ring((0, 0), (4, 2), radius=0.5)
+        assert ring[:, 0].min() >= -1e-9 and ring[:, 0].max() <= 4 + 1e-9
+        assert ring[:, 1].min() >= -1e-9 and ring[:, 1].max() <= 2 + 1e-9
+
+    def test_rounded_rect_zero_radius_is_rectangle(self):
+        ring = rounded_rect_ring((0, 0), (4, 2), radius=0.0)
+        assert len(ring) == 4
+
+    def test_rounded_rect_rejects_empty(self):
+        with pytest.raises(ValueError, match="positive extent"):
+            rounded_rect_ring((1, 1), (1, 2))
+
+    def test_blob_ring_deterministic(self):
+        a = blob_ring((0, 0), 1.0, seed=7)
+        b = blob_ring((0, 0), 1.0, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_blob_ring_seed_changes_shape(self):
+        a = blob_ring((0, 0), 1.0, seed=7)
+        b = blob_ring((0, 0), 1.0, seed=8)
+        assert not np.allclose(a, b)
+
+    def test_blob_ring_radius_positive(self):
+        ring = blob_ring((0, 0), 1.0, seed=3, roughness=0.4)
+        assert (np.linalg.norm(ring, axis=1) > 0.2).all()

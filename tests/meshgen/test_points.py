@@ -1,0 +1,78 @@
+"""Unit tests for point-set generation."""
+
+import numpy as np
+import pytest
+
+from repro.meshgen.geometry import circle_ring, distance_to_rings, points_in_rings
+from repro.meshgen.points import boundary_points, halton, interior_points, jittered_grid
+
+
+class TestHalton:
+    def test_values_in_unit_interval(self):
+        h = halton(100, 2)
+        assert (h >= 0).all() and (h < 1).all()
+
+    def test_base2_prefix(self):
+        # Van der Corput base 2: 1/2, 1/4, 3/4, 1/8, ...
+        assert np.allclose(halton(4, 2), [0.5, 0.25, 0.75, 0.125])
+
+    def test_low_discrepancy(self):
+        h = np.sort(halton(256, 3))
+        gaps = np.diff(h)
+        assert gaps.max() < 5.0 / 256
+
+
+class TestJitteredGrid:
+    def test_points_within_box_margin(self, rng):
+        lo, hi = np.array([0.0, 0.0]), np.array([2.0, 1.0])
+        pts = jittered_grid(lo, hi, 0.1, rng, jitter=0.25)
+        assert (pts[:, 0] > -0.05).all() and (pts[:, 0] < 2.05).all()
+
+    def test_density_matches_pitch(self, rng):
+        pts = jittered_grid(np.zeros(2), np.array([1.0, 1.0]), 0.1, rng)
+        assert abs(len(pts) - 100) <= 20
+
+    def test_row_major_scan_order(self, rng):
+        pts = jittered_grid(np.zeros(2), np.array([1.0, 1.0]), 0.2, rng, jitter=0.0)
+        # With zero jitter, y is non-decreasing in emission order.
+        assert (np.diff(pts[:, 1]) >= -1e-12).all()
+
+    def test_empty_when_box_too_small(self, rng):
+        pts = jittered_grid(np.zeros(2), np.array([0.01, 0.01]), 0.1, rng)
+        assert pts.size == 0
+
+
+class TestBoundaryPoints:
+    def test_points_on_each_ring(self):
+        rings = [circle_ring((0, 0), 2.0), circle_ring((0, 0), 1.0)]
+        pts = boundary_points(rings, 0.2)
+        r = np.linalg.norm(pts, axis=1)
+        assert ((np.abs(r - 2.0) < 0.05) | (np.abs(r - 1.0) < 0.05)).all()
+
+
+class TestInteriorPoints:
+    def test_all_inside_domain(self, rng):
+        rings = [circle_ring((0, 0), 1.0, segments=64)]
+        pts = interior_points(rings, 0.1, rng)
+        assert points_in_rings(pts, rings).all()
+
+    def test_margin_respected(self, rng):
+        rings = [circle_ring((0, 0), 1.0, segments=64)]
+        pts = interior_points(rings, 0.1, rng, margin=0.6)
+        d = distance_to_rings(pts, rings)
+        assert (d > 0.06).all()
+
+    def test_hole_respected(self, rng):
+        rings = [
+            circle_ring((0, 0), 1.0, segments=64),
+            circle_ring((0, 0), 0.4, segments=32),
+        ]
+        pts = interior_points(rings, 0.08, rng)
+        r = np.linalg.norm(pts, axis=1)
+        assert (r > 0.4).all()
+
+    def test_deterministic_given_rng_seed(self):
+        rings = [circle_ring((0, 0), 1.0)]
+        a = interior_points(rings, 0.1, np.random.default_rng(5))
+        b = interior_points(rings, 0.1, np.random.default_rng(5))
+        assert np.array_equal(a, b)

@@ -1,0 +1,62 @@
+"""Unit tests for structured rectangle meshes."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import mesh_issues
+from repro.meshgen import perturb_interior, structured_rectangle
+from repro.quality import global_quality
+
+
+class TestStructuredRectangle:
+    def test_counts(self):
+        mesh = structured_rectangle(4, 5)
+        assert mesh.num_vertices == 20
+        assert mesh.num_triangles == 2 * 3 * 4
+
+    def test_valid(self):
+        assert mesh_issues(structured_rectangle(5, 5)) == []
+
+    def test_dimensions(self):
+        mesh = structured_rectangle(3, 3, width=2.0, height=4.0)
+        assert mesh.vertices[:, 0].max() == pytest.approx(2.0)
+        assert mesh.vertices[:, 1].max() == pytest.approx(4.0)
+
+    def test_total_area(self):
+        mesh = structured_rectangle(6, 6, width=3.0, height=2.0)
+        assert np.abs(mesh.triangle_areas()).sum() == pytest.approx(6.0)
+
+    def test_diagonal_modes(self):
+        a = structured_rectangle(4, 4, diagonal="right")
+        b = structured_rectangle(4, 4, diagonal="alternating")
+        assert a.num_triangles == b.num_triangles
+        assert not np.array_equal(a.triangles, b.triangles)
+
+    def test_rejects_degenerate_grid(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            structured_rectangle(1, 5)
+
+
+class TestPerturbInterior:
+    def test_boundary_untouched(self):
+        mesh = structured_rectangle(6, 6)
+        moved = perturb_interior(mesh, amplitude=0.1, seed=1)
+        b = mesh.boundary_mask
+        assert np.array_equal(moved.vertices[b], mesh.vertices[b])
+        assert not np.allclose(moved.vertices[~b], mesh.vertices[~b])
+
+    def test_quality_degrades(self):
+        mesh = structured_rectangle(8, 8)
+        moved = perturb_interior(mesh, amplitude=0.05, seed=1)
+        assert global_quality(moved) < global_quality(mesh)
+
+    def test_deterministic(self):
+        mesh = structured_rectangle(6, 6)
+        a = perturb_interior(mesh, amplitude=0.1, seed=2)
+        b = perturb_interior(mesh, amplitude=0.1, seed=2)
+        assert np.array_equal(a.vertices, b.vertices)
+
+    def test_shares_connectivity(self):
+        mesh = structured_rectangle(6, 6)
+        moved = perturb_interior(mesh, amplitude=0.1, seed=2)
+        assert np.array_equal(moved.triangles, mesh.triangles)

@@ -1,0 +1,32 @@
+"""Unit tests for quality/degree-sort orderings."""
+
+import numpy as np
+
+from repro.ordering import degree_ordering, quality_sort_ordering
+from repro.quality import vertex_quality
+
+
+class TestQualitySort:
+    def test_sorted_by_increasing_quality(self, ocean_mesh):
+        q = vertex_quality(ocean_mesh)
+        order = quality_sort_ordering(ocean_mesh, qualities=q)
+        assert (np.diff(q[order]) >= 0).all()
+
+    def test_computes_quality_when_missing(self, ocean_mesh):
+        a = quality_sort_ordering(ocean_mesh)
+        b = quality_sort_ordering(
+            ocean_mesh, qualities=vertex_quality(ocean_mesh)
+        )
+        assert np.array_equal(a, b)
+
+    def test_stable_tie_breaking(self, grid_mesh):
+        q = np.zeros(grid_mesh.num_vertices)  # all tied
+        order = quality_sort_ordering(grid_mesh, qualities=q)
+        assert np.array_equal(order, np.arange(grid_mesh.num_vertices))
+
+
+class TestDegreeSort:
+    def test_sorted_by_degree(self, ocean_mesh):
+        order = degree_ordering(ocean_mesh)
+        deg = ocean_mesh.adjacency.degrees()
+        assert (np.diff(deg[order]) >= 0).all()

@@ -1,0 +1,71 @@
+"""Unit tests for space-filling-curve orderings."""
+
+import numpy as np
+import pytest
+
+from repro.ordering import hilbert_indices, hilbert_ordering, morton_ordering
+from repro.ordering.base import invert_permutation
+
+
+class TestHilbertIndices:
+    def test_bijective_on_small_grid(self):
+        # All 16 cells of a 4x4 grid get distinct indices 0..15.
+        side = 4
+        xs, ys = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+        pts = np.stack([xs.ravel(), ys.ravel()], axis=1).astype(float)
+        idx = hilbert_indices(pts, bits=2)
+        assert sorted(idx.tolist()) == list(range(16))
+
+    def test_curve_is_connected(self):
+        # Consecutive Hilbert indices are grid neighbors (the defining
+        # locality property of the curve).
+        side = 8
+        xs, ys = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+        pts = np.stack([xs.ravel(), ys.ravel()], axis=1).astype(float)
+        idx = hilbert_indices(pts, bits=3)
+        order = np.argsort(idx)
+        walk = pts[order]
+        steps = np.abs(np.diff(walk, axis=0)).sum(axis=1)
+        assert (steps == 1).all()
+
+    def test_degenerate_extent_handled(self):
+        pts = np.array([[0.0, 1.0], [0.0, 2.0], [0.0, 3.0]])
+        idx = hilbert_indices(pts)
+        assert len(set(idx.tolist())) == 3
+
+
+class TestHilbertOrdering:
+    def test_spatial_locality(self, ocean_mesh):
+        order = hilbert_ordering(ocean_mesh)
+        walk = ocean_mesh.vertices[order]
+        hilbert_step = np.linalg.norm(np.diff(walk, axis=0), axis=1).mean()
+        random_step = np.linalg.norm(
+            np.diff(ocean_mesh.vertices, axis=0), axis=1
+        ).mean()
+        assert hilbert_step < random_step
+
+    def test_reduces_edge_span_vs_random(self, ocean_mesh):
+        from repro.ordering import random_ordering
+
+        edges = ocean_mesh.edges()
+
+        def mean_span(order):
+            inv = invert_permutation(order)
+            return float(np.abs(inv[edges[:, 0]] - inv[edges[:, 1]]).mean())
+
+        assert mean_span(hilbert_ordering(ocean_mesh)) < 0.3 * mean_span(
+            random_ordering(ocean_mesh, seed=0)
+        )
+
+
+class TestMortonOrdering:
+    def test_valid_permutation(self, ocean_mesh):
+        order = morton_ordering(ocean_mesh)
+        assert np.array_equal(
+            np.sort(order), np.arange(ocean_mesh.num_vertices)
+        )
+
+    def test_differs_from_hilbert(self, ocean_mesh):
+        assert not np.array_equal(
+            morton_ordering(ocean_mesh), hilbert_ordering(ocean_mesh)
+        )

@@ -1,0 +1,86 @@
+"""Unit tests for the Sloan and spectral orderings."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import TriMesh
+from repro.ordering import (
+    fiedler_vector,
+    invert_permutation,
+    random_ordering,
+    sloan_ordering,
+    spectral_ordering,
+)
+
+
+def edge_spans(mesh, order):
+    inv = invert_permutation(order)
+    edges = mesh.edges()
+    return np.abs(inv[edges[:, 0]] - inv[edges[:, 1]])
+
+
+class TestSloan:
+    def test_is_permutation(self, ocean_mesh):
+        order = sloan_ordering(ocean_mesh)
+        assert np.array_equal(np.sort(order), np.arange(ocean_mesh.num_vertices))
+
+    def test_profile_much_better_than_random(self, ocean_mesh):
+        sloan = edge_spans(ocean_mesh, sloan_ordering(ocean_mesh)).mean()
+        rand = edge_spans(ocean_mesh, random_ordering(ocean_mesh, seed=0)).mean()
+        assert sloan < 0.2 * rand
+
+    def test_deterministic(self, ocean_mesh):
+        assert np.array_equal(sloan_ordering(ocean_mesh), sloan_ordering(ocean_mesh))
+
+    def test_disconnected_mesh(self):
+        mesh = TriMesh(
+            np.array([[0, 0], [1, 0], [0, 1], [5, 5], [6, 5], [5, 6.0]]),
+            np.array([[0, 1, 2], [3, 4, 5]]),
+        )
+        order = sloan_ordering(mesh)
+        assert np.array_equal(np.sort(order), np.arange(6))
+
+    def test_empty_mesh(self):
+        mesh = TriMesh(np.empty((0, 2)), np.empty((0, 3), dtype=int))
+        assert sloan_ordering(mesh).size == 0
+
+
+class TestSpectral:
+    def test_is_permutation(self, ocean_mesh):
+        order = spectral_ordering(ocean_mesh)
+        assert np.array_equal(np.sort(order), np.arange(ocean_mesh.num_vertices))
+
+    def test_fiedler_vector_smooth_on_mesh(self, ocean_mesh):
+        f = fiedler_vector(ocean_mesh)
+        g = ocean_mesh.adjacency
+        src = np.repeat(np.arange(ocean_mesh.num_vertices), g.degrees())
+        local = np.abs(f[src] - f[g.adjncy]).mean()
+        globl = np.abs(f[:, None] - f[None, :]).mean() if f.size < 2000 else np.abs(
+            np.diff(np.sort(f))
+        ).sum()
+        # Neighbor differences are tiny vs the global spread.
+        assert local < 0.15 * (f.max() - f.min())
+
+    def test_spans_much_better_than_random(self, ocean_mesh):
+        spec = edge_spans(ocean_mesh, spectral_ordering(ocean_mesh)).mean()
+        rand = edge_spans(ocean_mesh, random_ordering(ocean_mesh, seed=0)).mean()
+        assert spec < 0.2 * rand
+
+    def test_sweep_is_spatially_coherent(self, ocean_mesh):
+        order = spectral_ordering(ocean_mesh)
+        walk = ocean_mesh.vertices[order]
+        step = np.linalg.norm(np.diff(walk, axis=0), axis=1).mean()
+        rand_step = np.linalg.norm(
+            np.diff(ocean_mesh.vertices[random_ordering(ocean_mesh, seed=0)], axis=0),
+            axis=1,
+        ).mean()
+        # A Fiedler sweep is 1-D-coherent: consecutive vertices share a
+        # level set but may sit anywhere along it, so the Euclidean step
+        # improves moderately (the edge-span metric above is the sharp
+        # one).
+        assert step < 0.8 * rand_step
+
+    def test_deterministic_given_seed(self, ocean_mesh):
+        a = spectral_ordering(ocean_mesh, seed=3)
+        b = spectral_ordering(ocean_mesh, seed=3)
+        assert np.array_equal(a, b)

@@ -1,0 +1,113 @@
+"""Unit tests for graph-traversal orderings (BFS, DFS, RCM, ...)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import TriMesh
+from repro.ordering import (
+    bfs_ordering,
+    dfs_ordering,
+    random_ordering,
+    rcm_ordering,
+    reverse_bfs_ordering,
+)
+from repro.ordering.base import invert_permutation
+
+
+def bfs_levels(mesh, start):
+    """Graph distance from start, for checking BFS level structure."""
+    from collections import deque
+
+    g = mesh.adjacency
+    dist = np.full(mesh.num_vertices, -1)
+    dist[start] = 0
+    q = deque([start])
+    while q:
+        v = q.popleft()
+        for w in g.neighbors(v):
+            if dist[w] == -1:
+                dist[w] = dist[v] + 1
+                q.append(int(w))
+    return dist
+
+
+class TestBFS:
+    def test_starts_at_seed(self, ocean_mesh):
+        assert bfs_ordering(ocean_mesh, seed=5)[0] == 5
+
+    def test_levels_non_decreasing(self, ocean_mesh):
+        order = bfs_ordering(ocean_mesh, seed=0)
+        dist = bfs_levels(ocean_mesh, 0)
+        levels = dist[order]
+        assert (np.diff(levels) >= 0).all()
+
+    def test_bandwidth_bounded(self, ocean_mesh):
+        # Mesh neighbors end up close in BFS order (within two levels).
+        order = bfs_ordering(ocean_mesh, seed=0)
+        inv = invert_permutation(order)
+        edges = ocean_mesh.edges()
+        span = np.abs(inv[edges[:, 0]] - inv[edges[:, 1]])
+        dist = bfs_levels(ocean_mesh, 0)
+        level_sizes = np.bincount(dist[dist >= 0])
+        assert span.max() <= 2 * level_sizes.max()
+
+    def test_disconnected_graph_covered(self):
+        # Two separate triangles.
+        mesh = TriMesh(
+            np.array([[0, 0], [1, 0], [0, 1], [5, 5], [6, 5], [5, 6.0]]),
+            np.array([[0, 1, 2], [3, 4, 5]]),
+        )
+        order = bfs_ordering(mesh, seed=0)
+        assert np.array_equal(np.sort(order), np.arange(6))
+
+
+class TestReverseBFS:
+    def test_is_reverse_of_bfs(self, ocean_mesh):
+        fwd = bfs_ordering(ocean_mesh, seed=0)
+        rev = reverse_bfs_ordering(ocean_mesh, seed=0)
+        assert np.array_equal(rev, fwd[::-1])
+
+
+class TestDFS:
+    def test_starts_at_seed(self, ocean_mesh):
+        assert dfs_ordering(ocean_mesh, seed=3)[0] == 3
+
+    def test_preorder_parent_before_child(self, tiny_mesh):
+        order = dfs_ordering(tiny_mesh, seed=0)
+        # 0's smallest neighbor comes right after 0.
+        assert order[0] == 0
+        assert order[1] in set(tiny_mesh.adjacency.neighbors(0).tolist())
+
+    def test_differs_from_bfs_on_real_mesh(self, ocean_mesh):
+        assert not np.array_equal(
+            dfs_ordering(ocean_mesh, seed=0), bfs_ordering(ocean_mesh, seed=0)
+        )
+
+
+class TestRCM:
+    def test_reduces_bandwidth_vs_random(self, ocean_mesh):
+        edges = ocean_mesh.edges()
+
+        def bandwidth(order):
+            inv = invert_permutation(order)
+            return int(np.abs(inv[edges[:, 0]] - inv[edges[:, 1]]).max())
+
+        rcm_bw = bandwidth(rcm_ordering(ocean_mesh))
+        rand_bw = bandwidth(random_ordering(ocean_mesh, seed=0))
+        assert rcm_bw < 0.5 * rand_bw
+
+    def test_empty_ok(self):
+        mesh = TriMesh(np.empty((0, 2)), np.empty((0, 3), dtype=int))
+        assert rcm_ordering(mesh).size == 0
+
+
+class TestRandom:
+    def test_seed_dependence(self, ocean_mesh):
+        a = random_ordering(ocean_mesh, seed=1)
+        b = random_ordering(ocean_mesh, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_seed_reproducible(self, ocean_mesh):
+        a = random_ordering(ocean_mesh, seed=1)
+        b = random_ordering(ocean_mesh, seed=1)
+        assert np.array_equal(a, b)

@@ -1,0 +1,81 @@
+"""Unit tests for the static scheduler and parallel trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import parallel_traces, partition_interior, partitioned_traversals
+from repro.quality import vertex_quality
+
+
+class TestPartitionInterior:
+    def test_blocks_cover_interior_exactly(self, ocean_mesh):
+        blocks = partition_interior(ocean_mesh, 4)
+        merged = np.concatenate(blocks)
+        assert np.array_equal(merged, ocean_mesh.interior_vertices())
+
+    def test_block_sizes_balanced(self, ocean_mesh):
+        blocks = partition_interior(ocean_mesh, 7)
+        sizes = [b.size for b in blocks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_blocks_contiguous_in_storage(self, ocean_mesh):
+        blocks = partition_interior(ocean_mesh, 3)
+        for a, b in zip(blocks, blocks[1:]):
+            assert a[-1] < b[0]
+
+    def test_more_parts_than_vertices(self, tiny_mesh):
+        blocks = partition_interior(tiny_mesh, 8)
+        assert len(blocks) == 8
+        assert sum(b.size for b in blocks) == 1
+
+    def test_rejects_zero_parts(self, ocean_mesh):
+        with pytest.raises(ValueError, match=">= 1"):
+            partition_interior(ocean_mesh, 0)
+
+
+class TestPartitionedTraversals:
+    def test_each_thread_owns_its_block(self, ocean_mesh):
+        q = vertex_quality(ocean_mesh)
+        blocks = partition_interior(ocean_mesh, 4)
+        seqs = partitioned_traversals(ocean_mesh, 4, qualities=q)
+        for block, seq in zip(blocks, seqs):
+            assert set(seq.tolist()) == set(block.tolist())
+
+    def test_storage_mode(self, ocean_mesh):
+        seqs = partitioned_traversals(ocean_mesh, 3, traversal="storage")
+        blocks = partition_interior(ocean_mesh, 3)
+        for block, seq in zip(blocks, seqs):
+            assert np.array_equal(seq, block)
+
+    def test_union_is_serial_workload(self, ocean_mesh):
+        q = vertex_quality(ocean_mesh)
+        seqs = partitioned_traversals(ocean_mesh, 5, qualities=q)
+        merged = np.sort(np.concatenate(seqs))
+        assert np.array_equal(merged, ocean_mesh.interior_vertices())
+
+
+class TestParallelTraces:
+    def test_one_trace_per_core(self, ocean_mesh):
+        q = vertex_quality(ocean_mesh)
+        traces = parallel_traces(ocean_mesh, 3, iterations=2, qualities=q)
+        assert len(traces) == 3
+        for k, t in enumerate(traces):
+            assert t.num_iterations == 2
+            assert t.meta["core"] == k
+
+    def test_iterations_repeat_trace(self, ocean_mesh):
+        q = vertex_quality(ocean_mesh)
+        traces = parallel_traces(ocean_mesh, 2, iterations=3, qualities=q)
+        t = traces[0]
+        first = t.iteration(0)
+        for k in (1, 2):
+            assert np.array_equal(t.iteration(k).indices, first.indices)
+
+    def test_total_work_independent_of_cores(self, ocean_mesh):
+        q = vertex_quality(ocean_mesh)
+        for p in (1, 4):
+            traces = parallel_traces(ocean_mesh, p, iterations=1, qualities=q)
+            total = sum(len(t) for t in traces)
+            if p == 1:
+                serial_total = total
+        assert total == serial_total

@@ -1,0 +1,53 @@
+"""Unit tests for the real thread team (wall-clock smoothing)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import parallel_smooth
+from repro.smoothing import laplacian_smooth
+
+
+class TestParallelSmooth:
+    def test_single_thread_matches_jacobi_smoother(self, ocean_mesh):
+        iters = 3
+        par = parallel_smooth(ocean_mesh, num_threads=1, iterations=iters)
+        ser = laplacian_smooth(
+            ocean_mesh, update="jacobi", max_iterations=iters, tol=-np.inf
+        )
+        assert np.allclose(par.mesh.vertices, ser.mesh.vertices)
+
+    @pytest.mark.parametrize("threads", [2, 4])
+    def test_thread_count_does_not_change_result(self, ocean_mesh, threads):
+        a = parallel_smooth(ocean_mesh, num_threads=1, iterations=4)
+        b = parallel_smooth(ocean_mesh, num_threads=threads, iterations=4)
+        assert np.allclose(a.mesh.vertices, b.mesh.vertices)
+
+    def test_quality_improves(self, ocean_mesh):
+        out = parallel_smooth(ocean_mesh, num_threads=2, iterations=6)
+        assert out.quality_after > out.quality_before
+
+    def test_boundary_fixed(self, ocean_mesh):
+        out = parallel_smooth(ocean_mesh, num_threads=3, iterations=4)
+        b = ocean_mesh.boundary_mask
+        assert np.array_equal(out.mesh.vertices[b], ocean_mesh.vertices[b])
+
+    def test_zero_iterations_identity(self, ocean_mesh):
+        out = parallel_smooth(ocean_mesh, num_threads=2, iterations=0)
+        assert np.array_equal(out.mesh.vertices, ocean_mesh.vertices)
+
+    def test_metadata(self, ocean_mesh):
+        out = parallel_smooth(ocean_mesh, num_threads=2, iterations=2)
+        assert out.num_threads == 2
+        assert out.iterations == 2
+        assert out.wall_time_s > 0
+
+    def test_rejects_bad_args(self, ocean_mesh):
+        with pytest.raises(ValueError, match="num_threads"):
+            parallel_smooth(ocean_mesh, num_threads=0, iterations=1)
+        with pytest.raises(ValueError, match="iterations"):
+            parallel_smooth(ocean_mesh, num_threads=1, iterations=-1)
+
+    def test_input_mesh_unchanged(self, ocean_mesh):
+        before = ocean_mesh.vertices.copy()
+        parallel_smooth(ocean_mesh, num_threads=2, iterations=3)
+        assert np.array_equal(ocean_mesh.vertices, before)

@@ -1,0 +1,135 @@
+"""Unit tests for triangle and vertex quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import TriMesh
+from repro.quality import (
+    TRIANGLE_METRICS,
+    aspect_ratio_quality,
+    edge_length_ratio,
+    global_quality,
+    min_angle_quality,
+    triangle_edge_lengths,
+    vertex_quality,
+)
+
+
+def single_triangle(p0, p1, p2) -> TriMesh:
+    return TriMesh(np.array([p0, p1, p2], dtype=float), np.array([[0, 1, 2]]))
+
+
+EQUILATERAL = single_triangle([0, 0], [1, 0], [0.5, np.sqrt(3) / 2])
+RIGHT_ISO = single_triangle([0, 0], [1, 0], [0, 1])
+SLIVER = single_triangle([0, 0], [1, 0], [0.5, 1e-4])
+
+
+class TestTriangleEdgeLengths:
+    def test_unit_equilateral(self):
+        lengths = triangle_edge_lengths(EQUILATERAL)
+        assert np.allclose(lengths, 1.0)
+
+    def test_opposite_vertex_convention(self):
+        lengths = triangle_edge_lengths(RIGHT_ISO)
+        # Edge opposite vertex 0 is the hypotenuse.
+        assert lengths[0, 0] == pytest.approx(np.sqrt(2.0))
+        assert lengths[0, 1] == pytest.approx(1.0)
+        assert lengths[0, 2] == pytest.approx(1.0)
+
+
+class TestEdgeLengthRatio:
+    def test_equilateral_is_one(self):
+        assert edge_length_ratio(EQUILATERAL)[0] == pytest.approx(1.0)
+
+    def test_right_isoceles(self):
+        assert edge_length_ratio(RIGHT_ISO)[0] == pytest.approx(1 / np.sqrt(2))
+
+    def test_sliver_near_zero(self):
+        assert edge_length_ratio(SLIVER)[0] < 0.51  # min/max of degenerate
+
+    def test_scale_invariant(self):
+        big = single_triangle([0, 0], [100, 0], [50, 50 * np.sqrt(3)])
+        assert edge_length_ratio(big)[0] == pytest.approx(1.0)
+
+    def test_range(self, ocean_mesh):
+        q = edge_length_ratio(ocean_mesh)
+        assert (q >= 0).all() and (q <= 1).all()
+
+
+class TestMinAngleQuality:
+    def test_equilateral_is_one(self):
+        assert min_angle_quality(EQUILATERAL)[0] == pytest.approx(1.0)
+
+    def test_right_isoceles(self):
+        assert min_angle_quality(RIGHT_ISO)[0] == pytest.approx(45 / 60)
+
+    def test_range(self, ocean_mesh):
+        q = min_angle_quality(ocean_mesh)
+        assert (q >= 0).all() and (q <= 1 + 1e-12).all()
+
+
+class TestAspectRatioQuality:
+    def test_equilateral_is_one(self):
+        assert aspect_ratio_quality(EQUILATERAL)[0] == pytest.approx(1.0)
+
+    def test_sliver_near_zero(self):
+        assert aspect_ratio_quality(SLIVER)[0] < 0.01
+
+    def test_orientation_independent(self):
+        cw = single_triangle([0, 0], [0.5, np.sqrt(3) / 2], [1, 0])
+        assert aspect_ratio_quality(cw)[0] == pytest.approx(1.0)
+
+
+class TestVertexQuality:
+    def test_average_of_incident_triangles(self, tiny_mesh):
+        tq = edge_length_ratio(tiny_mesh)
+        vq = vertex_quality(tiny_mesh, triangle_quality=tq)
+        # Apex (vertex 4) touches all four triangles.
+        assert vq[4] == pytest.approx(tq.mean())
+        # Corner 0 touches triangles 0 and 3.
+        assert vq[0] == pytest.approx((tq[0] + tq[3]) / 2)
+
+    def test_isolated_vertex_quality_one(self):
+        mesh = TriMesh(
+            np.array([[0, 0], [1, 0], [0, 1], [5, 5.0]]), np.array([[0, 1, 2]])
+        )
+        assert vertex_quality(mesh)[3] == 1.0
+
+    def test_metric_selection(self, ocean_mesh):
+        a = vertex_quality(ocean_mesh, metric="edge_length_ratio")
+        b = vertex_quality(ocean_mesh, metric="min_angle")
+        assert not np.allclose(a, b)
+
+    def test_unknown_metric(self, ocean_mesh):
+        with pytest.raises(KeyError, match="unknown metric"):
+            vertex_quality(ocean_mesh, metric="bogus")
+
+    def test_precomputed_triangle_quality_used(self, tiny_mesh):
+        forced = np.full(tiny_mesh.num_triangles, 0.5)
+        vq = vertex_quality(tiny_mesh, triangle_quality=forced)
+        assert np.allclose(vq, 0.5)
+
+    def test_permutation_equivariant(self, ocean_mesh, rng):
+        order = rng.permutation(ocean_mesh.num_vertices)
+        q = vertex_quality(ocean_mesh)
+        qp = vertex_quality(ocean_mesh.permute(order))
+        assert np.allclose(qp, q[order])
+
+
+class TestGlobalQuality:
+    def test_is_mean_of_vertex_quality(self, ocean_mesh):
+        vq = vertex_quality(ocean_mesh)
+        assert global_quality(ocean_mesh) == pytest.approx(vq.mean())
+
+    def test_accepts_precomputed(self, ocean_mesh):
+        vq = vertex_quality(ocean_mesh)
+        assert global_quality(ocean_mesh, vertex_values=vq) == pytest.approx(
+            vq.mean()
+        )
+
+    def test_registry_contains_all_metrics(self):
+        assert set(TRIANGLE_METRICS) == {
+            "edge_length_ratio",
+            "min_angle",
+            "aspect_ratio",
+        }

@@ -1,0 +1,65 @@
+"""Unit tests for patch-aggregated (rank-smoothed) quality."""
+
+import numpy as np
+import pytest
+
+from repro.quality import patch_quality, vertex_quality
+
+
+class TestPatchQuality:
+    def test_zero_passes_is_identity(self, ocean_mesh):
+        base = vertex_quality(ocean_mesh)
+        assert np.array_equal(patch_quality(ocean_mesh, passes=0), base)
+
+    def test_base_passthrough(self, ocean_mesh):
+        base = np.linspace(0, 1, ocean_mesh.num_vertices)
+        out = patch_quality(ocean_mesh, passes=0, base=base)
+        assert np.array_equal(out, base)
+        assert out is not base  # defensive copy
+
+    def test_reduces_local_variance(self, ocean_mesh):
+        base = vertex_quality(ocean_mesh)
+        smooth = patch_quality(ocean_mesh, passes=4, base=base)
+        g = ocean_mesh.adjacency
+        src = np.repeat(np.arange(ocean_mesh.num_vertices), g.degrees())
+        local_base = np.abs(base[src] - base[g.adjncy]).mean()
+        local_smooth = np.abs(smooth[src] - smooth[g.adjncy]).mean()
+        assert local_smooth < 0.5 * local_base
+
+    def test_values_stay_in_range(self, ocean_mesh):
+        base = vertex_quality(ocean_mesh)
+        smooth = patch_quality(ocean_mesh, passes=6, base=base)
+        assert smooth.min() >= base.min() - 1e-12
+        assert smooth.max() <= base.max() + 1e-12
+
+    def test_constant_field_fixed_point(self, ocean_mesh):
+        base = np.full(ocean_mesh.num_vertices, 0.7)
+        out = patch_quality(ocean_mesh, passes=3, base=base)
+        assert np.allclose(out, 0.7)
+
+    def test_isolated_vertex_keeps_value(self):
+        from repro.mesh import TriMesh
+
+        mesh = TriMesh(
+            np.array([[0, 0], [1, 0], [0, 1], [9, 9.0]]), np.array([[0, 1, 2]])
+        )
+        base = np.array([0.1, 0.2, 0.3, 0.9])
+        out = patch_quality(mesh, passes=5, base=base)
+        assert out[3] == pytest.approx(0.9)
+
+    def test_rejects_negative_passes(self, ocean_mesh):
+        with pytest.raises(ValueError, match=">= 0"):
+            patch_quality(ocean_mesh, passes=-1)
+
+    def test_rejects_bad_base_shape(self, ocean_mesh):
+        with pytest.raises(ValueError, match="per vertex"):
+            patch_quality(ocean_mesh, base=np.zeros(3))
+
+    def test_permutation_equivariant(self, ocean_mesh, rng):
+        order = rng.permutation(ocean_mesh.num_vertices)
+        base = vertex_quality(ocean_mesh)
+        a = patch_quality(ocean_mesh, passes=3, base=base)[order]
+        b = patch_quality(
+            ocean_mesh.permute(order), passes=3, base=base[order]
+        )
+        assert np.allclose(a, b)

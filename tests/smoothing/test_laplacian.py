@@ -1,0 +1,194 @@
+"""Unit tests for the Laplacian smoother."""
+
+import numpy as np
+import pytest
+
+from repro.quality import global_quality
+from repro.smoothing import (
+    DEFAULT_CONVERGENCE_TOL,
+    LaplacianSmoother,
+    laplacian_smooth,
+    smooth_iteration_jacobi,
+)
+
+
+class TestJacobiSweep:
+    def test_single_interior_vertex_moves_to_centroid(self, tiny_mesh):
+        g = tiny_mesh.adjacency
+        out = smooth_iteration_jacobi(
+            tiny_mesh.vertices, g.xadj, g.adjncy, tiny_mesh.interior_mask
+        )
+        expected = tiny_mesh.vertices[[0, 1, 2, 3]].mean(axis=0)
+        assert np.allclose(out[4], expected)
+
+    def test_boundary_fixed(self, tiny_mesh):
+        g = tiny_mesh.adjacency
+        out = smooth_iteration_jacobi(
+            tiny_mesh.vertices, g.xadj, g.adjncy, tiny_mesh.interior_mask
+        )
+        assert np.array_equal(out[:4], tiny_mesh.vertices[:4])
+
+    def test_matches_manual_computation(self, bumpy_mesh):
+        g = bumpy_mesh.adjacency
+        out = smooth_iteration_jacobi(
+            bumpy_mesh.vertices, g.xadj, g.adjncy, bumpy_mesh.interior_mask
+        )
+        for v in bumpy_mesh.interior_vertices()[:10]:
+            nbrs = g.neighbors(v)
+            assert np.allclose(out[v], bumpy_mesh.vertices[nbrs].mean(axis=0))
+
+    def test_input_not_mutated(self, tiny_mesh):
+        g = tiny_mesh.adjacency
+        before = tiny_mesh.vertices.copy()
+        smooth_iteration_jacobi(
+            tiny_mesh.vertices, g.xadj, g.adjncy, tiny_mesh.interior_mask
+        )
+        assert np.array_equal(tiny_mesh.vertices, before)
+
+    def test_empty_adjacency(self):
+        coords = np.zeros((3, 2))
+        out = smooth_iteration_jacobi(
+            coords,
+            np.zeros(4, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.ones(3, dtype=bool),
+        )
+        assert np.array_equal(out, coords)
+
+
+class TestSmoother:
+    def test_quality_monotonically_improves(self, ocean_mesh):
+        result = laplacian_smooth(ocean_mesh, max_iterations=10)
+        hist = result.quality_history
+        assert all(b >= a - 1e-12 for a, b in zip(hist, hist[1:]))
+        assert result.final_quality > result.initial_quality
+
+    def test_converges_with_papers_criterion(self, ocean_mesh):
+        result = laplacian_smooth(ocean_mesh, tol=DEFAULT_CONVERGENCE_TOL)
+        assert result.converged
+        assert result.iterations < 50
+        # Improvement at the last step dropped below the criterion.
+        assert (
+            result.quality_history[-1] - result.quality_history[-2]
+            < DEFAULT_CONVERGENCE_TOL
+        )
+
+    def test_boundary_never_moves(self, ocean_mesh):
+        result = laplacian_smooth(ocean_mesh, max_iterations=5)
+        b = ocean_mesh.boundary_mask
+        assert np.array_equal(result.mesh.vertices[b], ocean_mesh.vertices[b])
+
+    def test_input_mesh_unchanged(self, ocean_mesh):
+        before = ocean_mesh.vertices.copy()
+        laplacian_smooth(ocean_mesh, max_iterations=3)
+        assert np.array_equal(ocean_mesh.vertices, before)
+
+    def test_max_iterations_cap(self, ocean_mesh):
+        result = laplacian_smooth(ocean_mesh, max_iterations=2, tol=-np.inf)
+        assert result.iterations == 2
+        assert not result.converged
+
+    @pytest.mark.parametrize("traversal", ["greedy", "storage"])
+    def test_both_traversals_improve_quality(self, ocean_mesh, traversal):
+        result = laplacian_smooth(
+            ocean_mesh, traversal=traversal, max_iterations=4
+        )
+        assert result.improvement > 0
+
+    def test_jacobi_and_gauss_seidel_both_converge(self, ocean_mesh):
+        gs = laplacian_smooth(ocean_mesh, update="gauss-seidel", max_iterations=8)
+        jac = laplacian_smooth(ocean_mesh, update="jacobi", max_iterations=8)
+        assert gs.improvement > 0 and jac.improvement > 0
+
+    def test_gauss_seidel_uses_updated_neighbors(self, tiny_mesh):
+        # Make a 2-interior-vertex mesh where in-place updates differ
+        # from Jacobi: split the apex into two interior vertices.
+        import repro.meshgen as mg
+
+        mesh = mg.perturb_interior(
+            mg.structured_rectangle(4, 4), amplitude=0.05, seed=2
+        )
+        gs = laplacian_smooth(
+            mesh, update="gauss-seidel", max_iterations=1, tol=-np.inf
+        )
+        jac = laplacian_smooth(mesh, update="jacobi", max_iterations=1, tol=-np.inf)
+        assert not np.allclose(gs.mesh.vertices, jac.mesh.vertices)
+
+    def test_traversals_recorded(self, ocean_mesh):
+        result = laplacian_smooth(ocean_mesh, max_iterations=3, tol=-np.inf)
+        assert len(result.traversals) == 3
+        for seq in result.traversals:
+            assert np.array_equal(np.sort(seq), ocean_mesh.interior_vertices())
+
+    def test_wall_time_recorded(self, ocean_mesh):
+        result = laplacian_smooth(ocean_mesh, max_iterations=1)
+        assert result.wall_time_s > 0
+
+    def test_greedy_qualities_initial_fixes_traversal(self, ocean_mesh):
+        result = laplacian_smooth(
+            ocean_mesh,
+            greedy_qualities="initial",
+            rank_passes=0,
+            max_iterations=3,
+            tol=-np.inf,
+        )
+        assert np.array_equal(result.traversals[0], result.traversals[1])
+
+    def test_greedy_qualities_current_adapts(self, ocean_mesh):
+        result = laplacian_smooth(
+            ocean_mesh,
+            greedy_qualities="current",
+            rank_passes=0,
+            max_iterations=3,
+            tol=-np.inf,
+        )
+        assert not np.array_equal(result.traversals[0], result.traversals[1])
+
+
+class TestSmootherTrace:
+    def test_trace_recorded_on_request(self, ocean_mesh):
+        result = laplacian_smooth(
+            ocean_mesh, record_trace=True, max_iterations=2, tol=-np.inf
+        )
+        assert result.trace is not None
+        assert result.trace.num_iterations == 2
+        assert len(result.trace) > 0
+
+    def test_no_trace_by_default(self, ocean_mesh):
+        assert laplacian_smooth(ocean_mesh, max_iterations=1).trace is None
+
+    def test_trace_matches_standalone_generation(self, ocean_mesh):
+        from repro.smoothing import trace_for_traversal
+
+        result = laplacian_smooth(
+            ocean_mesh, record_trace=True, max_iterations=1, tol=-np.inf
+        )
+        regenerated = trace_for_traversal(ocean_mesh, result.traversals[0])
+        assert np.array_equal(result.trace.indices, regenerated.indices)
+        assert np.array_equal(result.trace.array_ids, regenerated.array_ids)
+
+    def test_trace_length_formula(self, ocean_mesh):
+        from repro.smoothing import accesses_per_vertex
+
+        result = laplacian_smooth(
+            ocean_mesh, record_trace=True, max_iterations=1, tol=-np.inf
+        )
+        expected = sum(
+            accesses_per_vertex(ocean_mesh, int(v))
+            for v in result.traversals[0]
+        )
+        assert len(result.trace) == expected
+
+
+class TestValidation:
+    def test_bad_update(self):
+        with pytest.raises(ValueError, match="update"):
+            LaplacianSmoother(update="magic")
+
+    def test_bad_greedy_qualities(self):
+        with pytest.raises(ValueError, match="greedy_qualities"):
+            LaplacianSmoother(greedy_qualities="sometimes")
+
+    def test_smoothed_quality_close_to_one_on_convex_patch(self, tiny_mesh):
+        result = laplacian_smooth(tiny_mesh, max_iterations=30)
+        assert global_quality(result.mesh) > global_quality(tiny_mesh)

@@ -1,0 +1,73 @@
+"""Unit tests for the smoothing access-trace model."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.trace import ARRAY_IDS, TraceBuilder
+from repro.smoothing import (
+    accesses_per_vertex,
+    append_smooth_accesses,
+    trace_for_traversal,
+)
+
+
+class TestAccessModel:
+    def test_single_vertex_access_sequence(self, tiny_mesh):
+        g = tiny_mesh.adjacency
+        tb = TraceBuilder()
+        append_smooth_accesses(tb, g.xadj, g.adjncy, 4)
+        trace = tb.build()
+        names = {v: k for k, v in ARRAY_IDS.items()}
+        kinds = [names[i] for i in trace.array_ids.tolist()]
+        deg = 4
+        assert kinds == (
+            ["flags"] + ["xadj"] * 2 + ["adjncy"] * deg + ["coords"] * deg + ["coords"]
+        )
+        # The only write is the final coords store.
+        assert trace.is_write.tolist() == [False] * (3 + 2 * deg) + [True]
+
+    def test_neighbor_coords_match_adjacency(self, tiny_mesh):
+        g = tiny_mesh.adjacency
+        tb = TraceBuilder()
+        append_smooth_accesses(tb, g.xadj, g.adjncy, 4)
+        trace = tb.build()
+        coords_reads = trace.indices[
+            (trace.array_ids == ARRAY_IDS["coords"]) & ~trace.is_write
+        ]
+        assert np.array_equal(coords_reads, g.neighbors(4))
+
+    def test_accesses_per_vertex_formula(self, ocean_mesh):
+        g = ocean_mesh.adjacency
+        for v in (0, 5, 17):
+            tb = TraceBuilder()
+            append_smooth_accesses(tb, g.xadj, g.adjncy, v)
+            assert len(tb) == accesses_per_vertex(ocean_mesh, v)
+
+
+class TestTraceForTraversal:
+    def test_iteration_boundaries(self, tiny_mesh):
+        seq = np.array([4])
+        trace = trace_for_traversal(tiny_mesh, [seq, seq, seq])
+        assert trace.num_iterations == 3
+        per_iter = len(trace) // 3
+        for k in range(3):
+            sub = trace.iteration(k)
+            assert len(sub) == per_iter
+            assert np.array_equal(sub.indices, trace.iteration(0).indices)
+
+    def test_single_array_counts_as_one_iteration(self, tiny_mesh):
+        trace = trace_for_traversal(tiny_mesh, np.array([4]))
+        assert trace.num_iterations == 1
+
+    def test_meta_propagates(self, tiny_mesh):
+        trace = trace_for_traversal(tiny_mesh, np.array([4]), ordering="x")
+        assert trace.meta["ordering"] == "x"
+        assert trace.meta["mesh"] == "tiny"
+
+    def test_depends_only_on_connectivity(self, ocean_mesh):
+        seq = ocean_mesh.interior_vertices()[:25]
+        a = trace_for_traversal(ocean_mesh, seq)
+        moved = ocean_mesh.with_vertices(ocean_mesh.vertices + 3.0)
+        b = trace_for_traversal(moved, seq)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.array_ids, b.array_ids)

@@ -1,0 +1,105 @@
+"""Unit tests for smoothing traversal policies."""
+
+import numpy as np
+import pytest
+
+from repro.quality import vertex_quality
+from repro.smoothing import (
+    TRAVERSALS,
+    greedy_traversal,
+    make_traversal,
+    storage_traversal,
+)
+
+
+class TestStorageTraversal:
+    def test_interior_in_ascending_order(self, ocean_mesh):
+        seq = storage_traversal(ocean_mesh)
+        assert np.array_equal(seq, ocean_mesh.interior_vertices())
+        assert (np.diff(seq) > 0).all()
+
+    def test_subset_respected(self, ocean_mesh):
+        subset = ocean_mesh.interior_vertices()[10:20]
+        seq = storage_traversal(ocean_mesh, subset=subset)
+        assert np.array_equal(seq, np.sort(subset))
+
+
+class TestGreedyTraversal:
+    def test_visits_every_interior_vertex_once(self, ocean_mesh):
+        q = vertex_quality(ocean_mesh)
+        seq = greedy_traversal(ocean_mesh, q)
+        assert np.array_equal(np.sort(seq), ocean_mesh.interior_vertices())
+
+    def test_starts_at_worst_interior(self, ocean_mesh):
+        q = vertex_quality(ocean_mesh)
+        seq = greedy_traversal(ocean_mesh, q)
+        interior = ocean_mesh.interior_vertices()
+        assert seq[0] == interior[np.argmin(q[interior])]
+
+    def test_chains_follow_worst_neighbor(self, ocean_mesh):
+        q = vertex_quality(ocean_mesh)
+        seq = greedy_traversal(ocean_mesh, q)
+        g = ocean_mesh.adjacency
+        interior = set(ocean_mesh.interior_vertices().tolist())
+        visited = {int(seq[0])}
+        for prev, cur in zip(seq[:-1], seq[1:]):
+            cand = [
+                w
+                for w in g.neighbors(prev).tolist()
+                if w in interior and w not in visited
+            ]
+            if cand:
+                # Chain continued: must be the worst unvisited neighbor.
+                expected = min(cand, key=lambda w: (q[w], 0))
+                assert q[cur] <= q[expected] or cur == expected
+                assert cur in cand
+            visited.add(int(cur))
+
+    def test_subset_chains_stay_inside(self, ocean_mesh):
+        q = vertex_quality(ocean_mesh)
+        subset = ocean_mesh.interior_vertices()[:40]
+        seq = greedy_traversal(ocean_mesh, q, subset=subset)
+        assert set(seq.tolist()) == set(subset.tolist())
+
+    def test_boundary_vertices_never_visited(self, ocean_mesh):
+        q = vertex_quality(ocean_mesh)
+        seq = greedy_traversal(ocean_mesh, q)
+        assert not ocean_mesh.boundary_mask[seq].any()
+
+    def test_rejects_bad_quality_shape(self, ocean_mesh):
+        with pytest.raises(ValueError, match="shape"):
+            greedy_traversal(ocean_mesh, np.zeros(3))
+
+    def test_ordering_independent_logical_sequence(self, ocean_mesh, rng):
+        """With distinct qualities, the greedy traversal visits the same
+        logical vertices in the same order regardless of storage."""
+        q = vertex_quality(ocean_mesh)
+        q = q + rng.uniform(0, 1e-9, q.size)  # break exact ties
+        seq_base = greedy_traversal(ocean_mesh, q)
+        order = rng.permutation(ocean_mesh.num_vertices)
+        permuted = ocean_mesh.permute(order)
+        seq_perm = greedy_traversal(permuted, q[order])
+        assert np.array_equal(order[seq_perm], seq_base)
+
+
+class TestMakeTraversal:
+    def test_dispatch(self, ocean_mesh):
+        q = vertex_quality(ocean_mesh)
+        assert np.array_equal(
+            make_traversal("storage", ocean_mesh), storage_traversal(ocean_mesh)
+        )
+        assert np.array_equal(
+            make_traversal("greedy", ocean_mesh, q),
+            greedy_traversal(ocean_mesh, q),
+        )
+
+    def test_greedy_requires_qualities(self, ocean_mesh):
+        with pytest.raises(ValueError, match="requires qualities"):
+            make_traversal("greedy", ocean_mesh)
+
+    def test_unknown_name(self, ocean_mesh):
+        with pytest.raises(KeyError, match="unknown traversal"):
+            make_traversal("zigzag", ocean_mesh)
+
+    def test_registry(self):
+        assert set(TRAVERSALS) == {"storage", "greedy"}

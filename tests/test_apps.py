@@ -1,0 +1,233 @@
+"""Tests for the extension applications (repro.apps) and dynamic reordering."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    inverted_triangles,
+    laplacian_matrix_dense,
+    laplacian_spmv,
+    patch_metric,
+    smart_laplacian_smooth,
+    untangle,
+)
+from repro.core import run_dynamic_reordering
+from repro.meshgen import perturb_interior, structured_rectangle
+from repro.quality import global_quality
+
+
+class TestSpmv:
+    def test_matches_dense_laplacian(self, ocean_mesh, rng):
+        x = rng.random(ocean_mesh.num_vertices)
+        out = laplacian_spmv(ocean_mesh, x)
+        assert np.allclose(out.y, laplacian_matrix_dense(ocean_mesh) @ x)
+
+    def test_traced_and_untraced_agree(self, ocean_mesh, rng):
+        x = rng.random(ocean_mesh.num_vertices)
+        a = laplacian_spmv(ocean_mesh, x, record_trace=True)
+        b = laplacian_spmv(ocean_mesh, x, record_trace=False)
+        assert np.allclose(a.y, b.y)
+        assert a.trace is not None and b.trace is None
+
+    def test_constant_vector_in_kernel(self, ocean_mesh):
+        # The graph Laplacian annihilates constants.
+        ones = np.ones(ocean_mesh.num_vertices)
+        out = laplacian_spmv(ocean_mesh, ones)
+        assert np.allclose(out.y, 0.0)
+
+    def test_chained_iterations(self, ocean_mesh, rng):
+        x = rng.random(ocean_mesh.num_vertices)
+        L = laplacian_matrix_dense(ocean_mesh)
+        out = laplacian_spmv(ocean_mesh, x, iterations=3)
+        assert np.allclose(out.y, L @ (L @ (L @ x)))
+
+    def test_trace_iteration_count(self, ocean_mesh, rng):
+        x = rng.random(ocean_mesh.num_vertices)
+        out = laplacian_spmv(ocean_mesh, x, iterations=2, record_trace=True)
+        assert out.trace.num_iterations == 2
+
+    def test_rejects_bad_shape(self, ocean_mesh):
+        with pytest.raises(ValueError, match="shape"):
+            laplacian_spmv(ocean_mesh, np.zeros(3))
+
+
+@pytest.fixture
+def tangled_mesh():
+    return perturb_interior(structured_rectangle(12, 12), amplitude=0.06, seed=3)
+
+
+class TestUntangle:
+    def test_fixture_is_tangled(self, tangled_mesh):
+        assert inverted_triangles(tangled_mesh).size > 0
+
+    def test_untangles(self, tangled_mesh):
+        out = untangle(tangled_mesh)
+        assert out.untangled
+        assert inverted_triangles(out.mesh).size == 0
+
+    def test_history_reaches_zero(self, tangled_mesh):
+        out = untangle(tangled_mesh)
+        assert out.inverted_history[0] > 0
+        assert out.inverted_history[-1] == 0
+
+    def test_clean_mesh_is_noop(self, ocean_mesh):
+        out = untangle(ocean_mesh)
+        assert out.sweeps == 0
+        assert np.array_equal(out.mesh.vertices, ocean_mesh.vertices)
+
+    def test_boundary_fixed(self, tangled_mesh):
+        out = untangle(tangled_mesh)
+        b = tangled_mesh.boundary_mask
+        assert np.array_equal(out.mesh.vertices[b], tangled_mesh.vertices[b])
+
+    def test_trace_recorded(self, tangled_mesh):
+        out = untangle(tangled_mesh, record_trace=True)
+        assert out.trace is not None and len(out.trace) > 0
+
+    def test_worst_first_traversal(self, tangled_mesh):
+        out = untangle(tangled_mesh)
+        areas = tangled_mesh.triangle_areas()
+        xadj, tri_ids = tangled_mesh.vertex_triangles
+        first = int(out.traversals[0][0])
+        # First visited vertex touches the most inverted triangle of
+        # any visited vertex.
+        def worst(v):
+            ids = tri_ids[xadj[v] : xadj[v + 1]]
+            return areas[ids].min()
+        assert worst(first) == min(worst(int(v)) for v in out.traversals[0])
+
+    def test_rejects_bad_step(self, tangled_mesh):
+        with pytest.raises(ValueError, match="step"):
+            untangle(tangled_mesh, step=0.0)
+
+
+class TestSmartLaplacian:
+    def test_improves_quality(self, ocean_mesh):
+        out = smart_laplacian_smooth(ocean_mesh, max_iterations=6)
+        assert out.final_quality > out.initial_quality
+
+    def test_never_inverts_elements(self, tangled_mesh):
+        # Start from a clean mesh; the guard must keep it clean.
+        clean = untangle(tangled_mesh).mesh
+        out = smart_laplacian_smooth(clean, max_iterations=8)
+        assert inverted_triangles(out.mesh).size == 0
+
+    def test_boundary_fixed(self, ocean_mesh):
+        out = smart_laplacian_smooth(ocean_mesh, max_iterations=3)
+        b = ocean_mesh.boundary_mask
+        assert np.array_equal(out.mesh.vertices[b], ocean_mesh.vertices[b])
+
+    def test_patch_metric_inverted_negative(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, -0.5]])
+        assert patch_metric(coords, np.array([[0, 1, 2]])) == -1.0
+
+    def test_patch_metric_equilateral(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, np.sqrt(3) / 2]])
+        assert patch_metric(coords, np.array([[0, 1, 2]])) == pytest.approx(1.0)
+
+
+class TestDynamicReordering:
+    def test_static_single_reorder(self, ocean_mesh):
+        run = run_dynamic_reordering(ocean_mesh, "rdr", every=0, iterations=4)
+        assert run.num_reorders == 1
+        assert len(run.segment_seconds) == 1
+
+    def test_dynamic_reorder_count(self, ocean_mesh):
+        run = run_dynamic_reordering(ocean_mesh, "rdr", every=2, iterations=4)
+        assert run.num_reorders == 2
+
+    def test_static_beats_dynamic(self, ocean_mesh):
+        static = run_dynamic_reordering(ocean_mesh, "rdr", every=0, iterations=4)
+        dynamic = run_dynamic_reordering(ocean_mesh, "rdr", every=1, iterations=4)
+        assert static.total_seconds < dynamic.total_seconds
+
+    def test_quality_similar_between_strategies(self, ocean_mesh):
+        static = run_dynamic_reordering(ocean_mesh, "rdr", every=0, iterations=4)
+        dynamic = run_dynamic_reordering(ocean_mesh, "rdr", every=2, iterations=4)
+        assert abs(static.final_quality - dynamic.final_quality) < 0.02
+
+    def test_rejects_bad_args(self, ocean_mesh):
+        with pytest.raises(ValueError, match="every"):
+            run_dynamic_reordering(ocean_mesh, every=-1)
+        with pytest.raises(ValueError, match="iterations"):
+            run_dynamic_reordering(ocean_mesh, iterations=0)
+
+
+class TestCulling:
+    def test_active_set_shrinks(self, ocean_mesh):
+        from repro.smoothing import laplacian_smooth
+
+        run = laplacian_smooth(
+            ocean_mesh, culling=True, max_iterations=25, tol=-np.inf
+        )
+        counts = run.active_counts
+        assert counts[0] == ocean_mesh.interior_vertices().size
+        assert counts[-1] < 0.5 * counts[0]
+
+    def test_quality_comparable_to_full_sweeps(self, ocean_mesh):
+        from repro.smoothing import laplacian_smooth
+
+        culled = laplacian_smooth(
+            ocean_mesh, culling=True, max_iterations=20, tol=-np.inf
+        )
+        full = laplacian_smooth(
+            ocean_mesh, culling=False, max_iterations=20, tol=-np.inf
+        )
+        assert culled.final_quality > full.final_quality - 0.01
+
+    def test_trace_shrinks_with_culling(self, ocean_mesh):
+        from repro.smoothing import laplacian_smooth
+
+        culled = laplacian_smooth(
+            ocean_mesh, culling=True, max_iterations=20, tol=-np.inf,
+            record_trace=True,
+        )
+        full = laplacian_smooth(
+            ocean_mesh, culling=False, max_iterations=20, tol=-np.inf,
+            record_trace=True,
+        )
+        assert len(culled.trace) < len(full.trace)
+
+    def test_culling_requires_gauss_seidel(self):
+        from repro.smoothing import LaplacianSmoother
+
+        with pytest.raises(ValueError, match="gauss-seidel"):
+            LaplacianSmoother(culling=True, update="jacobi")
+
+    def test_terminates_when_everything_culled(self, grid_mesh):
+        from repro.smoothing import laplacian_smooth
+
+        # A nearly perfect mesh: everything culls almost immediately.
+        run = laplacian_smooth(
+            grid_mesh, culling=True, max_iterations=50, tol=-np.inf
+        )
+        assert run.converged
+        assert run.iterations < 50
+
+
+class TestPrefetcher:
+    def test_prefetch_helps_streaming(self, rng):
+        from repro.memsim import simulate_trace, tiny_machine
+
+        stream = np.arange(2000) % 500  # sequential sweep, repeated
+        base = simulate_trace(stream, tiny_machine())
+        pf = simulate_trace(stream, tiny_machine(), next_line_prefetch=True)
+        assert pf.l1.misses < base.l1.misses
+
+    def test_prefetch_useless_for_random(self, rng):
+        from repro.memsim import simulate_trace, tiny_machine
+
+        stream = rng.integers(0, 5000, 2000)
+        base = simulate_trace(stream, tiny_machine())
+        pf = simulate_trace(stream, tiny_machine(), next_line_prefetch=True)
+        # Random accesses gain little (and may even lose to pollution).
+        saved = base.l1.misses - pf.l1.misses
+        assert saved < 0.05 * base.l1.misses
+
+    def test_prefetch_counter(self):
+        from repro.memsim import CacheHierarchy, tiny_machine
+
+        h = CacheHierarchy(tiny_machine(), next_line_prefetch=True)
+        h.access(0)
+        assert h.prefetches_issued == 1
+        assert h.l1.contains(1)

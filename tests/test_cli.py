@@ -1,0 +1,138 @@
+"""End-to-end tests of the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.mesh import read_triangle
+
+
+@pytest.fixture
+def mesh_stem(tmp_path):
+    stem = tmp_path / "m"
+    rc = main(["generate", "stress", str(stem), "--vertices", "300", "--seed", "1"])
+    assert rc == 0
+    return stem
+
+
+class TestGenerate:
+    def test_writes_files(self, mesh_stem, capsys):
+        assert mesh_stem.with_suffix(".node").exists()
+        assert mesh_stem.with_suffix(".ele").exists()
+        mesh = read_triangle(mesh_stem)
+        assert mesh.num_vertices > 200
+
+    def test_reports_stats(self, tmp_path, capsys):
+        main(["generate", "lake", str(tmp_path / "x"), "--vertices", "300"])
+        out = capsys.readouterr().out
+        assert "vertices" in out and "quality" in out
+
+    def test_rejects_unknown_domain(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "atlantis", str(tmp_path / "x")])
+
+
+class TestGenerateVariants:
+    def test_uniform_quality_structure(self, tmp_path, capsys):
+        rc = main(
+            ["generate", "crake", str(tmp_path / "u"), "--vertices", "300",
+             "--quality-structure", "uniform"]
+        )
+        assert rc == 0
+        mesh = read_triangle(tmp_path / "u")
+        assert mesh.num_vertices > 200
+
+
+class TestSmooth:
+    def test_smooth_without_ordering_or_output(self, mesh_stem, capsys):
+        rc = main(["smooth", str(mesh_stem), "--max-iterations", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "iterations" in out
+
+    def test_smooth_storage_traversal(self, mesh_stem, capsys):
+        rc = main(
+            ["smooth", str(mesh_stem), "--traversal", "storage",
+             "--max-iterations", "2"]
+        )
+        assert rc == 0
+
+    def test_smooth_improves_quality(self, mesh_stem, tmp_path, capsys):
+        out_stem = tmp_path / "smoothed"
+        rc = main(["smooth", str(mesh_stem), "--output", str(out_stem)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "->" in out
+        assert out_stem.with_suffix(".node").exists()
+
+    def test_smooth_with_ordering(self, mesh_stem, capsys):
+        rc = main(["smooth", str(mesh_stem), "--ordering", "rdr"])
+        assert rc == 0
+
+    def test_smooth_with_cache_report(self, mesh_stem, capsys):
+        rc = main(
+            ["smooth", str(mesh_stem), "--ordering", "rdr", "--report-cache",
+             "--max-iterations", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "L1" in out and "modeled time" in out
+
+
+class TestReorder:
+    def test_reorder_writes_permuted_mesh(self, mesh_stem, tmp_path, capsys):
+        out_stem = tmp_path / "reordered"
+        rc = main(["reorder", str(mesh_stem), str(out_stem), "--ordering", "bfs"])
+        assert rc == 0
+        original = read_triangle(mesh_stem)
+        permuted = read_triangle(out_stem)
+        assert permuted.num_vertices == original.num_vertices
+        # Same vertex set, different order.
+        assert not np.allclose(permuted.vertices, original.vertices)
+        assert set(map(tuple, permuted.vertices)) == set(
+            map(tuple, original.vertices)
+        )
+
+    def test_report_cost(self, mesh_stem, tmp_path, capsys):
+        rc = main(
+            ["reorder", str(mesh_stem), str(tmp_path / "r"), "--report-cost"]
+        )
+        assert rc == 0
+        assert "smoothing iterations" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_analyze_prints_breakdown(self, mesh_stem, capsys):
+        rc = main(["analyze", str(mesh_stem), "--ordering", "rdr"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-array breakdown" in out
+        assert "coords" in out and "adjncy" in out
+        assert "reuse distance" in out
+
+    def test_analyze_saves_trace(self, mesh_stem, tmp_path, capsys):
+        target = tmp_path / "trace.npz"
+        rc = main(["analyze", str(mesh_stem), "--save-trace", str(target)])
+        assert rc == 0
+        assert target.exists()
+        from repro.memsim import AccessTrace
+
+        trace = AccessTrace.load_npz(target)
+        assert len(trace) > 0
+
+
+class TestExperimentAndList:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "rdr" in out and "carabiner" in out and "fig8" in out
+
+    def test_small_experiment(self, capsys):
+        rc = main(["experiment", "table1", "--scale", "0.001"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "M1" in out and "carabiner" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])

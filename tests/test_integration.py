@@ -1,0 +1,88 @@
+"""End-to-end integration tests: the full user story across substrates.
+
+These exercise the complete generate -> order -> smooth -> simulate ->
+report path the way the examples and benchmarks do, on several domains,
+checking the cross-module contracts rather than any single unit.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    apply_ordering,
+    compare_orderings,
+    generate_domain_mesh,
+    global_quality,
+    laplacian_smooth,
+    run_parallel_ordering,
+    vertex_quality,
+)
+from repro.core import default_machine_for
+from repro.mesh import read_triangle, validate_mesh, write_triangle
+from repro.memsim import per_array_breakdown
+
+
+@pytest.mark.parametrize("domain", ["carabiner", "riverflow", "wrench"])
+def test_full_story_on_domain(domain, tmp_path):
+    # 1. Generate and persist.
+    mesh = generate_domain_mesh(domain, target_vertices=500, seed=2)
+    validate_mesh(mesh)
+    write_triangle(mesh, tmp_path / domain)
+    mesh = read_triangle(tmp_path / domain, name=domain)
+
+    # 2. Reorder with RDR; quality is invariant under the permutation.
+    q_before = global_quality(mesh)
+    permuted, order = apply_ordering(mesh, "rdr")
+    assert global_quality(permuted) == pytest.approx(q_before)
+
+    # 3. Smooth to convergence; quality improves, boundary pinned.
+    result = laplacian_smooth(permuted, max_iterations=120)
+    assert result.converged
+    assert result.final_quality > q_before
+    b = permuted.boundary_mask
+    assert np.array_equal(result.mesh.vertices[b], permuted.vertices[b])
+
+    # 4. The smoothed mesh is still structurally valid.
+    validate_mesh(result.mesh)
+
+
+def test_ordering_comparison_story():
+    mesh = generate_domain_mesh("dialog", target_vertices=700, seed=0)
+    runs = compare_orderings(mesh, ["random", "ori", "rdr"], fixed_iterations=1)
+
+    # Identical numeric work across orderings.
+    counts = {r.cost.num_accesses for r in runs.values()}
+    assert len(counts) == 1
+
+    # The locality story holds end to end.
+    assert (
+        runs["rdr"].modeled_seconds
+        < runs["ori"].modeled_seconds
+        < runs["random"].modeled_seconds
+    )
+
+    # Per-array attribution is consistent with the aggregate stats.
+    run = runs["rdr"]
+    rows = per_array_breakdown(run.trace, run.layout, run.machine)
+    assert sum(r.l1_misses for r in rows) == run.cache.l1.misses
+
+
+def test_serial_vs_parallel_consistency():
+    """One core of the multicore simulation sees the serial workload."""
+    mesh = generate_domain_mesh("lake", target_vertices=500, seed=0)
+    machine = default_machine_for(mesh, profile="scaling")
+    one = run_parallel_ordering(mesh, "rdr", 1, machine=machine, iterations=2)
+    four = run_parallel_ordering(mesh, "rdr", 4, machine=machine, iterations=2)
+    assert one.result.total_accesses == four.result.total_accesses
+    # Parallel time is smaller (more caches, less work per core).
+    assert four.modeled_seconds < one.modeled_seconds
+
+
+def test_quality_signal_consistency():
+    """The ordering, traversal and smoother agree on the quality signal."""
+    mesh = generate_domain_mesh("valve", target_vertices=500, seed=0)
+    q = vertex_quality(mesh)
+    permuted, order = apply_ordering(mesh, "qsort", qualities=q)
+    # After a quality sort, stored qualities are ascending.
+    assert (np.diff(q[order]) >= 0).all()
+    assert np.allclose(vertex_quality(permuted), q[order])

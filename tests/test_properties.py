@@ -1,0 +1,236 @@
+"""Property-based tests (hypothesis) on core data structures/invariants.
+
+These cover the invariants the whole reproduction leans on:
+
+* the reuse-distance analyzer agrees with a brute-force oracle,
+* a fully-associative LRU cache realises the reuse-distance model,
+* RDR orders every vertex exactly once (Theorem 1) on arbitrary meshes,
+* permutation round-trips preserve mesh structure and quality,
+* Laplacian smoothing never moves boundary vertices and never worsens
+  the (convex-patch) quality monotonicity guarantees we rely on,
+* the Hilbert curve and CSR construction behave for arbitrary inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.mesh import TriMesh, adjacency_from_triangles, is_symmetric
+from repro.memsim import (
+    COLD,
+    LRUCache,
+    CacheSpec,
+    hits_under_capacity,
+    max_elements_within,
+    profile_from_distances,
+    reuse_distances,
+)
+from repro.core import rdr_ordering
+from repro.ordering import hilbert_indices, invert_permutation
+from repro.quality import patch_quality, vertex_quality
+from repro.meshgen import delaunay, structured_rectangle, perturb_interior
+from repro.smoothing import greedy_traversal, laplacian_smooth
+
+# Hypothesis settings tuned for CI: moderate example counts, no deadline
+# (mesh construction costs vary).
+FAST = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+streams = st.lists(st.integers(min_value=0, max_value=12), min_size=0, max_size=120)
+
+
+@FAST
+@given(streams)
+def test_reuse_distance_matches_bruteforce(stream):
+    fast = reuse_distances(np.asarray(stream, dtype=np.int64))
+    last: dict = {}
+    for t, x in enumerate(stream):
+        if x in last:
+            expected = len(set(stream[last[x] + 1 : t]))
+            assert fast[t] == expected
+        else:
+            assert fast[t] == COLD
+        last[x] = t
+
+
+@FAST
+@given(streams, st.integers(min_value=1, max_value=16))
+def test_fully_associative_lru_realises_reuse_model(stream, capacity):
+    cache = LRUCache(CacheSpec("c", capacity * 64, capacity, 1.0, 64))
+    hits = sum(cache.access(x)[0] for x in stream)
+    dists = reuse_distances(np.asarray(stream, dtype=np.int64))
+    assert hits == hits_under_capacity(dists, capacity)
+
+
+@FAST
+@given(streams)
+def test_reuse_profile_quantiles_monotone(stream):
+    dists = reuse_distances(np.asarray(stream, dtype=np.int64))
+    prof = profile_from_distances(dists)
+    if prof.num_reuses:
+        assert prof.q50 <= prof.q75 <= prof.q90 <= prof.q100
+
+
+@FAST
+@given(streams, st.integers(min_value=0, max_value=50))
+def test_max_elements_within_inverts_miss_count(stream, misses):
+    dists = reuse_distances(np.asarray(stream, dtype=np.int64))
+    warm = dists[dists != COLD]
+    assume(warm.size > 0)
+    misses = min(misses, warm.size)
+    cap = max_elements_within(dists, misses)
+    # With that capacity, the miss count brackets the request: strictly
+    # larger distances must miss no more than requested, and including
+    # the boundary value must cover the request (ties at the boundary
+    # make exact inversion impossible, as in the paper's estimator).
+    assert int(np.count_nonzero(warm > cap)) <= misses
+    if misses > 0:
+        assert int(np.count_nonzero(warm >= cap)) >= misses
+
+
+def random_mesh(seed, rows, cols, amplitude):
+    base = structured_rectangle(rows, cols)
+    return perturb_interior(base, amplitude=amplitude, seed=seed)
+
+
+mesh_params = st.tuples(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=3, max_value=8),
+    st.integers(min_value=3, max_value=8),
+    st.floats(min_value=0.0, max_value=0.04),
+)
+
+
+@FAST
+@given(mesh_params)
+def test_rdr_orders_every_vertex_exactly_once(params):
+    """Theorem 1 over a family of random meshes."""
+    seed, rows, cols, amp = params
+    mesh = random_mesh(seed, rows, cols, amp)
+    order = rdr_ordering(mesh)
+    assert np.array_equal(np.sort(order), np.arange(mesh.num_vertices))
+
+
+@FAST
+@given(mesh_params)
+def test_greedy_traversal_covers_interior(params):
+    seed, rows, cols, amp = params
+    mesh = random_mesh(seed, rows, cols, amp)
+    q = vertex_quality(mesh)
+    seq = greedy_traversal(mesh, q)
+    assert np.array_equal(np.sort(seq), mesh.interior_vertices())
+
+
+@FAST
+@given(mesh_params, st.integers(min_value=0, max_value=2**31 - 1))
+def test_permutation_roundtrip_preserves_mesh(params, perm_seed):
+    seed, rows, cols, amp = params
+    mesh = random_mesh(seed, rows, cols, amp)
+    order = np.random.default_rng(perm_seed).permutation(mesh.num_vertices)
+    back = mesh.permute(order).permute(invert_permutation(order))
+    assert np.allclose(back.vertices, mesh.vertices)
+    assert is_symmetric(back.adjacency)
+    assert np.array_equal(back.boundary_mask, mesh.boundary_mask)
+
+
+@FAST
+@given(mesh_params, st.integers(min_value=0, max_value=2**31 - 1))
+def test_quality_permutation_equivariance(params, perm_seed):
+    seed, rows, cols, amp = params
+    mesh = random_mesh(seed, rows, cols, amp)
+    order = np.random.default_rng(perm_seed).permutation(mesh.num_vertices)
+    q = vertex_quality(mesh)
+    qp = vertex_quality(mesh.permute(order))
+    assert np.allclose(qp, q[order])
+
+
+@FAST
+@given(mesh_params)
+def test_patch_quality_contraction(params):
+    seed, rows, cols, amp = params
+    mesh = random_mesh(seed, rows, cols, amp)
+    base = vertex_quality(mesh)
+    out = patch_quality(mesh, passes=3, base=base)
+    assert out.min() >= base.min() - 1e-12
+    assert out.max() <= base.max() + 1e-12
+
+
+@FAST
+@given(mesh_params)
+def test_smoothing_fixes_boundary_and_stays_sane(params):
+    """Boundary vertices never move; interior stays inside the hull of
+    its neighbors; quality never collapses. (Laplacian smoothing is not
+    strictly monotone in the edge-length-ratio metric — tiny meshes can
+    dip by a fraction of a percent before the criterion stops them — so
+    monotonicity is deliberately NOT asserted.)"""
+    seed, rows, cols, amp = params
+    mesh = random_mesh(seed, rows, cols, amp)
+    result = laplacian_smooth(mesh, max_iterations=3)
+    b = mesh.boundary_mask
+    assert np.array_equal(result.mesh.vertices[b], mesh.vertices[b])
+    assert result.final_quality >= result.initial_quality - 0.05
+    # Smoothed interior positions are convex combinations of neighbors,
+    # so they stay inside the mesh bounding box.
+    lo, hi = mesh.vertices.min(0), mesh.vertices.max(0)
+    assert (result.mesh.vertices >= lo - 1e-9).all()
+    assert (result.mesh.vertices <= hi + 1e-9).all()
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=6, max_value=60),
+    st.floats(min_value=0.01, max_value=100.0),
+    st.floats(min_value=-50.0, max_value=50.0),
+)
+def test_delaunay_on_arbitrary_points(seed, n, scale, offset):
+    # Random continuous clouds (duplicates have probability zero) over a
+    # hypothesis-chosen scale/offset, exercising the predicates across
+    # magnitudes.
+    pts = np.random.default_rng(seed).random((n, 2)) * scale + offset
+    assume(np.unique(pts, axis=0).shape[0] == pts.shape[0])
+    tris = delaunay(pts)
+    # Valid triangle soup over the input ids, all CCW.
+    assert tris.min() >= 0 and tris.max() < len(pts)
+    p = pts[tris]
+    areas = 0.5 * (
+        (p[:, 1, 0] - p[:, 0, 0]) * (p[:, 2, 1] - p[:, 0, 1])
+        - (p[:, 1, 1] - p[:, 0, 1]) * (p[:, 2, 0] - p[:, 0, 0])
+    )
+    assert (areas > 0).all()
+    # Adjacency built from it is symmetric.
+    assert is_symmetric(adjacency_from_triangles(tris, len(pts)))
+
+
+@FAST
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(2, 60), st.just(2)),
+        elements=st.floats(min_value=-100.0, max_value=100.0, width=32),
+    )
+)
+def test_hilbert_indices_bounded_and_deterministic(points):
+    pts = np.asarray(points, dtype=np.float64)
+    idx = hilbert_indices(pts, bits=8)
+    assert (idx >= 0).all()
+    assert (idx < (1 << 16)).all()
+    assert np.array_equal(idx, hilbert_indices(pts, bits=8))
+
+
+@FAST
+@given(streams)
+def test_trace_builder_roundtrip(stream):
+    from repro.memsim import TraceBuilder
+
+    tb = TraceBuilder()
+    for x in stream:
+        tb.append("coords", x)
+    trace = tb.build()
+    assert trace.indices.tolist() == stream
