@@ -8,11 +8,12 @@ EXPERIMENTS.md can cite exact numbers.
 
 from __future__ import annotations
 
+import csv
 import json
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
-__all__ = ["format_table", "render_series", "save_json", "RESULTS_DIR"]
+__all__ = ["format_table", "render_series", "save_csv", "save_json", "RESULTS_DIR"]
 
 #: Default directory where experiment drivers persist their raw rows.
 RESULTS_DIR = Path("bench_results")
@@ -104,4 +105,22 @@ def save_json(name: str, payload: Any, directory: Path | None = None) -> Path:
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, default=str))
+    return path
+
+
+def save_csv(path: str | Path, rows: Sequence[Mapping[str, Any]]) -> Path:
+    """Write dict rows as CSV; the header is the union of keys in
+    first-seen order (rows from heterogeneous experiments coexist)."""
+    path = Path(path)
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(dict(row))
     return path

@@ -7,19 +7,27 @@ Subcommands:
 ``reorder``    write the reordered mesh under a named ordering
 ``analyze``    trace a run, break misses down per array, export the trace
 ``experiment`` run one of the paper's tables/figures and print it
+``lab``        durable experiment sweeps: ``init|run|status|reset|export``
 ``list``       show available domains, orderings and experiments
+
+Unknown domain/ordering/experiment names exit with status 2 and a
+one-line message listing the valid choices.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from . import bench
 from .bench import format_table
+from .bench.report import save_csv
 from .core import measure_reordering_cost, run_ordering
 from .mesh import read_triangle, write_triangle
 from .meshgen import generate_domain_mesh, list_domains
+from .lab.grid import UnknownNameError
 from .ordering import ORDERINGS, apply_ordering
 from .quality import global_quality
 from .smoothing import laplacian_smooth
@@ -73,6 +81,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sm.add_argument("--output", help="output stem for the smoothed mesh")
     sm.add_argument("--ordering", default=None, choices=sorted(ORDERINGS))
     sm.add_argument("--max-iterations", type=int, default=50)
+    sm.add_argument("--seed", type=int, default=0,
+                    help="seed for stochastic orderings (e.g. random)")
     sm.add_argument("--traversal", default="greedy", choices=["greedy", "storage"])
     sm.add_argument("--report-cache", action="store_true",
                     help="simulate the memory hierarchy and print miss rates")
@@ -81,6 +91,8 @@ def _build_parser() -> argparse.ArgumentParser:
     ro.add_argument("input", help="input stem (reads <stem>.node/.ele)")
     ro.add_argument("output", help="output stem")
     ro.add_argument("--ordering", default="rdr", choices=sorted(ORDERINGS))
+    ro.add_argument("--seed", type=int, default=0,
+                    help="seed for stochastic orderings (e.g. random)")
     ro.add_argument("--report-cost", action="store_true")
 
     an = sub.add_parser(
@@ -89,6 +101,8 @@ def _build_parser() -> argparse.ArgumentParser:
     an.add_argument("input", help="input stem (reads <stem>.node/.ele)")
     an.add_argument("--ordering", default="rdr", choices=sorted(ORDERINGS))
     an.add_argument("--iterations", type=int, default=1)
+    an.add_argument("--seed", type=int, default=0,
+                    help="seed for stochastic orderings (e.g. random)")
     an.add_argument("--save-trace", help="write the access trace to this .npz path")
 
     ex = sub.add_parser("experiment", help="run a paper table/figure")
@@ -97,8 +111,83 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="mesh-suite scale relative to the paper's sizes")
     ex.add_argument("--seed", type=int, default=0)
 
+    _build_lab_parser(sub)
+
     sub.add_parser("list", help="list domains, orderings and experiments")
     return parser
+
+
+def _comma_list(cast):
+    def parse(text: str):
+        return tuple(cast(part) for part in text.split(",") if part)
+
+    return parse
+
+
+def _build_lab_parser(sub) -> None:
+    lab = sub.add_parser(
+        "lab", help="durable experiment sweeps (job store + worker pool)"
+    )
+    lab_sub = lab.add_subparsers(dest="lab_command", required=True)
+
+    def add_db(p):
+        p.add_argument("--db", default="lab.db",
+                       help="job-store SQLite file (default: lab.db)")
+
+    ini = lab_sub.add_parser("init", help="expand a grid into pending jobs")
+    add_db(ini)
+    ini.add_argument("--experiments", type=_comma_list(str),
+                     default=("pipeline",),
+                     help="comma list: pipeline,smooth,reorder-cost")
+    ini.add_argument("--domains", type=_comma_list(str), default=("ocean",),
+                     help="comma list of domain names (see `repro-lms list`)")
+    ini.add_argument("--orderings", type=_comma_list(str),
+                     default=("ori", "rdr"),
+                     help="comma list of ordering names")
+    ini.add_argument("--vertices", type=_comma_list(int), default=(300,),
+                     help="comma list of vertex budgets")
+    ini.add_argument("--seeds", type=_comma_list(int), default=(0,),
+                     help="comma list of seeds")
+    ini.add_argument("--cache-scales", type=_comma_list(float), default=(1.0,),
+                     help="comma list of cache-size multipliers")
+    ini.add_argument("--quality-structure", default="ramp",
+                     choices=["ramp", "hotspots", "uniform"])
+    ini.add_argument("--max-iterations", type=int, default=8)
+    ini.add_argument("--max-attempts", type=int, default=3)
+    ini.add_argument("--force-new", action="store_true",
+                     help="create a new run even if the latest has this grid")
+
+    run = lab_sub.add_parser("run", help="drain pending jobs with workers")
+    add_db(run)
+    run.add_argument("--workers", type=int, default=1)
+    run.add_argument("--timeout", type=float, default=300.0,
+                     help="per-job wall-clock budget in seconds")
+    run.add_argument("--retry-base", type=float, default=0.5,
+                     help="base of the exponential retry backoff (seconds)")
+    run.add_argument("--max-jobs", type=int, default=None,
+                     help="stop each worker after this many jobs")
+    run.add_argument("--cache-dir", default=None,
+                     help="artifact cache directory (default: <db>.artifacts)")
+    run.add_argument("--telemetry", default=None,
+                     help="telemetry JSONL path (default: <db>.telemetry.jsonl)")
+
+    st = lab_sub.add_parser("status", help="job counts + telemetry summary")
+    add_db(st)
+    st.add_argument("--run", type=int, default=None, help="restrict to one run id")
+    st.add_argument("--telemetry", default=None)
+
+    rs = lab_sub.add_parser("reset", help="re-queue failed (or running) jobs")
+    add_db(rs)
+    rs.add_argument("--running", action="store_true",
+                    help="also reset running jobs (after a crashed pool)")
+    rs.add_argument("--run", type=int, default=None)
+
+    ex = lab_sub.add_parser("export", help="export done-job rows to JSON/CSV")
+    add_db(ex)
+    ex.add_argument("output", help="output path (.json or .csv)")
+    ex.add_argument("--format", choices=["json", "csv"], default=None,
+                    help="default: inferred from the output suffix")
+    ex.add_argument("--run", type=int, default=None)
 
 
 def _cmd_generate(args) -> int:
@@ -122,7 +211,7 @@ def _cmd_smooth(args) -> int:
     mesh = read_triangle(args.input)
     if args.report_cache and args.ordering:
         run = run_ordering(mesh, args.ordering, traversal=args.traversal,
-                           max_iterations=args.max_iterations)
+                           max_iterations=args.max_iterations, seed=args.seed)
         result = run.smoothing
         st = run.cache
         print(
@@ -133,7 +222,7 @@ def _cmd_smooth(args) -> int:
         smoothed = result.mesh
     else:
         if args.ordering:
-            mesh, _ = apply_ordering(mesh, args.ordering)
+            mesh, _ = apply_ordering(mesh, args.ordering, seed=args.seed)
         result = laplacian_smooth(
             mesh, traversal=args.traversal, max_iterations=args.max_iterations
         )
@@ -151,7 +240,7 @@ def _cmd_smooth(args) -> int:
 
 def _cmd_reorder(args) -> int:
     mesh = read_triangle(args.input)
-    permuted, _ = apply_ordering(mesh, args.ordering)
+    permuted, _ = apply_ordering(mesh, args.ordering, seed=args.seed)
     node, ele = write_triangle(permuted, args.output)
     print(f"reordered {mesh.num_vertices} vertices with {args.ordering!r}")
     print(f"wrote {node} and {ele}")
@@ -168,7 +257,9 @@ def _cmd_analyze(args) -> int:
     from .memsim import per_array_breakdown, trace_summary
 
     mesh = read_triangle(args.input)
-    run = run_ordering(mesh, args.ordering, fixed_iterations=args.iterations)
+    run = run_ordering(
+        mesh, args.ordering, fixed_iterations=args.iterations, seed=args.seed
+    )
     summary = trace_summary(run.trace, run.layout)
     print(
         f"trace: {summary['length']} accesses over "
@@ -201,27 +292,151 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_list() -> int:
+    from .lab import EXPERIMENT_RUNNERS
+
     print("domains:    ", ", ".join(list_domains()))
     print("orderings:  ", ", ".join(sorted(ORDERINGS)))
     print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+    print("lab:        ", ", ".join(sorted(EXPERIMENT_RUNNERS)))
     return 0
+
+
+# ---------------------------------------------------------------------------
+# lab subcommands
+# ---------------------------------------------------------------------------
+def _lab_paths(args) -> tuple[Path, Path, Path]:
+    """(db, artifact-cache dir, telemetry file) with per-db defaults."""
+    db = Path(args.db)
+    cache_dir = Path(getattr(args, "cache_dir", None) or f"{db}.artifacts")
+    telemetry = Path(getattr(args, "telemetry", None) or f"{db}.telemetry.jsonl")
+    return db, cache_dir, telemetry
+
+
+def _cmd_lab(args) -> int:
+    from .lab import (
+        ExperimentGrid,
+        JobStore,
+        format_summary,
+        run_pool,
+        summarize,
+    )
+
+    db, cache_dir, telemetry = _lab_paths(args)
+
+    if args.lab_command == "init":
+        grid = ExperimentGrid(
+            experiments=args.experiments,
+            domains=args.domains,
+            orderings=args.orderings,
+            vertices=args.vertices,
+            seeds=args.seeds,
+            cache_scales=args.cache_scales,
+            quality_structure=args.quality_structure,
+            max_iterations=args.max_iterations,
+        ).validate()
+        store = JobStore(db)
+        latest = store.latest_run_id()
+        stored = store.run_grid(latest) if latest is not None else None
+        if (
+            not args.force_new
+            and stored is not None
+            and ExperimentGrid.from_dict(stored) == grid
+        ):
+            counts = store.counts(latest)
+            print(
+                f"run {latest} already holds this grid "
+                f"({sum(counts.values())} jobs: {counts['pending']} pending, "
+                f"{counts['done']} done); use --force-new for a fresh run"
+            )
+            return 0
+        specs = grid.expand()
+        run_id, inserted = store.create_run(
+            grid.as_dict(),
+            [(s.key(), s.as_dict()) for s in specs],
+            max_attempts=args.max_attempts,
+        )
+        print(f"run {run_id}: {inserted} jobs queued in {db}")
+        return 0
+
+    if args.lab_command == "run":
+        counts = run_pool(
+            db,
+            cache_dir,
+            telemetry,
+            workers=args.workers,
+            job_timeout_s=args.timeout,
+            retry_base_s=args.retry_base,
+            max_jobs=args.max_jobs,
+        )
+        print(
+            f"done {counts['done']}, failed {counts['failed']}, "
+            f"pending {counts['pending']}, running {counts['running']}"
+        )
+        print(format_summary(summarize(telemetry)))
+        return 0 if counts["failed"] == 0 and counts["pending"] == 0 else 1
+
+    if args.lab_command == "status":
+        store = JobStore(db)
+        counts = store.counts(args.run)
+        total = sum(counts.values())
+        scope = f"run {args.run}" if args.run is not None else "all runs"
+        print(f"{db} ({scope}): {total} jobs")
+        for status, n in counts.items():
+            print(f"  {status:8s} {n}")
+        if telemetry.exists():
+            print(format_summary(summarize(telemetry)))
+        return 0
+
+    if args.lab_command == "reset":
+        store = JobStore(db)
+        statuses = ("failed", "running") if args.running else ("failed",)
+        n = store.reset(statuses=statuses, run_id=args.run)
+        print(f"re-queued {n} job(s) from {', '.join(statuses)}")
+        return 0
+
+    if args.lab_command == "export":
+        store = JobStore(db)
+        rows = store.results(args.run)
+        out = Path(args.output)
+        fmt = args.format or ("csv" if out.suffix == ".csv" else "json")
+        if fmt == "csv":
+            save_csv(out, rows)
+        else:
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(json.dumps(rows, indent=2, default=str))
+        print(f"wrote {len(rows)} result row(s) to {out}")
+        return 0
+
+    raise AssertionError("unreachable")
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "generate":
-        return _cmd_generate(args)
-    if args.command == "smooth":
-        return _cmd_smooth(args)
-    if args.command == "reorder":
-        return _cmd_reorder(args)
-    if args.command == "analyze":
-        return _cmd_analyze(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
-    if args.command == "list":
-        return _cmd_list()
-    raise AssertionError("unreachable")
+    handlers = {
+        "generate": _cmd_generate,
+        "smooth": _cmd_smooth,
+        "reorder": _cmd_reorder,
+        "analyze": _cmd_analyze,
+        "experiment": _cmd_experiment,
+        "lab": _cmd_lab,
+        "list": lambda _args: _cmd_list(),
+    }
+    try:
+        return handlers[args.command](args)
+    except UnknownNameError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        # Registry lookups (domains/orderings/experiments) raise KeyError
+        # with a message listing the valid choices.
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: no such file: {exc.filename or exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; not an error.
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

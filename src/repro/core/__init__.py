@@ -10,6 +10,7 @@ from .pipeline import (
     compare_orderings,
     run_ordering,
     run_parallel_ordering,
+    run_summary,
 )
 from .rdr import (
     first_touch_ordering,
@@ -34,5 +35,6 @@ __all__ = [
     "run_dynamic_reordering",
     "run_ordering",
     "run_parallel_ordering",
+    "run_summary",
     "sorted_neighbor_lists",
 ]

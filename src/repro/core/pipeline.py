@@ -51,6 +51,7 @@ __all__ = [
     "default_machine_for",
     "run_ordering",
     "run_parallel_ordering",
+    "run_summary",
 ]
 
 #: Retained for API compatibility with scale-based experiments that run
@@ -115,17 +116,28 @@ def _prepare(
     qualities: np.ndarray | None,
     seed: int,
     rank_passes: int = DEFAULT_RANK_PASSES,
+    precomputed_order: np.ndarray | None = None,
 ) -> tuple[TriMesh, np.ndarray, np.ndarray]:
     """Rank-smooth the quality signal and permute the mesh under it.
 
     The same patch-widened signal drives the ordering here and the
     greedy traversal inside the smoother, keeping the two aligned (the
     alignment is what RDR exploits).
+
+    ``precomputed_order`` skips the (potentially expensive) ordering
+    computation and permutes by the given order instead — the hook
+    :mod:`repro.lab` uses to reuse cached permutations across jobs.  The
+    caller is responsible for the order matching what the named
+    ordering would have produced under the same quality signal.
     """
     if qualities is None:
         qualities = vertex_quality(mesh)
     rank_q = patch_quality(mesh, passes=rank_passes, base=qualities)
-    permuted, order = apply_ordering(mesh, ordering, seed=seed, qualities=rank_q)
+    if precomputed_order is not None:
+        order = np.asarray(precomputed_order, dtype=np.int64)
+        permuted = mesh.permute(order)
+    else:
+        permuted, order = apply_ordering(mesh, ordering, seed=seed, qualities=rank_q)
     return permuted, order, rank_q[order]
 
 
@@ -141,6 +153,7 @@ def run_ordering(
     seed: int = 0,
     rank_passes_override: int | None = None,
     smoother_kwargs: dict | None = None,
+    precomputed_order: np.ndarray | None = None,
 ) -> OrderedRun:
     """Order, smooth (with tracing), simulate, and price one execution.
 
@@ -150,13 +163,17 @@ def run_ordering(
     ``rank_passes_override`` changes the patch-widening of the ranking
     signal for both the ordering and the traversal (default:
     :data:`repro.quality.DEFAULT_RANK_PASSES`).
+    ``precomputed_order`` bypasses the ordering computation (see
+    :func:`_prepare`) so cached permutations can be replayed.
     """
     if machine is None:
         machine = default_machine_for(mesh, profile="serial")
     rank_passes = (
         DEFAULT_RANK_PASSES if rank_passes_override is None else rank_passes_override
     )
-    permuted, order, _ = _prepare(mesh, ordering, qualities, seed, rank_passes)
+    permuted, order, _ = _prepare(
+        mesh, ordering, qualities, seed, rank_passes, precomputed_order
+    )
 
     kwargs = dict(smoother_kwargs or {})
     kwargs.setdefault("traversal", traversal)
@@ -203,6 +220,34 @@ def compare_orderings(
             mesh, name, machine=machine, qualities=qualities, **kwargs
         )
         for name in orderings
+    }
+
+
+def run_summary(run: OrderedRun) -> dict:
+    """Flatten an :class:`OrderedRun` into a JSON-serialisable row.
+
+    This is the canonical result shape :mod:`repro.lab` persists per job
+    and exports — deliberately aligned with the ``bench_results/*.json``
+    row vocabulary (``L1_miss_%``, ``modeled_ms``, quality fields).
+    """
+    st = run.cache
+    sm = run.smoothing
+    return {
+        "mesh": run.mesh_name,
+        "num_vertices": run.mesh.num_vertices,
+        "num_triangles": run.mesh.num_triangles,
+        "iterations": sm.iterations,
+        "converged": bool(sm.converged),
+        "initial_quality": float(sm.initial_quality),
+        "final_quality": float(sm.final_quality),
+        "L1_miss_%": 100.0 * st.l1.miss_rate,
+        "L2_miss_%": 100.0 * st.l2.miss_rate,
+        "L3_miss_%": 100.0 * st.l3.miss_rate,
+        "L1_misses": int(st.l1.misses),
+        "L2_misses": int(st.l2.misses),
+        "L3_misses": int(st.l3.misses),
+        "memory_accesses": int(st.memory_accesses),
+        "modeled_ms": run.modeled_seconds * 1e3,
     }
 
 

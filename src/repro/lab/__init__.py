@@ -1,0 +1,50 @@
+"""Experiment orchestration: durable sweeps over the paper pipeline.
+
+``repro.lab`` turns the in-process bench layer into a resumable
+experiment service with four pieces:
+
+* :mod:`~repro.lab.grid` — the sweep specification
+  (:class:`ExperimentGrid` → :class:`JobSpec` cells);
+* :mod:`~repro.lab.store` — a SQLite job queue with atomic claims,
+  bounded retry with exponential backoff, and orphan reclaim;
+* :mod:`~repro.lab.artifacts` — a content-addressed cache of meshes,
+  permutations and simulated results shared by all workers;
+* :mod:`~repro.lab.worker` — the multi-process pool that drains the
+  queue, plus :mod:`~repro.lab.telemetry` (JSONL event stream and its
+  aggregator).
+
+CLI surface: ``repro-lms lab init|run|status|reset|export``.
+"""
+
+from .artifacts import ArtifactCache, cache_key
+from .grid import ExperimentGrid, JobSpec, UnknownNameError, validate_names
+from .store import Job, JobStore, STATUSES
+from .telemetry import TelemetryWriter, format_summary, read_events, summarize
+from .worker import (
+    EXPERIMENT_RUNNERS,
+    JobTimeout,
+    execute_job,
+    run_pool,
+    worker_loop,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "EXPERIMENT_RUNNERS",
+    "ExperimentGrid",
+    "Job",
+    "JobSpec",
+    "JobStore",
+    "JobTimeout",
+    "STATUSES",
+    "TelemetryWriter",
+    "UnknownNameError",
+    "cache_key",
+    "execute_job",
+    "format_summary",
+    "read_events",
+    "run_pool",
+    "summarize",
+    "validate_names",
+    "worker_loop",
+]

@@ -1,0 +1,114 @@
+"""Content-addressed artifact cache shared by all lab workers.
+
+Heavy intermediates — generated meshes, computed permutations, simulated
+hierarchy results — are keyed by a SHA-256 digest of their canonical
+parameter dict and stored as files, so any job (in any worker process,
+in any later run) that needs the same artifact reads it back instead of
+recomputing.  Writes go through a per-process temporary file and
+``os.replace``, so concurrent workers racing on the same key both end up
+with a complete artifact and one of the two identical copies wins.
+
+Hit/miss counters are per-process; workers snapshot them around each job
+and report the delta through telemetry, which is how a run's cache
+effectiveness is audited (``lab status`` / ``telemetry summary``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import Counter
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from ..mesh import TriMesh
+from ..mesh.io import read_json, write_json
+
+__all__ = ["ArtifactCache", "cache_key"]
+
+
+def cache_key(kind: str, params: dict) -> str:
+    """Stable content address for ``(kind, params)``."""
+    blob = json.dumps({"kind": kind, "params": params}, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+class ArtifactCache:
+    """Filesystem cache of meshes / arrays / JSON blobs by content key."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits: Counter[str] = Counter()
+        self.misses: Counter[str] = Counter()
+
+    def path(self, kind: str, params: dict, suffix: str) -> Path:
+        return self.root / f"{kind}-{cache_key(kind, params)}{suffix}"
+
+    def _publish(self, path: Path, write: Callable[[Path], None]) -> None:
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        write(tmp)
+        os.replace(tmp, path)
+
+    # -- typed entry points ---------------------------------------------
+    def mesh(self, params: dict, build: Callable[[], TriMesh]) -> TriMesh:
+        """A generated mesh, persisted in the JSON mesh format."""
+        path = self.path("mesh", params, ".json")
+        if path.exists():
+            self.hits["mesh"] += 1
+            return read_json(path)
+        self.misses["mesh"] += 1
+        mesh = build()
+        self._publish(path, lambda tmp: write_json(mesh, tmp))
+        return mesh
+
+    def array(
+        self, kind: str, params: dict, build: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        """A numpy array artifact (e.g. a computed permutation)."""
+        path = self.path(kind, params, ".npy")
+        if path.exists():
+            self.hits[kind] += 1
+            return np.load(path)
+        self.misses[kind] += 1
+        arr = np.asarray(build())
+
+        def write(tmp: Path) -> None:
+            # Through a handle: np.save would append ".npy" to the bare
+            # tmp name and break the atomic rename.
+            with open(tmp, "wb") as fh:
+                np.save(fh, arr)
+
+        self._publish(path, write)
+        return arr
+
+    def json_blob(self, kind: str, params: dict, build: Callable[[], dict]) -> dict:
+        """A JSON-serialisable result (e.g. simulated hierarchy stats)."""
+        path = self.path(kind, params, ".json")
+        if path.exists():
+            self.hits[kind] += 1
+            return json.loads(path.read_text())
+        self.misses[kind] += 1
+        blob = build()
+        self._publish(
+            path, lambda tmp: tmp.write_text(json.dumps(blob, sort_keys=True))
+        )
+        return blob
+
+    # -- accounting ------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        return {
+            "hits": sum(self.hits.values()),
+            "misses": sum(self.misses.values()),
+            "by_kind": {
+                kind: {"hits": self.hits[kind], "misses": self.misses[kind]}
+                for kind in sorted(set(self.hits) | set(self.misses))
+            },
+        }
+
+    def snapshot(self) -> tuple[int, int]:
+        """(total hits, total misses) — cheap, for per-job deltas."""
+        return sum(self.hits.values()), sum(self.misses.values())

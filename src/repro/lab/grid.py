@@ -1,0 +1,150 @@
+"""Experiment grids: the cartesian product a ``lab`` run sweeps.
+
+A grid is ``experiments x domains x orderings x vertex budgets x
+cache scales x seeds``; :meth:`ExperimentGrid.expand` turns it into one
+:class:`JobSpec` per cell.  Specs are plain frozen dataclasses with a
+canonical string key, which doubles as the job-identity key in the
+store (``UNIQUE(run_id, key)``) and feeds the content-addressed
+artifact cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from itertools import product
+
+from ..meshgen import list_domains
+from ..ordering import ORDERINGS
+
+__all__ = ["ExperimentGrid", "JobSpec", "UnknownNameError", "validate_names"]
+
+
+class UnknownNameError(ValueError):
+    """An unknown domain/ordering/experiment name, with the valid choices.
+
+    The CLI turns this into a one-line message and exit status 2.
+    """
+
+    def __init__(self, kind: str, name: str, choices: list[str]):
+        self.kind = kind
+        self.name = name
+        self.choices = sorted(choices)
+        super().__init__(
+            f"unknown {kind} {name!r}; valid {kind}s: {', '.join(self.choices)}"
+        )
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One experiment cell — everything a worker needs to execute it."""
+
+    experiment: str
+    domain: str
+    ordering: str
+    vertices: int = 300
+    seed: int = 0
+    cache_scale: float = 1.0
+    quality_structure: str = "ramp"
+    max_iterations: int = 8
+
+    def key(self) -> str:
+        """Canonical identity string (job uniqueness + cache keying)."""
+        return "|".join(f"{f.name}={getattr(self, f.name)}" for f in fields(self))
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+    def mesh_params(self) -> dict:
+        """The parameters that determine the generated mesh (cache key)."""
+        return {
+            "domain": self.domain,
+            "vertices": self.vertices,
+            "seed": self.seed,
+            "quality_structure": self.quality_structure,
+        }
+
+
+def validate_names(
+    *,
+    domains: tuple[str, ...] = (),
+    orderings: tuple[str, ...] = (),
+    experiments: tuple[str, ...] = (),
+) -> None:
+    """Raise :class:`UnknownNameError` for the first unknown name."""
+    from .worker import EXPERIMENT_RUNNERS  # late: worker imports JobSpec
+
+    known_domains = list_domains()
+    for name in domains:
+        if name not in known_domains:
+            raise UnknownNameError("domain", name, known_domains)
+    for name in orderings:
+        if name not in ORDERINGS:
+            raise UnknownNameError("ordering", name, list(ORDERINGS))
+    for name in experiments:
+        if name not in EXPERIMENT_RUNNERS:
+            raise UnknownNameError("experiment", name, list(EXPERIMENT_RUNNERS))
+
+
+@dataclass(frozen=True)
+class ExperimentGrid:
+    """A sweep specification, expandable into :class:`JobSpec` cells."""
+
+    experiments: tuple[str, ...] = ("pipeline",)
+    domains: tuple[str, ...] = ("ocean",)
+    orderings: tuple[str, ...] = ("ori", "rdr")
+    vertices: tuple[int, ...] = (300,)
+    seeds: tuple[int, ...] = (0,)
+    cache_scales: tuple[float, ...] = (1.0,)
+    quality_structure: str = "ramp"
+    max_iterations: int = 8
+
+    def validate(self) -> "ExperimentGrid":
+        validate_names(
+            domains=self.domains,
+            orderings=self.orderings,
+            experiments=self.experiments,
+        )
+        return self
+
+    def expand(self) -> list[JobSpec]:
+        """One spec per grid cell, in deterministic order."""
+        return [
+            JobSpec(
+                experiment=experiment,
+                domain=domain,
+                ordering=ordering,
+                vertices=vertices,
+                seed=seed,
+                cache_scale=scale,
+                quality_structure=self.quality_structure,
+                max_iterations=self.max_iterations,
+            )
+            for experiment, domain, ordering, vertices, scale, seed in product(
+                self.experiments,
+                self.domains,
+                self.orderings,
+                self.vertices,
+                self.cache_scales,
+                self.seeds,
+            )
+        ]
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentGrid":
+        names = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in names}
+        for key in (
+            "experiments", "domains", "orderings",
+            "vertices", "seeds", "cache_scales",
+        ):
+            if key in kwargs:
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)

@@ -1,0 +1,373 @@
+"""SQLite-backed job store for experiment orchestration.
+
+The store is the durable heart of :mod:`repro.lab`: an experiment grid
+is expanded once into job rows, and any number of worker processes then
+claim, execute and complete those rows.  Everything that matters for
+crash-recovery lives in the database:
+
+* ``runs`` — one row per ``lab init`` (the grid spec as JSON, for
+  provenance and re-expansion);
+* ``jobs`` — one row per grid cell with ``status`` (``pending`` →
+  ``running`` → ``done``/``failed``), ``owner`` (worker id,
+  ``<pid>:<seq>``), ``attempt``/``max_attempts`` and a ``not_before``
+  timestamp implementing exponential backoff between retries.
+
+Concurrency model: every worker opens its own connection (WAL mode,
+generous busy timeout) and claims jobs inside a ``BEGIN IMMEDIATE``
+transaction, so exactly one worker wins each pending row.  A worker
+killed mid-job leaves the row ``running`` with a dead owner pid;
+:meth:`JobStore.reclaim_dead` flips such rows back to ``pending`` at the
+start of the next ``lab run``, which is what makes an interrupted run
+resumable with the same command and no duplicated result rows (job
+identity is enforced by a ``UNIQUE(run_id, key)`` constraint).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = ["Job", "JobStore", "STATUSES"]
+
+STATUSES = ("pending", "running", "done", "failed")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    id      INTEGER PRIMARY KEY AUTOINCREMENT,
+    created REAL NOT NULL,
+    grid    TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    id           INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id       INTEGER NOT NULL REFERENCES runs(id),
+    key          TEXT NOT NULL,
+    spec         TEXT NOT NULL,
+    status       TEXT NOT NULL DEFAULT 'pending',
+    owner        TEXT,
+    attempt      INTEGER NOT NULL DEFAULT 0,
+    max_attempts INTEGER NOT NULL DEFAULT 3,
+    not_before   REAL NOT NULL DEFAULT 0,
+    claimed_at   REAL,
+    finished_at  REAL,
+    wall_s       REAL,
+    result       TEXT,
+    error        TEXT,
+    UNIQUE (run_id, key)
+);
+CREATE INDEX IF NOT EXISTS jobs_status ON jobs (status, not_before);
+"""
+
+
+@dataclass(frozen=True)
+class Job:
+    """One claimed (or inspected) job row."""
+
+    id: int
+    run_id: int
+    key: str
+    spec: dict
+    status: str
+    owner: str | None
+    attempt: int
+    max_attempts: int
+
+    @classmethod
+    def from_row(cls, row: sqlite3.Row) -> "Job":
+        return cls(
+            id=row["id"],
+            run_id=row["run_id"],
+            key=row["key"],
+            spec=json.loads(row["spec"]),
+            status=row["status"],
+            owner=row["owner"],
+            attempt=row["attempt"],
+            max_attempts=row["max_attempts"],
+        )
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists but not ours
+        return True
+    return True
+
+
+class JobStore:
+    """Durable multi-process job queue over a single SQLite file."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._conn: sqlite3.Connection | None = None
+
+    # -- connection management ------------------------------------------
+    @property
+    def conn(self) -> sqlite3.Connection:
+        if self._conn is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(self.path, timeout=30.0)
+            conn.row_factory = sqlite3.Row
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA busy_timeout=30000")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.executescript(_SCHEMA)
+            conn.commit()
+            self._conn = conn
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    # -- run / job creation ---------------------------------------------
+    def create_run(
+        self,
+        grid: dict,
+        specs: Iterable[tuple[str, dict]],
+        *,
+        max_attempts: int = 3,
+        now: float | None = None,
+    ) -> tuple[int, int]:
+        """Insert a run and its expanded jobs.
+
+        ``specs`` is an iterable of ``(key, spec_dict)``.  Duplicate keys
+        within the run are ignored (``INSERT OR IGNORE``), so re-running
+        ``lab init`` with the same grid cannot duplicate jobs.  Returns
+        ``(run_id, jobs_inserted)``.
+        """
+        now = time.time() if now is None else now
+        conn = self.conn
+        with conn:
+            cur = conn.execute(
+                "INSERT INTO runs (created, grid) VALUES (?, ?)",
+                (now, json.dumps(grid, sort_keys=True)),
+            )
+            run_id = int(cur.lastrowid)
+            inserted = 0
+            for key, spec in specs:
+                cur = conn.execute(
+                    "INSERT OR IGNORE INTO jobs "
+                    "(run_id, key, spec, max_attempts) VALUES (?, ?, ?, ?)",
+                    (run_id, key, json.dumps(spec, sort_keys=True), max_attempts),
+                )
+                inserted += cur.rowcount
+        return run_id, inserted
+
+    def latest_run_id(self) -> int | None:
+        row = self.conn.execute("SELECT MAX(id) AS m FROM runs").fetchone()
+        return int(row["m"]) if row["m"] is not None else None
+
+    def run_grid(self, run_id: int) -> dict | None:
+        row = self.conn.execute(
+            "SELECT grid FROM runs WHERE id = ?", (run_id,)
+        ).fetchone()
+        return json.loads(row["grid"]) if row else None
+
+    # -- claim / complete / fail ----------------------------------------
+    def claim(self, worker_id: str, *, now: float | None = None) -> Job | None:
+        """Atomically claim one runnable pending job (or return ``None``).
+
+        ``BEGIN IMMEDIATE`` takes the database write lock up front, so
+        two workers can never claim the same row.
+        """
+        now = time.time() if now is None else now
+        conn = self.conn
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute(
+                "SELECT * FROM jobs WHERE status = 'pending' AND not_before <= ? "
+                "ORDER BY id LIMIT 1",
+                (now,),
+            ).fetchone()
+            if row is None:
+                conn.execute("ROLLBACK")
+                return None
+            conn.execute(
+                "UPDATE jobs SET status = 'running', owner = ?, "
+                "attempt = attempt + 1, claimed_at = ? WHERE id = ?",
+                (worker_id, now, row["id"]),
+            )
+            conn.execute("COMMIT")
+        except sqlite3.OperationalError:
+            try:
+                conn.execute("ROLLBACK")
+            except sqlite3.OperationalError:
+                pass
+            return None
+        claimed = self.get(int(row["id"]))
+        assert claimed is not None
+        return claimed
+
+    def complete(
+        self,
+        job_id: int,
+        result: dict,
+        *,
+        wall_s: float,
+        now: float | None = None,
+    ) -> bool:
+        """Mark a running job done; returns False if it was not running
+        (e.g. it was reclaimed from under a stalled worker)."""
+        now = time.time() if now is None else now
+        with self.conn as conn:
+            cur = conn.execute(
+                "UPDATE jobs SET status = 'done', result = ?, wall_s = ?, "
+                "finished_at = ?, error = NULL "
+                "WHERE id = ? AND status = 'running'",
+                (json.dumps(result, sort_keys=True), wall_s, now, job_id),
+            )
+        return cur.rowcount == 1
+
+    def fail(
+        self,
+        job_id: int,
+        error: str,
+        *,
+        retry_base_s: float = 1.0,
+        now: float | None = None,
+    ) -> str:
+        """Record a failure: retry with exponential backoff, or mark
+        ``failed`` once attempts are exhausted.  Returns the new status."""
+        now = time.time() if now is None else now
+        with self.conn as conn:
+            row = conn.execute(
+                "SELECT attempt, max_attempts FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+            if row is None:
+                return "missing"
+            if row["attempt"] >= row["max_attempts"]:
+                status, not_before = "failed", now
+            else:
+                status = "pending"
+                not_before = now + retry_base_s * 2 ** (row["attempt"] - 1)
+            conn.execute(
+                "UPDATE jobs SET status = ?, error = ?, not_before = ?, "
+                "finished_at = ? WHERE id = ?",
+                (status, error[:2000], not_before, now, job_id),
+            )
+        return status
+
+    # -- recovery --------------------------------------------------------
+    def reclaim_dead(self, *, now: float | None = None) -> int:
+        """Reset ``running`` jobs whose owner process no longer exists.
+
+        The owner id is ``<pid>:<seq>``; a SIGKILLed worker leaves its
+        rows running forever, and this is what lets the next ``lab run``
+        pick them back up.  The attempt already spent stays counted.
+        """
+        now = time.time() if now is None else now
+        conn = self.conn
+        rows = conn.execute(
+            "SELECT id, owner FROM jobs WHERE status = 'running'"
+        ).fetchall()
+        reclaimed = 0
+        with conn:
+            for row in rows:
+                owner = row["owner"] or ""
+                try:
+                    pid = int(owner.split(":", 1)[0])
+                except ValueError:
+                    pid = -1
+                if pid <= 0 or not _pid_alive(pid):
+                    conn.execute(
+                        "UPDATE jobs SET status = 'pending', owner = NULL, "
+                        "not_before = ? WHERE id = ? AND status = 'running'",
+                        (now, row["id"]),
+                    )
+                    reclaimed += 1
+        return reclaimed
+
+    def reset(
+        self,
+        *,
+        statuses: tuple[str, ...] = ("failed",),
+        run_id: int | None = None,
+        now: float | None = None,
+    ) -> int:
+        """Flip jobs in ``statuses`` back to pending with a fresh attempt
+        budget (the CLI's ``lab reset`` / reset-failed semantics)."""
+        now = time.time() if now is None else now
+        marks = ", ".join("?" for _ in statuses)
+        sql = (
+            f"UPDATE jobs SET status = 'pending', owner = NULL, attempt = 0, "
+            f"error = NULL, not_before = ? WHERE status IN ({marks})"
+        )
+        params: list[Any] = [now, *statuses]
+        if run_id is not None:
+            sql += " AND run_id = ?"
+            params.append(run_id)
+        with self.conn as conn:
+            cur = conn.execute(sql, params)
+        return cur.rowcount
+
+    # -- inspection ------------------------------------------------------
+    def get(self, job_id: int) -> Job | None:
+        row = self.conn.execute(
+            "SELECT * FROM jobs WHERE id = ?", (job_id,)
+        ).fetchone()
+        return Job.from_row(row) if row else None
+
+    def counts(self, run_id: int | None = None) -> dict[str, int]:
+        sql = "SELECT status, COUNT(*) AS n FROM jobs"
+        params: tuple = ()
+        if run_id is not None:
+            sql += " WHERE run_id = ?"
+            params = (run_id,)
+        sql += " GROUP BY status"
+        out = {status: 0 for status in STATUSES}
+        for row in self.conn.execute(sql, params):
+            out[row["status"]] = row["n"]
+        return out
+
+    def pending_runnable(self, *, now: float | None = None) -> int:
+        now = time.time() if now is None else now
+        row = self.conn.execute(
+            "SELECT COUNT(*) AS n FROM jobs "
+            "WHERE status = 'pending' AND not_before <= ?",
+            (now,),
+        ).fetchone()
+        return int(row["n"])
+
+    def next_not_before(self) -> float | None:
+        """Earliest ``not_before`` among pending jobs (for backoff waits)."""
+        row = self.conn.execute(
+            "SELECT MIN(not_before) AS m FROM jobs WHERE status = 'pending'"
+        ).fetchone()
+        return float(row["m"]) if row["m"] is not None else None
+
+    def results(self, run_id: int | None = None) -> list[dict]:
+        """Flat result rows for every done job: spec fields + result
+        fields + bookkeeping (shaped like ``bench_results/*.json`` rows)."""
+        sql = "SELECT * FROM jobs WHERE status = 'done'"
+        params: tuple = ()
+        if run_id is not None:
+            sql += " AND run_id = ?"
+            params = (run_id,)
+        sql += " ORDER BY id"
+        rows = []
+        for row in self.conn.execute(sql, params):
+            flat: dict[str, Any] = dict(json.loads(row["spec"]))
+            flat.update(json.loads(row["result"] or "{}"))
+            flat["job_id"] = row["id"]
+            flat["run_id"] = row["run_id"]
+            flat["attempt"] = row["attempt"]
+            flat["wall_s"] = row["wall_s"]
+            rows.append(flat)
+        return rows
+
+    def jobs(self, run_id: int | None = None) -> list[Job]:
+        sql = "SELECT * FROM jobs"
+        params: tuple = ()
+        if run_id is not None:
+            sql += " WHERE run_id = ?"
+            params = (run_id,)
+        sql += " ORDER BY id"
+        return [Job.from_row(r) for r in self.conn.execute(sql, params)]

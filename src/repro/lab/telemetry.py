@@ -1,0 +1,118 @@
+"""JSONL run telemetry: one event per line, appended by every worker.
+
+Workers emit ``job_claimed`` / ``job_done`` / ``job_failed`` /
+``job_timeout`` events (plus worker lifecycle markers) into a single
+append-only ``.jsonl`` file.  Each write is one small ``O_APPEND`` write
+of one line, which POSIX keeps atomic across processes, so no locking is
+needed.  :func:`summarize` folds a stream back into the aggregate view
+``lab status`` prints: job counts, wall time, cache hit/miss totals and
+per-worker throughput — the cache-hit counts are how a re-run's artifact
+reuse is verified.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["TelemetryWriter", "format_summary", "read_events", "summarize"]
+
+
+class TelemetryWriter:
+    """Appends timestamped JSON events for one worker (or the driver)."""
+
+    def __init__(self, path: str | Path | None, worker: str = "driver"):
+        self.path = Path(path) if path is not None else None
+        self.worker = worker
+
+    def emit(self, event: str, **fields: Any) -> None:
+        if self.path is None:
+            return
+        record = {"t": time.time(), "event": event, "worker": self.worker}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            fh.write(line + "\n")
+
+
+def read_events(path: str | Path) -> Iterator[dict]:
+    """Parsed events in file order (tolerates a torn final line)."""
+    path = Path(path)
+    if not path.exists():
+        return
+    for raw in path.read_text().splitlines():
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            yield json.loads(raw)
+        except json.JSONDecodeError:
+            continue
+
+
+def summarize(path: str | Path) -> dict:
+    """Aggregate a telemetry stream into run-level statistics."""
+    jobs_done = jobs_failed = timeouts = retries = 0
+    cache_hits = cache_misses = 0
+    wall = 0.0
+    per_worker: Counter[str] = Counter()
+    per_experiment: Counter[str] = Counter()
+    t_first = t_last = None
+    for ev in read_events(path):
+        t = ev.get("t")
+        if isinstance(t, (int, float)):
+            t_first = t if t_first is None else min(t_first, t)
+            t_last = t if t_last is None else max(t_last, t)
+        kind = ev.get("event")
+        if kind == "job_done":
+            jobs_done += 1
+            wall += float(ev.get("wall_s", 0.0))
+            cache_hits += int(ev.get("cache_hits", 0))
+            cache_misses += int(ev.get("cache_misses", 0))
+            per_worker[ev.get("worker", "?")] += 1
+            per_experiment[ev.get("experiment", "?")] += 1
+        elif kind == "job_failed":
+            jobs_failed += 1
+            if ev.get("will_retry"):
+                retries += 1
+        elif kind == "job_timeout":
+            timeouts += 1
+    return {
+        "jobs_done": jobs_done,
+        "jobs_failed": jobs_failed,
+        "timeouts": timeouts,
+        "retries": retries,
+        "total_wall_s": wall,
+        "makespan_s": (t_last - t_first) if t_first is not None else 0.0,
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
+        "cache_hit_rate": (
+            cache_hits / (cache_hits + cache_misses)
+            if cache_hits + cache_misses
+            else 0.0
+        ),
+        "per_worker": dict(sorted(per_worker.items())),
+        "per_experiment": dict(sorted(per_experiment.items())),
+    }
+
+
+def format_summary(summary: dict) -> str:
+    """Human-readable block for ``lab status``."""
+    lines = [
+        f"jobs done:      {summary['jobs_done']} "
+        f"(failed {summary['jobs_failed']}, retried {summary['retries']}, "
+        f"timed out {summary['timeouts']})",
+        f"wall time:      {summary['total_wall_s']:.2f} s worker-summed, "
+        f"{summary['makespan_s']:.2f} s makespan",
+        f"artifact cache: {summary['cache_hits']} hits / "
+        f"{summary['cache_misses']} misses "
+        f"({summary['cache_hit_rate']:.0%} hit rate)",
+    ]
+    if summary["per_worker"]:
+        parts = ", ".join(f"{w}: {n}" for w, n in summary["per_worker"].items())
+        lines.append(f"per worker:     {parts}")
+    return "\n".join(lines)

@@ -1,0 +1,320 @@
+"""Worker pool: claim jobs from the store, execute, write results back.
+
+Each worker is one OS process running :func:`worker_loop`: claim a
+pending job (atomically, via the store), execute it under a wall-clock
+timeout, and either write the result row or record a failure — failures
+re-queue with exponential backoff until ``max_attempts`` is exhausted.
+The pool (:func:`run_pool`) first reclaims jobs orphaned by killed
+workers, then spawns N processes and joins them; every process opens its
+own SQLite connection and telemetry append stream, so there is no shared
+in-memory state to lose.
+
+Experiments are looked up in :data:`EXPERIMENT_RUNNERS`:
+
+``pipeline``
+    The full paper pipeline — generate (cached), order (cached
+    permutation), smooth with tracing, simulate the cache hierarchy on a
+    machine calibrated to ``footprint x cache_scale``, and return the
+    :func:`repro.core.run_summary` row.  The whole row is additionally
+    cached content-addressed, so re-running an identical grid costs one
+    cache read per job.
+``smooth``
+    Quality-convergence only (no memory simulation).
+``reorder-cost``
+    Section 5.4's reordering-cost measurement.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Callable
+
+from ..core.pipeline import run_ordering, run_summary
+from ..core.cost import measure_reordering_cost
+from ..memsim import MemoryLayout, calibrated_machine
+from ..meshgen import generate_domain_mesh
+from ..mesh import TriMesh
+from ..ordering import get_ordering
+from ..quality import DEFAULT_RANK_PASSES, global_quality, patch_quality, vertex_quality
+from ..smoothing import laplacian_smooth
+from .artifacts import ArtifactCache
+from .grid import JobSpec
+from .store import JobStore
+from .telemetry import TelemetryWriter
+
+__all__ = [
+    "EXPERIMENT_RUNNERS",
+    "JobTimeout",
+    "execute_job",
+    "run_pool",
+    "worker_loop",
+]
+
+
+class JobTimeout(Exception):
+    """A job exceeded its wall-clock budget."""
+
+
+# ---------------------------------------------------------------------------
+# Experiment runners
+# ---------------------------------------------------------------------------
+def _cached_mesh(spec: JobSpec, cache: ArtifactCache) -> TriMesh:
+    return cache.mesh(
+        spec.mesh_params(),
+        lambda: generate_domain_mesh(
+            spec.domain,
+            target_vertices=spec.vertices,
+            seed=spec.seed,
+            quality_structure=spec.quality_structure,
+        ),
+    )
+
+
+def _cached_order(spec: JobSpec, cache: ArtifactCache, mesh: TriMesh):
+    """The permutation under the same rank-smoothed signal _prepare uses."""
+    params = {
+        **spec.mesh_params(),
+        "ordering": spec.ordering,
+        "rank_passes": DEFAULT_RANK_PASSES,
+    }
+
+    def build():
+        rank_q = patch_quality(
+            mesh, passes=DEFAULT_RANK_PASSES, base=vertex_quality(mesh)
+        )
+        return get_ordering(spec.ordering)(mesh, seed=spec.seed, qualities=rank_q)
+
+    return cache.array("order", params, build)
+
+
+def _run_pipeline(spec: JobSpec, cache: ArtifactCache) -> dict:
+    def compute() -> dict:
+        mesh = _cached_mesh(spec, cache)
+        order = _cached_order(spec, cache, mesh)
+        layout = MemoryLayout.for_mesh(mesh)
+        machine = calibrated_machine(
+            max(1, int(layout.total_bytes * spec.cache_scale))
+        )
+        run = run_ordering(
+            mesh,
+            spec.ordering,
+            machine=machine,
+            fixed_iterations=spec.max_iterations,
+            seed=spec.seed,
+            precomputed_order=order,
+        )
+        return run_summary(run)
+
+    return cache.json_blob("stats", spec.as_dict(), compute)
+
+
+def _run_smooth(spec: JobSpec, cache: ArtifactCache) -> dict:
+    def compute() -> dict:
+        mesh = _cached_mesh(spec, cache)
+        order = _cached_order(spec, cache, mesh)
+        result = laplacian_smooth(
+            mesh.permute(order), max_iterations=spec.max_iterations
+        )
+        return {
+            "iterations": result.iterations,
+            "converged": bool(result.converged),
+            "initial_quality": result.initial_quality,
+            "final_quality": result.final_quality,
+        }
+
+    return cache.json_blob("smooth", spec.as_dict(), compute)
+
+
+def _run_reorder_cost(spec: JobSpec, cache: ArtifactCache) -> dict:
+    def compute() -> dict:
+        mesh = _cached_mesh(spec, cache)
+        cost = measure_reordering_cost(mesh, spec.ordering)
+        return {
+            "quality": global_quality(mesh),
+            "reorder_ms": cost.ordering_seconds * 1e3,
+            "iteration_ms": cost.iteration_seconds * 1e3,
+            "iterations_equivalent": cost.iterations_equivalent,
+        }
+
+    return cache.json_blob("reorder-cost", spec.as_dict(), compute)
+
+
+EXPERIMENT_RUNNERS: dict[str, Callable[[JobSpec, ArtifactCache], dict]] = {
+    "pipeline": _run_pipeline,
+    "smooth": _run_smooth,
+    "reorder-cost": _run_reorder_cost,
+}
+
+
+def execute_job(spec: JobSpec, cache: ArtifactCache, *, timeout_s: float = 0) -> dict:
+    """Run one job, optionally under a SIGALRM wall-clock budget."""
+    try:
+        runner = EXPERIMENT_RUNNERS[spec.experiment]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {spec.experiment!r}; "
+            f"valid experiments: {', '.join(sorted(EXPERIMENT_RUNNERS))}"
+        ) from None
+    use_alarm = (
+        timeout_s > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_alarm:
+        return runner(spec, cache)
+
+    def on_alarm(signum, frame):
+        raise JobTimeout(f"job exceeded {timeout_s:.0f}s")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return runner(spec, cache)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# ---------------------------------------------------------------------------
+# Worker loop and pool
+# ---------------------------------------------------------------------------
+def worker_loop(
+    db_path: str | Path,
+    cache_dir: str | Path,
+    telemetry_path: str | Path | None,
+    worker_seq: int = 0,
+    *,
+    job_timeout_s: float = 300.0,
+    retry_base_s: float = 0.5,
+    max_jobs: int | None = None,
+    poll_s: float = 0.05,
+) -> int:
+    """Claim-and-execute until the queue drains; returns jobs completed.
+
+    Runs as the body of each pool process, and inline (in-process) for
+    ``--workers 1`` and for tests.
+    """
+    worker_id = f"{os.getpid()}:{worker_seq}"
+    store = JobStore(db_path)
+    cache = ArtifactCache(cache_dir)
+    tel = TelemetryWriter(telemetry_path, worker=worker_id)
+    tel.emit("worker_started")
+    completed = 0
+    try:
+        while max_jobs is None or completed < max_jobs:
+            job = store.claim(worker_id)
+            if job is None:
+                counts = store.counts()
+                if counts["pending"] == 0 and counts["running"] == 0:
+                    break  # queue drained
+                # Jobs are either backing off or running elsewhere (and
+                # may yet fail and re-queue): wait for whichever is next.
+                next_at = store.next_not_before()
+                delay = poll_s
+                if counts["pending"] and next_at is not None:
+                    delay = max(poll_s, min(next_at - time.time(), 1.0))
+                time.sleep(delay)
+                continue
+            spec = JobSpec.from_dict(job.spec)
+            tel.emit("job_claimed", job_id=job.id, key=job.key, attempt=job.attempt)
+            hits0, misses0 = cache.snapshot()
+            start = time.perf_counter()
+            try:
+                result = execute_job(spec, cache, timeout_s=job_timeout_s)
+            except JobTimeout as exc:
+                tel.emit("job_timeout", job_id=job.id, error=str(exc))
+                status = store.fail(job.id, str(exc), retry_base_s=retry_base_s)
+                tel.emit(
+                    "job_failed",
+                    job_id=job.id,
+                    error=str(exc),
+                    will_retry=status == "pending",
+                )
+            except Exception as exc:
+                error = "".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip()
+                status = store.fail(job.id, error, retry_base_s=retry_base_s)
+                tel.emit(
+                    "job_failed",
+                    job_id=job.id,
+                    error=error,
+                    will_retry=status == "pending",
+                )
+            else:
+                wall = time.perf_counter() - start
+                hits1, misses1 = cache.snapshot()
+                if store.complete(job.id, result, wall_s=wall):
+                    completed += 1
+                    tel.emit(
+                        "job_done",
+                        job_id=job.id,
+                        experiment=spec.experiment,
+                        wall_s=wall,
+                        cache_hits=hits1 - hits0,
+                        cache_misses=misses1 - misses0,
+                    )
+    finally:
+        tel.emit("worker_exit", completed=completed)
+        store.close()
+    return completed
+
+
+def run_pool(
+    db_path: str | Path,
+    cache_dir: str | Path,
+    telemetry_path: str | Path | None,
+    *,
+    workers: int = 1,
+    job_timeout_s: float = 300.0,
+    retry_base_s: float = 0.5,
+    max_jobs: int | None = None,
+) -> dict[str, int]:
+    """Reclaim orphans, run ``workers`` processes to drain the queue, and
+    return the final status counts."""
+    store = JobStore(db_path)
+    reclaimed = store.reclaim_dead()
+    TelemetryWriter(telemetry_path).emit(
+        "run_started", workers=workers, reclaimed=reclaimed
+    )
+    # SQLite connections must not cross a fork: close before spawning.
+    store.close()
+
+    if workers <= 1:
+        worker_loop(
+            db_path,
+            cache_dir,
+            telemetry_path,
+            0,
+            job_timeout_s=job_timeout_s,
+            retry_base_s=retry_base_s,
+            max_jobs=max_jobs,
+        )
+    else:
+        procs = [
+            mp.Process(
+                target=worker_loop,
+                args=(db_path, cache_dir, telemetry_path, seq),
+                kwargs={
+                    "job_timeout_s": job_timeout_s,
+                    "retry_base_s": retry_base_s,
+                    "max_jobs": max_jobs,
+                },
+            )
+            for seq in range(workers)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join()
+
+    counts = store.counts()
+    TelemetryWriter(telemetry_path).emit("run_finished", **counts)
+    store.close()
+    return counts

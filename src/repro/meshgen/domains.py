@@ -220,7 +220,7 @@ def domain_rings(name: str) -> list[np.ndarray]:
         return _BUILDERS[name]()
     except KeyError:
         raise KeyError(
-            f"unknown domain {name!r}; choose from {sorted(_BUILDERS)}"
+            f"unknown domain {name!r}; valid domains: {', '.join(sorted(_BUILDERS))}"
         ) from None
 
 

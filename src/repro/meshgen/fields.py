@@ -89,7 +89,7 @@ def apply_quality_structure(
     if structure not in QUALITY_STRUCTURES:
         raise ValueError(
             f"unknown quality structure {structure!r}; "
-            f"choose from {QUALITY_STRUCTURES}"
+            f"valid structures: {', '.join(QUALITY_STRUCTURES)}"
         )
     rng = rng if rng is not None else np.random.default_rng(0)
     pts = mesh.vertices

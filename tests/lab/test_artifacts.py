@@ -1,0 +1,82 @@
+"""Content-addressed artifact cache: keying, round-trips, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.lab import ArtifactCache, cache_key
+from repro.meshgen import structured_rectangle
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "artifacts")
+
+
+class TestKeying:
+    def test_key_is_stable(self):
+        params = {"domain": "ocean", "vertices": 300}
+        assert cache_key("mesh", params) == cache_key("mesh", params)
+
+    def test_key_ignores_dict_order(self):
+        assert cache_key("mesh", {"a": 1, "b": 2}) == cache_key(
+            "mesh", {"b": 2, "a": 1}
+        )
+
+    def test_key_separates_kinds_and_params(self):
+        params = {"a": 1}
+        assert cache_key("mesh", params) != cache_key("order", params)
+        assert cache_key("mesh", {"a": 1}) != cache_key("mesh", {"a": 2})
+
+
+class TestMesh:
+    def test_miss_then_hit(self, cache):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return structured_rectangle(4, 4, name="grid")
+
+        params = {"domain": "grid"}
+        first = cache.mesh(params, build)
+        second = cache.mesh(params, build)
+        assert len(calls) == 1
+        np.testing.assert_array_equal(first.vertices, second.vertices)
+        np.testing.assert_array_equal(first.triangles, second.triangles)
+        assert cache.hits["mesh"] == 1 and cache.misses["mesh"] == 1
+
+    def test_different_params_are_distinct_artifacts(self, cache):
+        cache.mesh({"n": 4}, lambda: structured_rectangle(4, 4))
+        cache.mesh({"n": 5}, lambda: structured_rectangle(5, 5))
+        assert cache.misses["mesh"] == 2
+        assert cache.hits["mesh"] == 0
+
+
+class TestArrayAndBlob:
+    def test_array_round_trip(self, cache):
+        arr = np.arange(10, dtype=np.int64)[::-1].copy()
+        got = cache.array("order", {"k": 1}, lambda: arr)
+        np.testing.assert_array_equal(got, arr)
+        cached = cache.array("order", {"k": 1}, lambda: 1 / 0)  # must not run
+        np.testing.assert_array_equal(cached, arr)
+
+    def test_json_blob_round_trip(self, cache):
+        blob = {"modeled_ms": 1.25, "L1_misses": 42}
+        assert cache.json_blob("stats", {"k": 1}, lambda: blob) == blob
+        assert cache.json_blob("stats", {"k": 1}, lambda: {}) == blob
+
+    def test_no_tmp_files_left_behind(self, cache):
+        cache.array("order", {"k": 1}, lambda: np.arange(3))
+        cache.json_blob("stats", {"k": 1}, lambda: {"x": 1})
+        leftovers = [p for p in cache.root.iterdir() if ".tmp." in p.name]
+        assert leftovers == []
+
+
+class TestAccounting:
+    def test_stats_and_snapshot(self, cache):
+        cache.json_blob("stats", {"k": 1}, lambda: {})
+        cache.json_blob("stats", {"k": 1}, lambda: {})
+        cache.array("order", {"k": 1}, lambda: np.arange(2))
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 2
+        assert stats["by_kind"]["stats"] == {"hits": 1, "misses": 1}
+        assert cache.snapshot() == (1, 2)

@@ -1,0 +1,84 @@
+"""Grid expansion, spec identity, and name validation."""
+
+import json
+
+import pytest
+
+from repro.lab import ExperimentGrid, JobSpec, UnknownNameError
+
+
+class TestExpand:
+    def test_cell_count_is_the_product(self):
+        grid = ExperimentGrid(
+            experiments=("pipeline", "smooth"),
+            domains=("ocean", "lake"),
+            orderings=("ori", "rdr", "bfs"),
+            vertices=(200, 400),
+            seeds=(0, 1),
+            cache_scales=(0.5, 1.0),
+        )
+        assert len(grid.expand()) == 2 * 2 * 3 * 2 * 2 * 2
+
+    def test_expansion_is_deterministic(self):
+        grid = ExperimentGrid(domains=("ocean", "lake"), seeds=(0, 1))
+        assert grid.expand() == grid.expand()
+
+    def test_keys_are_unique(self):
+        grid = ExperimentGrid(
+            domains=("ocean", "lake"), orderings=("ori", "rdr"), seeds=(0, 1)
+        )
+        keys = [spec.key() for spec in grid.expand()]
+        assert len(keys) == len(set(keys))
+
+    def test_key_reflects_every_field(self):
+        a = JobSpec(experiment="pipeline", domain="ocean", ordering="ori")
+        b = JobSpec(
+            experiment="pipeline", domain="ocean", ordering="ori", cache_scale=2.0
+        )
+        assert a.key() != b.key()
+
+
+class TestRoundTrip:
+    def test_grid_survives_json(self):
+        grid = ExperimentGrid(domains=("ocean",), seeds=(0, 3), vertices=(250,))
+        restored = ExperimentGrid.from_dict(json.loads(json.dumps(grid.as_dict())))
+        assert restored == grid
+
+    def test_spec_survives_json(self):
+        spec = JobSpec(
+            experiment="smooth", domain="lake", ordering="rdr", seed=7,
+            cache_scale=0.5,
+        )
+        assert JobSpec.from_dict(json.loads(json.dumps(spec.as_dict()))) == spec
+
+    def test_spec_from_dict_ignores_bookkeeping_fields(self):
+        data = JobSpec(
+            experiment="pipeline", domain="ocean", ordering="ori"
+        ).as_dict()
+        data["job_id"] = 12
+        assert JobSpec.from_dict(data).domain == "ocean"
+
+
+class TestValidate:
+    def test_valid_grid_passes(self):
+        grid = ExperimentGrid(
+            experiments=("pipeline", "smooth", "reorder-cost"),
+            domains=("ocean",),
+            orderings=("ori", "rdr"),
+        )
+        assert grid.validate() is grid
+
+    @pytest.mark.parametrize(
+        "kwargs, fragment",
+        [
+            ({"domains": ("atlantis",)}, "unknown domain 'atlantis'"),
+            ({"orderings": ("zorder",)}, "unknown ordering 'zorder'"),
+            ({"experiments": ("nope",)}, "unknown experiment 'nope'"),
+        ],
+    )
+    def test_unknown_names_raise_with_choices(self, kwargs, fragment):
+        with pytest.raises(UnknownNameError) as exc:
+            ExperimentGrid(**kwargs).validate()
+        message = str(exc.value)
+        assert fragment in message
+        assert "valid" in message and "," in message  # lists the choices

@@ -1,0 +1,133 @@
+"""Job-store semantics: atomic claims, retry/backoff, recovery."""
+
+import os
+import time
+
+import pytest
+
+from repro.lab import JobStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = JobStore(tmp_path / "lab.db")
+    yield s
+    s.close()
+
+
+def seed_jobs(store, n=3, **kwargs):
+    specs = [(f"job-{i}", {"experiment": "pipeline", "i": i}) for i in range(n)]
+    return store.create_run({"grid": True}, specs, **kwargs)
+
+
+class TestCreateRun:
+    def test_inserts_one_row_per_spec(self, store):
+        run_id, inserted = seed_jobs(store, 3)
+        assert inserted == 3
+        assert store.counts(run_id)["pending"] == 3
+
+    def test_duplicate_keys_within_a_run_are_ignored(self, store):
+        specs = [("same", {"a": 1}), ("same", {"a": 1}), ("other", {"a": 2})]
+        _, inserted = store.create_run({}, specs)
+        assert inserted == 2
+
+    def test_grid_round_trips(self, store):
+        run_id, _ = store.create_run({"domains": ["ocean"]}, [("k", {})])
+        assert store.run_grid(run_id) == {"domains": ["ocean"]}
+        assert store.latest_run_id() == run_id
+
+
+class TestClaim:
+    def test_claim_marks_running_with_owner_and_attempt(self, store):
+        seed_jobs(store)
+        job = store.claim("w1")
+        assert job is not None
+        assert job.status == "running"
+        assert job.owner == "w1"
+        assert job.attempt == 1
+        assert store.counts()["running"] == 1
+
+    def test_claims_are_disjoint(self, store):
+        seed_jobs(store, 2)
+        a = store.claim("w1")
+        b = store.claim("w2")
+        assert a.id != b.id
+        assert store.claim("w3") is None
+
+    def test_backoff_hides_jobs_until_not_before(self, store):
+        seed_jobs(store, 1)
+        job = store.claim("w1")
+        store.fail(job.id, "boom", retry_base_s=60.0)
+        # Re-queued but backing off: not claimable right now.
+        assert store.counts()["pending"] == 1
+        assert store.claim("w1") is None
+        assert store.pending_runnable() == 0
+        assert store.next_not_before() > time.time() + 30
+
+
+class TestCompleteAndFail:
+    def test_complete_records_result(self, store):
+        run_id, _ = seed_jobs(store, 1)
+        job = store.claim("w1")
+        assert store.complete(job.id, {"modeled_ms": 1.5}, wall_s=0.1)
+        rows = store.results(run_id)
+        assert len(rows) == 1
+        assert rows[0]["modeled_ms"] == 1.5
+        assert rows[0]["experiment"] == "pipeline"
+        assert rows[0]["attempt"] == 1
+
+    def test_complete_is_single_shot(self, store):
+        seed_jobs(store, 1)
+        job = store.claim("w1")
+        assert store.complete(job.id, {}, wall_s=0.0)
+        # A second completion (e.g. from a stale worker) is rejected, so
+        # result rows can never be duplicated.
+        assert not store.complete(job.id, {}, wall_s=0.0)
+        assert len(store.results()) == 1
+
+    def test_fail_retries_with_exponential_backoff(self, store):
+        seed_jobs(store, 1, max_attempts=3)
+        job = store.claim("w1")
+        assert store.fail(job.id, "e1", retry_base_s=0.0, now=100.0) == "pending"
+        job = store.claim("w1", now=200.0)
+        assert job.attempt == 2
+        # Backoff doubles with the attempt number.
+        store.fail(job.id, "e2", retry_base_s=4.0, now=300.0)
+        assert store.next_not_before() == pytest.approx(300.0 + 4.0 * 2)
+
+    def test_fail_exhausts_to_failed(self, store):
+        seed_jobs(store, 1, max_attempts=2)
+        for expected in ("pending", "failed"):
+            job = store.claim("w1", now=1e12)
+            assert store.fail(job.id, "boom", retry_base_s=0.0) == expected
+        counts = store.counts()
+        assert counts["failed"] == 1 and counts["pending"] == 0
+
+
+class TestRecovery:
+    def test_reset_failed_restores_attempt_budget(self, store):
+        seed_jobs(store, 1, max_attempts=1)
+        job = store.claim("w1")
+        store.fail(job.id, "boom")
+        assert store.reset() == 1
+        job = store.claim("w1")
+        assert job.attempt == 1  # budget restored
+        assert job.status == "running"
+
+    def test_reclaim_dead_requeues_orphans(self, store):
+        seed_jobs(store, 2)
+        dead = store.claim("999999999:0")  # no such pid
+        alive = store.claim(f"{os.getpid()}:0")
+        assert store.reclaim_dead() == 1
+        counts = store.counts()
+        assert counts["pending"] == 1 and counts["running"] == 1
+        requeued = store.get(dead.id)
+        assert requeued.status == "pending"
+        assert store.get(alive.id).status == "running"
+
+    def test_reclaimed_attempt_stays_counted(self, store):
+        seed_jobs(store, 1)
+        store.claim("999999999:0")
+        store.reclaim_dead()
+        job = store.claim("w1")
+        assert job.attempt == 2

@@ -1,0 +1,62 @@
+"""Telemetry stream: append, parse, aggregate."""
+
+from repro.lab import TelemetryWriter, format_summary, read_events, summarize
+
+
+def test_emit_and_read(tmp_path):
+    path = tmp_path / "t.jsonl"
+    tel = TelemetryWriter(path, worker="w0")
+    tel.emit("job_done", job_id=1, wall_s=0.5)
+    tel.emit("job_failed", job_id=2, error="boom", will_retry=True)
+    events = list(read_events(path))
+    assert [e["event"] for e in events] == ["job_done", "job_failed"]
+    assert all(e["worker"] == "w0" for e in events)
+    assert all("t" in e for e in events)
+
+
+def test_none_path_is_a_noop():
+    TelemetryWriter(None).emit("job_done")  # must not raise
+
+
+def test_read_missing_file(tmp_path):
+    assert list(read_events(tmp_path / "missing.jsonl")) == []
+
+
+def test_torn_final_line_is_tolerated(tmp_path):
+    path = tmp_path / "t.jsonl"
+    TelemetryWriter(path, worker="w0").emit("job_done", wall_s=1.0)
+    with path.open("a") as fh:
+        fh.write('{"event": "job_do')  # a worker died mid-write
+    assert summarize(path)["jobs_done"] == 1
+
+
+def test_summarize_aggregates(tmp_path):
+    path = tmp_path / "t.jsonl"
+    w0 = TelemetryWriter(path, worker="w0")
+    w1 = TelemetryWriter(path, worker="w1")
+    w0.emit("job_done", experiment="pipeline", wall_s=1.0,
+            cache_hits=2, cache_misses=1)
+    w1.emit("job_done", experiment="smooth", wall_s=0.5,
+            cache_hits=3, cache_misses=0)
+    w1.emit("job_failed", error="x", will_retry=True)
+    w1.emit("job_timeout")
+    s = summarize(path)
+    assert s["jobs_done"] == 2
+    assert s["jobs_failed"] == 1
+    assert s["retries"] == 1
+    assert s["timeouts"] == 1
+    assert s["total_wall_s"] == 1.5
+    assert s["cache_hits"] == 5 and s["cache_misses"] == 1
+    assert abs(s["cache_hit_rate"] - 5 / 6) < 1e-9
+    assert s["per_worker"] == {"w0": 1, "w1": 1}
+    assert s["per_experiment"] == {"pipeline": 1, "smooth": 1}
+    assert s["makespan_s"] >= 0.0
+
+
+def test_format_summary_mentions_cache_and_jobs(tmp_path):
+    path = tmp_path / "t.jsonl"
+    TelemetryWriter(path, worker="w0").emit(
+        "job_done", wall_s=0.1, cache_hits=1, cache_misses=1
+    )
+    text = format_summary(summarize(path))
+    assert "jobs done" in text and "artifact cache" in text and "w0" in text

@@ -1,0 +1,247 @@
+"""Worker pool: execution, retry, timeout, caching, crash recovery.
+
+The multiprocess tests use tiny grids (a few hundred vertices, few
+iterations) so the whole module stays in CI-friendly time.
+"""
+
+import json
+import multiprocessing as mp
+import os
+import signal
+import time
+
+import pytest
+
+from repro.lab import (
+    EXPERIMENT_RUNNERS,
+    ArtifactCache,
+    ExperimentGrid,
+    JobSpec,
+    JobStore,
+    execute_job,
+    run_pool,
+    summarize,
+    worker_loop,
+)
+
+TINY = dict(vertices=(150,), max_iterations=2)
+
+
+def init_store(db, grid, **kwargs):
+    store = JobStore(db)
+    specs = grid.expand()
+    run_id, _ = store.create_run(
+        grid.as_dict(), [(s.key(), s.as_dict()) for s in specs], **kwargs
+    )
+    store.close()
+    return run_id, len(specs)
+
+
+class TestExecuteJob:
+    def test_unknown_experiment_lists_choices(self, tmp_path):
+        spec = JobSpec(experiment="nope", domain="ocean", ordering="ori")
+        with pytest.raises(KeyError, match="valid experiments"):
+            execute_job(spec, ArtifactCache(tmp_path))
+
+    def test_pipeline_result_shape(self, tmp_path):
+        spec = JobSpec(
+            experiment="pipeline", domain="ocean", ordering="rdr",
+            vertices=150, max_iterations=2,
+        )
+        result = execute_job(spec, ArtifactCache(tmp_path))
+        for key in ("modeled_ms", "L1_miss_%", "final_quality", "iterations"):
+            assert key in result
+        json.dumps(result)  # must be serialisable
+
+    def test_pipeline_result_is_cached_content_addressed(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        spec = JobSpec(
+            experiment="pipeline", domain="ocean", ordering="ori",
+            vertices=150, max_iterations=2,
+        )
+        first = execute_job(spec, cache)
+        hits0, _ = cache.snapshot()
+        second = execute_job(spec, cache)
+        hits1, misses1 = cache.snapshot()
+        assert second == first
+        assert hits1 == hits0 + 1  # one stats-blob hit, nothing recomputed
+
+    def test_mesh_and_order_shared_across_experiments(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        base = dict(domain="ocean", ordering="ori", vertices=150,
+                    max_iterations=2)
+        execute_job(JobSpec(experiment="pipeline", **base), cache)
+        execute_job(JobSpec(experiment="smooth", **base), cache)
+        # The second experiment reuses the generated mesh and permutation.
+        assert cache.hits["mesh"] >= 1
+        assert cache.hits["order"] >= 1
+
+    def test_cache_scale_changes_the_simulated_machine(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        base = dict(experiment="pipeline", domain="ocean", ordering="ori",
+                    vertices=150, max_iterations=2)
+        small = execute_job(JobSpec(cache_scale=0.25, **base), cache)
+        large = execute_job(JobSpec(cache_scale=4.0, **base), cache)
+        assert small["L3_misses"] >= large["L3_misses"]
+
+    def test_timeout_raises_jobtimeout(self, tmp_path, monkeypatch):
+        from repro.lab.worker import JobTimeout
+
+        monkeypatch.setitem(
+            EXPERIMENT_RUNNERS, "sleepy",
+            lambda spec, cache: time.sleep(5) or {},
+        )
+        spec = JobSpec(experiment="sleepy", domain="ocean", ordering="ori")
+        start = time.perf_counter()
+        with pytest.raises(JobTimeout):
+            execute_job(spec, ArtifactCache(tmp_path), timeout_s=0.2)
+        assert time.perf_counter() - start < 2.0
+
+
+class TestWorkerLoop:
+    def test_drains_a_grid_inline(self, tmp_path):
+        grid = ExperimentGrid(
+            experiments=("smooth",), domains=("ocean",),
+            orderings=("ori", "rdr"), **TINY,
+        )
+        run_id, n = init_store(tmp_path / "lab.db", grid)
+        done = worker_loop(
+            tmp_path / "lab.db", tmp_path / "cache", tmp_path / "t.jsonl"
+        )
+        assert done == n
+        store = JobStore(tmp_path / "lab.db")
+        assert store.counts(run_id)["done"] == n
+        rows = store.results(run_id)
+        assert {r["ordering"] for r in rows} == {"ori", "rdr"}
+        store.close()
+
+    def test_failing_job_retries_then_fails(self, tmp_path, monkeypatch):
+        calls = {"n": 0}
+
+        def flaky(spec, cache):
+            calls["n"] += 1
+            raise RuntimeError("transient")
+
+        monkeypatch.setitem(EXPERIMENT_RUNNERS, "flaky", flaky)
+        store = JobStore(tmp_path / "lab.db")
+        spec = JobSpec(experiment="flaky", domain="ocean", ordering="ori")
+        store.create_run({}, [(spec.key(), spec.as_dict())], max_attempts=3)
+        store.close()
+        worker_loop(
+            tmp_path / "lab.db", tmp_path / "cache", tmp_path / "t.jsonl",
+            retry_base_s=0.01,
+        )
+        assert calls["n"] == 3  # bounded retry
+        store = JobStore(tmp_path / "lab.db")
+        assert store.counts()["failed"] == 1
+        job = store.jobs()[0]
+        assert job.attempt == 3
+        store.close()
+        summary = summarize(tmp_path / "t.jsonl")
+        assert summary["jobs_failed"] == 3 and summary["retries"] == 2
+
+    def test_recovers_after_a_failure_midway(self, tmp_path, monkeypatch):
+        def once(spec, cache):
+            marker = tmp_path / "tripped"
+            if not marker.exists():
+                marker.write_text("x")
+                raise RuntimeError("first attempt dies")
+            return {"ok": True}
+
+        monkeypatch.setitem(EXPERIMENT_RUNNERS, "once", once)
+        store = JobStore(tmp_path / "lab.db")
+        spec = JobSpec(experiment="once", domain="ocean", ordering="ori")
+        store.create_run({}, [(spec.key(), spec.as_dict())], max_attempts=3)
+        store.close()
+        worker_loop(
+            tmp_path / "lab.db", tmp_path / "cache", None, retry_base_s=0.01
+        )
+        store = JobStore(tmp_path / "lab.db")
+        rows = store.results()
+        assert len(rows) == 1 and rows[0]["ok"] is True
+        assert rows[0]["attempt"] == 2
+        store.close()
+
+
+class TestRunPool:
+    def test_two_process_pool_drains_the_grid(self, tmp_path):
+        grid = ExperimentGrid(
+            experiments=("smooth", "reorder-cost"), domains=("ocean",),
+            orderings=("ori", "rdr"), **TINY,
+        )
+        run_id, n = init_store(tmp_path / "lab.db", grid)
+        counts = run_pool(
+            tmp_path / "lab.db", tmp_path / "cache", tmp_path / "t.jsonl",
+            workers=2,
+        )
+        assert counts["done"] == n and counts["pending"] == 0
+        summary = summarize(tmp_path / "t.jsonl")
+        assert summary["jobs_done"] == n
+        assert len(summary["per_worker"]) >= 1
+
+    def test_second_identical_grid_hits_the_cache(self, tmp_path):
+        grid = ExperimentGrid(
+            experiments=("pipeline",), domains=("ocean",),
+            orderings=("ori", "rdr"), **TINY,
+        )
+        init_store(tmp_path / "lab.db", grid)
+        run_pool(
+            tmp_path / "lab.db", tmp_path / "cache", tmp_path / "t1.jsonl"
+        )
+        wall_first = summarize(tmp_path / "t1.jsonl")["total_wall_s"]
+        init_store(tmp_path / "lab.db", grid)  # a fresh run, same grid
+        run_pool(
+            tmp_path / "lab.db", tmp_path / "cache", tmp_path / "t2.jsonl"
+        )
+        second = summarize(tmp_path / "t2.jsonl")
+        assert second["cache_misses"] == 0
+        assert second["cache_hits"] >= 2  # every job served from cache
+        assert second["total_wall_s"] < wall_first
+
+    def test_sigkilled_worker_is_resumed_without_duplicates(
+        self, tmp_path, monkeypatch
+    ):
+        """The acceptance scenario: SIGKILL mid-grid, rerun, no dup rows."""
+
+        def slow_smooth(spec, cache):
+            time.sleep(0.25)
+            return {"ok": True}
+
+        monkeypatch.setitem(EXPERIMENT_RUNNERS, "slow", slow_smooth)
+        store = JobStore(tmp_path / "lab.db")
+        specs = [
+            JobSpec(experiment="slow", domain="ocean", ordering="ori", seed=s)
+            for s in range(4)
+        ]
+        store.create_run({}, [(s.key(), s.as_dict()) for s in specs])
+        store.close()
+
+        # Fork (so the monkeypatched registry carries over) and SIGKILL
+        # the worker while it is mid-job.
+        ctx = mp.get_context("fork")
+        proc = ctx.Process(
+            target=worker_loop,
+            args=(tmp_path / "lab.db", tmp_path / "cache", None),
+        )
+        proc.start()
+        time.sleep(0.4)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.join()
+
+        store = JobStore(tmp_path / "lab.db")
+        counts = store.counts()
+        assert counts["done"] < 4  # it really was interrupted
+        interrupted_running = counts["running"]
+        store.close()
+
+        # Same command again: reclaims the orphan and finishes the grid.
+        counts = run_pool(tmp_path / "lab.db", tmp_path / "cache", None)
+        assert counts == {"pending": 0, "running": 0, "done": 4, "failed": 0}
+        store = JobStore(tmp_path / "lab.db")
+        rows = store.results()
+        assert len(rows) == 4
+        assert len({r["seed"] for r in rows}) == 4  # no duplicated rows
+        if interrupted_running:
+            # The orphaned job's first attempt stays on the books.
+            assert max(r["attempt"] for r in rows) == 2
+        store.close()

@@ -1,5 +1,7 @@
 """End-to-end tests of the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -136,3 +138,135 @@ class TestExperimentAndList:
     def test_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
+
+
+class TestSeedFlag:
+    def test_generate_seed_is_reproducible(self, tmp_path):
+        for stem in ("a", "b"):
+            main(["generate", "ocean", str(tmp_path / stem),
+                  "--vertices", "250", "--seed", "7"])
+        a = read_triangle(tmp_path / "a")
+        b = read_triangle(tmp_path / "b")
+        assert np.array_equal(a.vertices, b.vertices)
+        assert np.array_equal(a.triangles, b.triangles)
+
+    def test_generate_seed_changes_the_mesh(self, tmp_path):
+        main(["generate", "ocean", str(tmp_path / "a"),
+              "--vertices", "250", "--seed", "1"])
+        main(["generate", "ocean", str(tmp_path / "b"),
+              "--vertices", "250", "--seed", "2"])
+        a = read_triangle(tmp_path / "a")
+        b = read_triangle(tmp_path / "b")
+        assert not (
+            a.num_vertices == b.num_vertices
+            and np.array_equal(a.vertices, b.vertices)
+        )
+
+    def test_reorder_random_seed_is_reproducible(self, mesh_stem, tmp_path):
+        for stem in ("a", "b"):
+            main(["reorder", str(mesh_stem), str(tmp_path / stem),
+                  "--ordering", "random", "--seed", "11"])
+        a = read_triangle(tmp_path / "a")
+        b = read_triangle(tmp_path / "b")
+        assert np.array_equal(a.vertices, b.vertices)
+
+    def test_smooth_accepts_seed(self, mesh_stem, capsys):
+        rc = main(["smooth", str(mesh_stem), "--ordering", "random",
+                   "--seed", "3", "--max-iterations", "2"])
+        assert rc == 0
+
+
+class TestErrorHandling:
+    def test_missing_input_exits_2_with_message(self, tmp_path, capsys):
+        rc = main(["smooth", str(tmp_path / "nope")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
+
+    def test_lab_unknown_domain_exits_2_listing_choices(self, tmp_path, capsys):
+        rc = main(["lab", "init", "--db", str(tmp_path / "lab.db"),
+                   "--domains", "atlantis"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown domain 'atlantis'" in err
+        assert "ocean" in err and err.count("\n") == 1
+
+    def test_lab_unknown_ordering_exits_2_listing_choices(
+        self, tmp_path, capsys
+    ):
+        rc = main(["lab", "init", "--db", str(tmp_path / "lab.db"),
+                   "--orderings", "zorder"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown ordering 'zorder'" in err and "rdr" in err
+
+    def test_lab_unknown_experiment_exits_2_listing_choices(
+        self, tmp_path, capsys
+    ):
+        rc = main(["lab", "init", "--db", str(tmp_path / "lab.db"),
+                   "--experiments", "nope"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment 'nope'" in err and "pipeline" in err
+
+
+class TestLab:
+    def lab_args(self, tmp_path):
+        return ["lab", "init", "--db", str(tmp_path / "lab.db"),
+                "--domains", "ocean", "--orderings", "ori,rdr",
+                "--experiments", "smooth", "--vertices", "150",
+                "--max-iterations", "2"]
+
+    def test_init_run_status_export(self, tmp_path, capsys):
+        assert main(self.lab_args(tmp_path)) == 0
+        assert "2 jobs queued" in capsys.readouterr().out
+
+        assert main(["lab", "run", "--db", str(tmp_path / "lab.db"),
+                     "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "done 2, failed 0" in out
+        assert "artifact cache" in out
+
+        assert main(["lab", "status", "--db", str(tmp_path / "lab.db")]) == 0
+        out = capsys.readouterr().out
+        assert "done     2" in out
+
+        target = tmp_path / "rows.json"
+        assert main(["lab", "export", "--db", str(tmp_path / "lab.db"),
+                     str(target)]) == 0
+        rows = json.loads(target.read_text())
+        assert len(rows) == 2
+        assert {r["ordering"] for r in rows} == {"ori", "rdr"}
+        assert all("final_quality" in r for r in rows)
+
+    def test_init_is_idempotent_for_the_same_grid(self, tmp_path, capsys):
+        assert main(self.lab_args(tmp_path)) == 0
+        assert main(self.lab_args(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "already holds this grid" in out
+        from repro.lab import JobStore
+
+        store = JobStore(tmp_path / "lab.db")
+        assert sum(store.counts().values()) == 2
+        store.close()
+
+    def test_export_csv(self, tmp_path, capsys):
+        main(self.lab_args(tmp_path))
+        main(["lab", "run", "--db", str(tmp_path / "lab.db")])
+        target = tmp_path / "rows.csv"
+        main(["lab", "export", "--db", str(tmp_path / "lab.db"), str(target)])
+        header, *body = target.read_text().splitlines()
+        assert "ordering" in header and "final_quality" in header
+        assert len(body) == 2
+
+    def test_reset_requeues_failed(self, tmp_path, capsys):
+        from repro.lab import JobStore
+
+        db = tmp_path / "lab.db"
+        store = JobStore(db)
+        store.create_run({}, [("k", {"experiment": "smooth"})], max_attempts=1)
+        job = store.claim("w")
+        store.fail(job.id, "boom")
+        store.close()
+        assert main(["lab", "reset", "--db", str(db)]) == 0
+        assert "re-queued 1" in capsys.readouterr().out
