@@ -87,6 +87,9 @@ class BenchConfig:
     cores: tuple[int, ...] = (1, 2, 4, 8, 16, 24, 32)
     scaling_iterations: int = 3
     affinity: str = "scatter"
+    #: Multicore replay engine: "sequential" or "sharded" (worker
+    #: processes, one per occupied socket; identical counts).
+    mem_engine: str = "sequential"
 
 
 DEFAULT_CONFIG = BenchConfig()
@@ -443,6 +446,7 @@ def scaling_sweep(
         cfg.affinity,
         cfg.rank_passes,
         cfg.traversal,
+        cfg.mem_engine,
     )
     if key in _SCALING:
         return _SCALING[key]
@@ -467,7 +471,9 @@ def scaling_sweep(
                     qualities=perm_q,
                 )
                 lines = [layout.lines(t) for t in traces]
-                result = simulate_multicore(lines, machine, affinity=cfg.affinity)
+                result = simulate_multicore(
+                    lines, machine, affinity=cfg.affinity, engine=cfg.mem_engine
+                )
                 times[(label, ordering, p)] = result.modeled_seconds
                 counts[(label, ordering, p)] = result.access_counts()
     out = {"times": times, "accesses": counts}

@@ -84,6 +84,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sm.add_argument("--seed", type=int, default=0,
                     help="seed for stochastic orderings (e.g. random)")
     sm.add_argument("--traversal", default="greedy", choices=["greedy", "storage"])
+    sm.add_argument("--engine", default="reference",
+                    choices=["reference", "vectorized"],
+                    help="execution engine: scalar reference loop or the "
+                         "NumPy wavefront engine (same results, faster)")
     sm.add_argument("--report-cache", action="store_true",
                     help="simulate the memory hierarchy and print miss rates")
 
@@ -103,6 +107,9 @@ def _build_parser() -> argparse.ArgumentParser:
     an.add_argument("--iterations", type=int, default=1)
     an.add_argument("--seed", type=int, default=0,
                     help="seed for stochastic orderings (e.g. random)")
+    an.add_argument("--engine", default="reference",
+                    choices=["reference", "vectorized"],
+                    help="smoothing execution engine (traces are identical)")
     an.add_argument("--save-trace", help="write the access trace to this .npz path")
 
     ex = sub.add_parser("experiment", help="run a paper table/figure")
@@ -138,7 +145,8 @@ def _build_lab_parser(sub) -> None:
     add_db(ini)
     ini.add_argument("--experiments", type=_comma_list(str),
                      default=("pipeline",),
-                     help="comma list: pipeline,smooth,reorder-cost")
+                     help="comma list: pipeline,smooth,reorder-cost,"
+                          "parallel-pipeline")
     ini.add_argument("--domains", type=_comma_list(str), default=("ocean",),
                      help="comma list of domain names (see `repro-lms list`)")
     ini.add_argument("--orderings", type=_comma_list(str),
@@ -152,6 +160,10 @@ def _build_lab_parser(sub) -> None:
                      help="comma list of cache-size multipliers")
     ini.add_argument("--quality-structure", default="ramp",
                      choices=["ramp", "hotspots", "uniform"])
+    ini.add_argument("--engines", type=_comma_list(str),
+                     default=("reference",),
+                     help="comma list of smoothing engines "
+                          "(reference,vectorized)")
     ini.add_argument("--max-iterations", type=int, default=8)
     ini.add_argument("--max-attempts", type=int, default=3)
     ini.add_argument("--force-new", action="store_true",
@@ -188,6 +200,9 @@ def _build_lab_parser(sub) -> None:
     ex.add_argument("--format", choices=["json", "csv"], default=None,
                     help="default: inferred from the output suffix")
     ex.add_argument("--run", type=int, default=None)
+    ex.add_argument("--drop-timing", action="store_true",
+                    help="omit measured wall-clock columns so identical "
+                         "runs export byte-identical files")
 
 
 def _cmd_generate(args) -> int:
@@ -211,7 +226,8 @@ def _cmd_smooth(args) -> int:
     mesh = read_triangle(args.input)
     if args.report_cache and args.ordering:
         run = run_ordering(mesh, args.ordering, traversal=args.traversal,
-                           max_iterations=args.max_iterations, seed=args.seed)
+                           max_iterations=args.max_iterations, seed=args.seed,
+                           engine=args.engine)
         result = run.smoothing
         st = run.cache
         print(
@@ -224,7 +240,8 @@ def _cmd_smooth(args) -> int:
         if args.ordering:
             mesh, _ = apply_ordering(mesh, args.ordering, seed=args.seed)
         result = laplacian_smooth(
-            mesh, traversal=args.traversal, max_iterations=args.max_iterations
+            mesh, traversal=args.traversal, max_iterations=args.max_iterations,
+            engine=args.engine,
         )
         smoothed = result.mesh
     print(
@@ -258,7 +275,8 @@ def _cmd_analyze(args) -> int:
 
     mesh = read_triangle(args.input)
     run = run_ordering(
-        mesh, args.ordering, fixed_iterations=args.iterations, seed=args.seed
+        mesh, args.ordering, fixed_iterations=args.iterations, seed=args.seed,
+        engine=args.engine,
     )
     summary = trace_summary(run.trace, run.layout)
     print(
@@ -333,6 +351,7 @@ def _cmd_lab(args) -> int:
             cache_scales=args.cache_scales,
             quality_structure=args.quality_structure,
             max_iterations=args.max_iterations,
+            engines=args.engines,
         ).validate()
         store = JobStore(db)
         latest = store.latest_run_id()
@@ -397,6 +416,11 @@ def _cmd_lab(args) -> int:
     if args.lab_command == "export":
         store = JobStore(db)
         rows = store.results(args.run)
+        if args.drop_timing:
+            rows = [
+                {k: v for k, v in row.items() if k != "wall_s"}
+                for row in rows
+            ]
         out = Path(args.output)
         fmt = args.format or ("csv" if out.suffix == ".csv" else "json")
         if fmt == "csv":

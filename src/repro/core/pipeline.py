@@ -154,6 +154,7 @@ def run_ordering(
     rank_passes_override: int | None = None,
     smoother_kwargs: dict | None = None,
     precomputed_order: np.ndarray | None = None,
+    engine: str = "reference",
 ) -> OrderedRun:
     """Order, smooth (with tracing), simulate, and price one execution.
 
@@ -165,6 +166,9 @@ def run_ordering(
     :data:`repro.quality.DEFAULT_RANK_PASSES`).
     ``precomputed_order`` bypasses the ordering computation (see
     :func:`_prepare`) so cached permutations can be replayed.
+    ``engine`` selects the smoothing execution engine (``"reference"``
+    or ``"vectorized"``); both produce the same access trace, so the
+    cache simulation is engine-independent.
     """
     if machine is None:
         machine = default_machine_for(mesh, profile="serial")
@@ -179,6 +183,7 @@ def run_ordering(
     kwargs.setdefault("traversal", traversal)
     kwargs.setdefault("max_iterations", max_iterations)
     kwargs.setdefault("rank_passes", rank_passes)
+    kwargs.setdefault("engine", engine)
     if fixed_iterations is not None:
         kwargs["max_iterations"] = fixed_iterations
         kwargs["tol"] = -np.inf  # never converge early
@@ -277,12 +282,15 @@ def run_parallel_ordering(
     affinity: str = "scatter",
     qualities: np.ndarray | None = None,
     seed: int = 0,
+    mem_engine: str = "sequential",
 ) -> ParallelRun:
     """Simulate a ``num_cores``-thread smoothing run under an ordering.
 
     Default affinity is ``scatter`` — the distribution the paper
     hypothesises its machine used for few-thread runs (the source of the
     super-linear speedups); the ablation bench flips it to ``compact``.
+    ``mem_engine`` selects the replay engine (``"sequential"`` or
+    ``"sharded"``; see :func:`repro.memsim.simulate_multicore`).
     """
     if machine is None:
         machine = default_machine_for(mesh, profile="scaling")
@@ -299,7 +307,9 @@ def run_parallel_ordering(
     )
     layout = MemoryLayout.for_mesh(permuted, line_size=machine.line_size)
     lines_per_core = [layout.lines(t) for t in traces]
-    result = simulate_multicore(lines_per_core, machine, affinity=affinity)
+    result = simulate_multicore(
+        lines_per_core, machine, affinity=affinity, engine=mem_engine
+    )
     return ParallelRun(
         mesh_name=mesh.name,
         ordering=ordering,

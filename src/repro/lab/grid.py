@@ -46,6 +46,7 @@ class JobSpec:
     cache_scale: float = 1.0
     quality_structure: str = "ramp"
     max_iterations: int = 8
+    engine: str = "reference"
 
     def key(self) -> str:
         """Canonical identity string (job uniqueness + cache keying)."""
@@ -74,8 +75,10 @@ def validate_names(
     domains: tuple[str, ...] = (),
     orderings: tuple[str, ...] = (),
     experiments: tuple[str, ...] = (),
+    engines: tuple[str, ...] = (),
 ) -> None:
     """Raise :class:`UnknownNameError` for the first unknown name."""
+    from ..smoothing import ENGINES
     from .worker import EXPERIMENT_RUNNERS  # late: worker imports JobSpec
 
     known_domains = list_domains()
@@ -88,6 +91,9 @@ def validate_names(
     for name in experiments:
         if name not in EXPERIMENT_RUNNERS:
             raise UnknownNameError("experiment", name, list(EXPERIMENT_RUNNERS))
+    for name in engines:
+        if name not in ENGINES:
+            raise UnknownNameError("engine", name, list(ENGINES))
 
 
 @dataclass(frozen=True)
@@ -102,12 +108,14 @@ class ExperimentGrid:
     cache_scales: tuple[float, ...] = (1.0,)
     quality_structure: str = "ramp"
     max_iterations: int = 8
+    engines: tuple[str, ...] = ("reference",)
 
     def validate(self) -> "ExperimentGrid":
         validate_names(
             domains=self.domains,
             orderings=self.orderings,
             experiments=self.experiments,
+            engines=self.engines,
         )
         return self
 
@@ -123,14 +131,17 @@ class ExperimentGrid:
                 cache_scale=scale,
                 quality_structure=self.quality_structure,
                 max_iterations=self.max_iterations,
+                engine=engine,
             )
-            for experiment, domain, ordering, vertices, scale, seed in product(
+            for experiment, domain, ordering, vertices, scale, seed, engine
+            in product(
                 self.experiments,
                 self.domains,
                 self.orderings,
                 self.vertices,
                 self.cache_scales,
                 self.seeds,
+                self.engines,
             )
         ]
 
@@ -143,7 +154,7 @@ class ExperimentGrid:
         kwargs = {k: v for k, v in data.items() if k in names}
         for key in (
             "experiments", "domains", "orderings",
-            "vertices", "seeds", "cache_scales",
+            "vertices", "seeds", "cache_scales", "engines",
         ):
             if key in kwargs:
                 kwargs[key] = tuple(kwargs[key])

@@ -108,6 +108,7 @@ def _run_pipeline(spec: JobSpec, cache: ArtifactCache) -> dict:
             fixed_iterations=spec.max_iterations,
             seed=spec.seed,
             precomputed_order=order,
+            engine=spec.engine,
         )
         return run_summary(run)
 
@@ -119,7 +120,9 @@ def _run_smooth(spec: JobSpec, cache: ArtifactCache) -> dict:
         mesh = _cached_mesh(spec, cache)
         order = _cached_order(spec, cache, mesh)
         result = laplacian_smooth(
-            mesh.permute(order), max_iterations=spec.max_iterations
+            mesh.permute(order),
+            max_iterations=spec.max_iterations,
+            engine=spec.engine,
         )
         return {
             "iterations": result.iterations,
@@ -129,6 +132,41 @@ def _run_smooth(spec: JobSpec, cache: ArtifactCache) -> dict:
         }
 
     return cache.json_blob("smooth", spec.as_dict(), compute)
+
+
+def _run_parallel_pipeline(spec: JobSpec, cache: ArtifactCache) -> dict:
+    """Multicore scaling cell: sharded memsim replay over a static
+    partition (``max_iterations`` doubles as the traced iteration
+    count; core count is the machine's socket count so every shard is
+    one worker process under scatter affinity)."""
+
+    def compute() -> dict:
+        from ..core.pipeline import default_machine_for, run_parallel_ordering
+
+        mesh = _cached_mesh(spec, cache)
+        machine = default_machine_for(mesh, profile="scaling")
+        run = run_parallel_ordering(
+            mesh,
+            spec.ordering,
+            machine.num_sockets,
+            machine=machine,
+            iterations=spec.max_iterations,
+            seed=spec.seed,
+            mem_engine="sharded",
+        )
+        counts = run.result.access_counts()
+        return {
+            "mesh": mesh.name,
+            "num_vertices": mesh.num_vertices,
+            "num_cores": run.num_cores,
+            "iterations": run.iterations,
+            "L2_accesses": int(counts["L2"]),
+            "L3_accesses": int(counts["L3"]),
+            "memory_accesses": int(counts["memory"]),
+            "modeled_ms": run.modeled_seconds * 1e3,
+        }
+
+    return cache.json_blob("parallel", spec.as_dict(), compute)
 
 
 def _run_reorder_cost(spec: JobSpec, cache: ArtifactCache) -> dict:
@@ -149,6 +187,7 @@ EXPERIMENT_RUNNERS: dict[str, Callable[[JobSpec, ArtifactCache], dict]] = {
     "pipeline": _run_pipeline,
     "smooth": _run_smooth,
     "reorder-cost": _run_reorder_cost,
+    "parallel-pipeline": _run_parallel_pipeline,
 }
 
 

@@ -28,7 +28,9 @@ from .multicore import (
     MulticoreResult,
     affinity_sockets,
     simulate_multicore,
+    simulate_socket,
 )
+from .sharded import simulate_multicore_sharded, socket_shards
 from .reuse import (
     COLD,
     ReuseProfile,
@@ -71,7 +73,10 @@ __all__ = [
     "profile_from_distances",
     "reuse_distances",
     "simulate_multicore",
+    "simulate_multicore_sharded",
+    "simulate_socket",
     "simulate_trace",
+    "socket_shards",
     "tiny_machine",
     "trace_summary",
     "westmere_ex",

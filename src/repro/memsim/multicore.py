@@ -34,7 +34,13 @@ from .cache import CacheHierarchy, HierarchyStats, LevelStats, LRUCache
 from .machine import MachineSpec
 from .timing import CostBreakdown, modeled_time
 
-__all__ = ["affinity_sockets", "CoreResult", "MulticoreResult", "simulate_multicore"]
+__all__ = [
+    "affinity_sockets",
+    "CoreResult",
+    "MulticoreResult",
+    "simulate_multicore",
+    "simulate_socket",
+]
 
 
 def affinity_sockets(
@@ -101,12 +107,61 @@ class MulticoreResult:
         }
 
 
+def simulate_socket(
+    socket_id: int,
+    member_cores: list[int],
+    streams: list[np.ndarray],
+    machine: MachineSpec,
+    *,
+    quantum: int = 64,
+) -> list[CoreResult]:
+    """Simulate one socket: its cores' streams against one shared L3.
+
+    A socket is a closed system — cores of different sockets share no
+    cache state — so this is the exact unit the sharded replay
+    (:mod:`repro.memsim.sharded`) distributes to worker processes. Both
+    the sequential and the sharded engine run this very function, which
+    is what makes their per-level counts identical by construction.
+    """
+    shared_l3 = LRUCache(machine.l3)
+    hierarchies = [CacheHierarchy(machine, shared_l3=shared_l3) for _ in member_cores]
+    line_lists = [
+        np.asarray(stream, dtype=np.int64).tolist() for stream in streams
+    ]
+    cursors = [0] * len(member_cores)
+    live = list(range(len(member_cores)))
+    while live:
+        still = []
+        for k in live:
+            stream = line_lists[k]
+            lo = cursors[k]
+            hi = min(lo + quantum, len(stream))
+            access = hierarchies[k].access
+            for line in stream[lo:hi]:
+                access(line)
+            cursors[k] = hi
+            if hi < len(stream):
+                still.append(k)
+        live = still
+    return [
+        CoreResult(
+            core=int(core),
+            socket=int(socket_id),
+            stats=h.stats,
+            cost=modeled_time(h.stats, machine),
+        )
+        for core, h in zip(member_cores, hierarchies)
+    ]
+
+
 def simulate_multicore(
     lines_per_core: list[np.ndarray],
     machine: MachineSpec,
     *,
     affinity: str = "compact",
     quantum: int = 64,
+    engine: str = "sequential",
+    max_workers: int | None = None,
 ) -> MulticoreResult:
     """Simulate per-core line streams on the machine's cache topology.
 
@@ -120,46 +175,42 @@ def simulate_multicore(
         Number of consecutive accesses one core executes before the
         round-robin hands the socket to the next core; models the
         fine-grained interleaving of simultaneously running threads.
+    engine:
+        ``"sequential"`` simulates sockets one after the other in this
+        process; ``"sharded"`` distributes them to worker processes
+        (:func:`repro.memsim.sharded.simulate_multicore_sharded`) —
+        per-level counts are identical either way.
+    max_workers:
+        Worker-process cap for the sharded engine (ignored otherwise).
     """
+    if engine == "sharded":
+        from .sharded import simulate_multicore_sharded
+
+        return simulate_multicore_sharded(
+            lines_per_core,
+            machine,
+            affinity=affinity,
+            quantum=quantum,
+            max_workers=max_workers,
+        )
+    if engine != "sequential":
+        raise ValueError(
+            f"unknown replay engine {engine!r}; "
+            "choose from ('sequential', 'sharded')"
+        )
     p = len(lines_per_core)
     sockets = affinity_sockets(p, machine, affinity)
-    # Group cores per socket; each socket owns one shared L3.
     results: list[CoreResult | None] = [None] * p
     for socket_id in np.unique(sockets):
-        member_cores = np.flatnonzero(sockets == socket_id)
-        shared_l3 = LRUCache(machine.l3)
-        hierarchies = {
-            int(c): CacheHierarchy(machine, shared_l3=shared_l3)
-            for c in member_cores
-        }
-        streams = {
-            int(c): np.asarray(lines_per_core[int(c)], dtype=np.int64).tolist()
-            for c in member_cores
-        }
-        cursors = {int(c): 0 for c in member_cores}
-        live = [int(c) for c in member_cores]
-        while live:
-            still = []
-            for c in live:
-                stream = streams[c]
-                lo = cursors[c]
-                hi = min(lo + quantum, len(stream))
-                access = hierarchies[c].access
-                for line in stream[lo:hi]:
-                    access(line)
-                cursors[c] = hi
-                if hi < len(stream):
-                    still.append(c)
-            live = still
-        for c in member_cores:
-            c = int(c)
-            stats = hierarchies[c].stats
-            results[c] = CoreResult(
-                core=c,
-                socket=int(socket_id),
-                stats=stats,
-                cost=modeled_time(stats, machine),
-            )
+        member_cores = [int(c) for c in np.flatnonzero(sockets == socket_id)]
+        for cr in simulate_socket(
+            int(socket_id),
+            member_cores,
+            [lines_per_core[c] for c in member_cores],
+            machine,
+            quantum=quantum,
+        ):
+            results[cr.core] = cr
     return MulticoreResult(
         machine=machine,
         affinity=affinity,

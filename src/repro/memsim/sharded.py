@@ -1,0 +1,112 @@
+"""Sharded multicore replay: socket shards simulated in worker processes.
+
+The sequential multicore engine replays every socket of the machine one
+after the other in a single interpreter. But the simulated topology is
+embarrassingly parallel across sockets: private L1/L2 belong to one
+core, the L3 is shared only *within* a socket, and the round-robin
+interleaving never crosses sockets — a socket is a closed system. The
+sharded engine therefore splits the per-core line streams at core
+boundaries, groups them by the socket their core is placed on (under the
+affinity policy), and hands each socket group to a worker process. Under
+``scatter`` affinity with up to ``num_sockets`` threads — the default of
+the paper's scaling experiments — every shard is exactly one core.
+
+Each worker runs :func:`repro.memsim.multicore.simulate_socket`, the
+same function the sequential engine runs, so the merged per-level
+hit/miss counts are identical by construction; the differential suite
+(``tests/memsim/test_sharded.py``) additionally pins the equality
+empirically. Sharding *within* a socket would require speculating on the
+shared-L3 state (misses of one core back-invalidate lines and change the
+other cores' hit counts), which could not keep the counts exact, so the
+socket is deliberately the smallest shard.
+
+Statistics merging: per-core L1/L2 stats come back untouched (they are
+private), and the shared-L3 statistics of a socket are the sum of its
+cores' L3 counters — :class:`repro.memsim.cache.MulticoreResult.combined`
+aggregates them exactly as in the sequential engine.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from .machine import MachineSpec
+from .multicore import (
+    CoreResult,
+    MulticoreResult,
+    affinity_sockets,
+    simulate_socket,
+)
+
+__all__ = ["simulate_multicore_sharded", "socket_shards"]
+
+
+def socket_shards(
+    lines_per_core: list[np.ndarray],
+    machine: MachineSpec,
+    affinity: str = "compact",
+) -> list[tuple[int, list[int], list[np.ndarray]]]:
+    """Split per-core streams into independent socket shards.
+
+    Returns one ``(socket_id, member_cores, streams)`` tuple per
+    occupied socket; concatenating the members in socket order restores
+    the original core list.
+    """
+    sockets = affinity_sockets(len(lines_per_core), machine, affinity)
+    shards = []
+    for socket_id in np.unique(sockets):
+        members = [int(c) for c in np.flatnonzero(sockets == socket_id)]
+        shards.append(
+            (int(socket_id), members, [lines_per_core[c] for c in members])
+        )
+    return shards
+
+
+def _run_shard(args) -> list[CoreResult]:
+    socket_id, member_cores, streams, machine, quantum = args
+    return simulate_socket(
+        socket_id, member_cores, streams, machine, quantum=quantum
+    )
+
+
+def simulate_multicore_sharded(
+    lines_per_core: list[np.ndarray],
+    machine: MachineSpec,
+    *,
+    affinity: str = "compact",
+    quantum: int = 64,
+    max_workers: int | None = None,
+) -> MulticoreResult:
+    """Replay per-core line streams with one worker process per socket.
+
+    Exactly equivalent to ``simulate_multicore(..., engine="sequential")``
+    — same per-level hit/miss counts, same per-core cost breakdowns —
+    but wall-clock scales with the number of occupied sockets.
+    ``max_workers`` caps the process pool (default: one worker per
+    shard, bounded by the host's CPU count); a single shard short-circuits
+    to an in-process call.
+    """
+    shards = socket_shards(lines_per_core, machine, affinity)
+    payloads = [
+        (socket_id, members, streams, machine, quantum)
+        for socket_id, members, streams in shards
+    ]
+    if max_workers is None:
+        max_workers = min(len(shards), os.cpu_count() or 1)
+    if len(shards) <= 1 or max_workers <= 1:
+        shard_results = [_run_shard(p) for p in payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            shard_results = list(pool.map(_run_shard, payloads))
+    results: list[CoreResult | None] = [None] * len(lines_per_core)
+    for core_results in shard_results:
+        for cr in core_results:
+            results[cr.core] = cr
+    return MulticoreResult(
+        machine=machine,
+        affinity=affinity,
+        per_core=[r for r in results if r is not None],
+    )

@@ -181,6 +181,30 @@ class TraceBuilder:
         self._wr.append(np.full(k, write, dtype=bool))
         self._length += k
 
+    def append_columns(
+        self,
+        array_ids: np.ndarray,
+        indices: np.ndarray,
+        is_write: np.ndarray,
+    ) -> None:
+        """Record a pre-built block of accesses in one call.
+
+        The columns must already be aligned (same length); this is the
+        bulk entry point of the vectorized trace builder, which
+        constructs a whole iteration's interleaved accesses at once.
+        """
+        array_ids = np.ascontiguousarray(array_ids, dtype=np.uint8)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        is_write = np.ascontiguousarray(is_write, dtype=bool)
+        if not (array_ids.shape == indices.shape == is_write.shape):
+            raise ValueError("trace columns must have identical shapes")
+        if array_ids.size == 0:
+            return
+        self._ids.append(array_ids)
+        self._idx.append(indices)
+        self._wr.append(is_write)
+        self._length += array_ids.size
+
     def build(self, **meta) -> AccessTrace:
         if not self._iter_starts:
             self._iter_starts = [0]

@@ -74,6 +74,7 @@ def test_fig6(tiny_cfg):
     assert len(out["correlation_with_first"]) == 1
 
 
+@pytest.mark.slow
 def test_fig8_and_fig9_and_tables(tiny_cfg):
     f8 = fig8_rows(tiny_cfg)
     assert len(f8) == 9 and "speedup_rdr_vs_ori" in f8[0]
@@ -87,6 +88,7 @@ def test_fig8_and_fig9_and_tables(tiny_cfg):
     assert {r["ordering"] for r in e2} == {"ori", "bfs", "rdr"}
 
 
+@pytest.mark.slow
 def test_scaling_family(tiny_cfg):
     sweep = scaling_sweep(tiny_cfg, labels=("M1", "M2"), orderings=("ori", "rdr"))
     assert ("M1", "ori", 1) in sweep["times"]

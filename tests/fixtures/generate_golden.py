@@ -1,0 +1,130 @@
+"""Regenerate the golden-trace regression fixtures.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/fixtures/generate_golden.py
+
+The fixtures pin the observable behavior of the trace -> layout ->
+cache -> timing chain on three small, fully deterministic
+configurations. ``tests/memsim/test_golden_traces.py`` recomputes each
+configuration and compares against these files *exactly* (traces, line
+streams and cache counters are integers; modeled cycles are compared at
+``rtol=1e-12``), so any unintended change to
+:mod:`repro.memsim.trace`, :mod:`repro.memsim.layout`,
+:mod:`repro.memsim.cache` or :mod:`repro.memsim.timing` — or to the
+smoothing traversals that feed them — shows up as a diff against a
+committed artifact rather than as silent drift.
+
+Regenerate (and commit the diff) only when an intentional
+behavior change invalidates the pinned values.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+FIXTURE_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def golden_configs():
+    """The pinned configurations, importable by the regression test."""
+    from repro.meshgen import perturb_interior, structured_rectangle
+
+    def bumpy():
+        return perturb_interior(
+            structured_rectangle(9, 9, name="bumpy"), amplitude=0.04, seed=3
+        )
+
+    def grid():
+        return structured_rectangle(6, 7, name="grid")
+
+    return {
+        "bumpy_storage_gs": dict(
+            mesh=bumpy,
+            smooth=dict(
+                traversal="storage", update="gauss-seidel", max_iterations=2
+            ),
+            machine_scale=0.02,
+        ),
+        "bumpy_greedy_gs": dict(
+            mesh=bumpy,
+            smooth=dict(
+                traversal="greedy", update="gauss-seidel", max_iterations=3
+            ),
+            machine_scale=0.05,
+        ),
+        "grid_storage_jacobi": dict(
+            mesh=grid,
+            smooth=dict(
+                traversal="storage", update="jacobi", max_iterations=2
+            ),
+            machine_scale=0.02,
+        ),
+    }
+
+
+def compute_golden(name: str, config: dict) -> tuple[dict[str, np.ndarray], dict]:
+    """The arrays and scalar stats one configuration pins."""
+    from repro.memsim import (
+        MemoryLayout,
+        modeled_time,
+        reuse_distances,
+        simulate_trace,
+        westmere_ex,
+    )
+    from repro.smoothing import laplacian_smooth
+
+    mesh = config["mesh"]()
+    result = laplacian_smooth(
+        mesh, tol=-np.inf, record_trace=True, **config["smooth"]
+    )
+    trace = result.trace
+    machine = westmere_ex(scale=config["machine_scale"])
+    layout = MemoryLayout.for_mesh(mesh, line_size=machine.line_size)
+    lines = layout.lines(trace)
+    stats = simulate_trace(lines, machine)
+    cost = modeled_time(stats, machine, num_accesses=lines.size)
+    distances = reuse_distances(lines)
+    arrays = {
+        "array_ids": trace.array_ids,
+        "indices": trace.indices,
+        "is_write": trace.is_write,
+        "iteration_starts": trace.iteration_starts,
+        "lines": lines,
+        "reuse_distances": distances,
+    }
+    scalars = {
+        "mesh": mesh.name,
+        "num_vertices": int(mesh.num_vertices),
+        "iterations": int(result.iterations),
+        "num_events": int(trace.array_ids.size),
+        "levels": {
+            level.name: {"accesses": int(level.accesses), "hits": int(level.hits)}
+            for level in (stats.l1, stats.l2, stats.l3)
+        },
+        "cost": asdict(cost),
+    }
+    return arrays, scalars
+
+
+def main() -> None:
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    all_scalars = {}
+    for name, config in golden_configs().items():
+        arrays, scalars = compute_golden(name, config)
+        np.savez_compressed(FIXTURE_DIR / f"{name}.npz", **arrays)
+        all_scalars[name] = scalars
+        print(f"{name}: {scalars['num_events']} events, "
+              f"L1 hits {scalars['levels']['L1']['hits']}")
+    (FIXTURE_DIR / "golden_stats.json").write_text(
+        json.dumps(all_scalars, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {len(all_scalars)} fixtures to {FIXTURE_DIR}")
+
+
+if __name__ == "__main__":
+    main()

@@ -198,6 +198,7 @@ class TestRunPool:
         assert second["cache_hits"] >= 2  # every job served from cache
         assert second["total_wall_s"] < wall_first
 
+    @pytest.mark.slow
     def test_sigkilled_worker_is_resumed_without_duplicates(
         self, tmp_path, monkeypatch
     ):

@@ -1,0 +1,69 @@
+"""Golden-trace regression suite.
+
+Recomputes the three pinned configurations from
+``tests/fixtures/generate_golden.py`` and compares every observable of
+the trace -> layout -> cache -> timing chain against the committed
+fixtures. Integer artifacts (trace columns, line streams, reuse
+distances, per-level access/hit counters) must match exactly; modeled
+cycles at ``rtol=1e-12``. A failure here means behavior drifted — if
+the change is intentional, regenerate the fixtures with the committed
+script and review the diff.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# The drift detectors double as the quick smoke subset (-m fast).
+pytestmark = pytest.mark.fast
+
+FIXTURES = Path(__file__).resolve().parents[1] / "fixtures"
+sys.path.insert(0, str(FIXTURES))
+
+from generate_golden import FIXTURE_DIR, compute_golden, golden_configs  # noqa: E402
+
+CONFIGS = golden_configs()
+
+
+@pytest.fixture(scope="module")
+def golden_stats() -> dict:
+    return json.loads((FIXTURE_DIR / "golden_stats.json").read_text())
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_golden_trace_matches(name, golden_stats):
+    arrays, scalars = compute_golden(name, CONFIGS[name])
+
+    with np.load(FIXTURE_DIR / f"{name}.npz") as fixture:
+        assert set(fixture.files) == set(arrays)
+        for key in fixture.files:
+            got, want = arrays[key], fixture[key]
+            assert got.dtype == want.dtype, f"{name}/{key} dtype drifted"
+            assert np.array_equal(got, want), f"{name}/{key} drifted"
+
+    want = golden_stats[name]
+    assert scalars["mesh"] == want["mesh"]
+    assert scalars["num_vertices"] == want["num_vertices"]
+    assert scalars["iterations"] == want["iterations"]
+    assert scalars["num_events"] == want["num_events"]
+    assert scalars["levels"] == want["levels"]
+    for field, value in want["cost"].items():
+        got_value = scalars["cost"][field]
+        if isinstance(value, int):
+            assert got_value == value, f"{name}/cost.{field} drifted"
+        else:
+            assert got_value == pytest.approx(value, rel=1e-12), (
+                f"{name}/cost.{field} drifted"
+            )
+
+
+def test_fixture_files_present():
+    """Every pinned configuration has its committed artifact."""
+    for name in CONFIGS:
+        assert (FIXTURE_DIR / f"{name}.npz").is_file()
+    assert (FIXTURE_DIR / "golden_stats.json").is_file()

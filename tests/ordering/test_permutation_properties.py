@@ -1,0 +1,144 @@
+"""Property suite (hypothesis) for the ordering algorithms.
+
+Two families of properties:
+
+* every registered ordering returns a valid permutation of ``0..n-1``
+  on arbitrary perturbed meshes, for arbitrary seeds;
+* *label equivariance*: orderings driven purely by geometry or by
+  per-vertex quality (hilbert, morton, qsort, rdr) produce the same
+  permuted mesh — hence the same access trace and the same
+  reuse-distance histogram — no matter how the input mesh's vertices
+  were labeled beforehand. Orderings that consult adjacency-list or
+  storage order (ori, bfs, dfs, rcm, degree ties, random, ...) are
+  deliberately excluded: their output legitimately depends on the
+  labeling.
+
+Equivariance is the property the paper's locality claims lean on: the
+reuse profile of RDR is a function of the mesh and its quality field,
+not of the accidental input numbering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro  # noqa: F401  (registers all orderings, incl. rdr/oracle)
+from repro.memsim import MemoryLayout, reuse_distances
+from repro.meshgen import perturb_interior, structured_rectangle
+from repro.ordering import ORDERINGS, apply_ordering, get_ordering
+from repro.smoothing import trace_for_traversal
+
+FAST = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Orderings whose output is a function of geometry/quality only (on
+#: generic inputs: distinct coordinates, distinct qualities).
+EQUIVARIANT = ["hilbert", "morton", "qsort", "rdr"]
+
+
+def _mesh(nx, ny, seed):
+    # Equivariance only holds on generic inputs: tied sort keys are
+    # legitimately broken by label order. perturb_interior leaves the
+    # boundary exactly symmetric (tied qualities), so add a jitter that
+    # is a pure function of position — it commutes with relabeling and
+    # makes every coordinate/quality distinct.
+    mesh = perturb_interior(
+        structured_rectangle(nx, ny), amplitude=0.05, seed=seed
+    )
+    v = mesh.vertices
+    jitter = 1e-4 * np.sin(
+        v * np.array([173.0, 149.0]) + v[:, ::-1] * 97.0 + 13.0
+    )
+    return mesh.with_vertices(v + jitter)
+
+
+@pytest.mark.parametrize("name", sorted(ORDERINGS))
+def test_ordering_returns_valid_permutation(name, ocean_mesh):
+    order = get_ordering(name)(ocean_mesh, seed=0)
+    assert order.shape == (ocean_mesh.num_vertices,)
+    assert np.array_equal(np.sort(order), np.arange(ocean_mesh.num_vertices))
+
+
+@FAST
+@given(
+    name=st.sampled_from(sorted(ORDERINGS)),
+    nx=st.integers(min_value=3, max_value=9),
+    ny=st.integers(min_value=3, max_value=9),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_ordering_valid_permutation_random_meshes(name, nx, ny, seed):
+    mesh = _mesh(nx, ny, seed)
+    order = get_ordering(name)(mesh, seed=seed)
+    assert np.array_equal(np.sort(order), np.arange(mesh.num_vertices))
+
+
+def _reuse_histogram(mesh):
+    """Reuse-distance histogram of the storage-traversal trace."""
+    trace = trace_for_traversal(mesh, mesh.interior_vertices())
+    lines = MemoryLayout.for_mesh(mesh).lines(trace)
+    dists = reuse_distances(lines)
+    return np.bincount(dists[dists >= 0])
+
+
+@FAST
+@given(
+    name=st.sampled_from(EQUIVARIANT),
+    nx=st.integers(min_value=4, max_value=9),
+    ny=st.integers(min_value=4, max_value=9),
+    mesh_seed=st.integers(min_value=0, max_value=2**16),
+    relabel_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_equivariant_orderings_ignore_input_labels(
+    name, nx, ny, mesh_seed, relabel_seed
+):
+    mesh = _mesh(nx, ny, mesh_seed)
+    relabel = np.random.default_rng(relabel_seed).permutation(
+        mesh.num_vertices
+    )
+    relabeled = mesh.permute(relabel)
+
+    ordered_a, _ = apply_ordering(mesh, name, seed=0)
+    ordered_b, _ = apply_ordering(relabeled, name, seed=0)
+
+    # The final layouts coincide vertex for vertex...
+    assert np.allclose(
+        ordered_a.vertices, ordered_b.vertices, rtol=0, atol=0
+    )
+    assert np.array_equal(
+        ordered_a.adjacency.xadj, ordered_b.adjacency.xadj
+    )
+    assert np.array_equal(
+        ordered_a.adjacency.adjncy, ordered_b.adjacency.adjncy
+    )
+    # ...so the reuse-distance histogram is exactly invariant.
+    assert np.array_equal(
+        _reuse_histogram(ordered_a), _reuse_histogram(ordered_b)
+    )
+
+
+@FAST
+@given(
+    nx=st.integers(min_value=4, max_value=9),
+    ny=st.integers(min_value=4, max_value=9),
+    seed=st.integers(min_value=0, max_value=2**16),
+    relabel_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_reuse_distances_invariant_under_line_renaming(
+    nx, ny, seed, relabel_seed
+):
+    """Reuse distances depend only on the *pattern* of repeats, not on
+    the line ids themselves: renaming ids preserves all distances."""
+    mesh = _mesh(nx, ny, seed)
+    trace = trace_for_traversal(mesh, mesh.interior_vertices())
+    lines = MemoryLayout.for_mesh(mesh).lines(trace)
+    rng = np.random.default_rng(relabel_seed)
+    rename = rng.permutation(int(lines.max()) + 1)
+    assert np.array_equal(
+        reuse_distances(lines), reuse_distances(rename[lines])
+    )

@@ -1,0 +1,105 @@
+"""Properties of the wavefront (level) schedule behind the vectorized
+Gauss-Seidel engine.
+
+The schedule must (a) repartition the traversal sequence without losing
+or duplicating vertices, (b) place no two adjacent vertices in the same
+level, and (c) respect the sequential dependence order: every neighbor
+that precedes a vertex in the traversal lands in a strictly lower
+level. Together these make the level-by-level batched sweep reproduce
+the sequential sweep's values (pinned numerically by the engine
+differential suite).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.meshgen import perturb_interior, structured_rectangle
+from repro.parallel.scheduler import wavefront_schedule
+from repro.quality import vertex_quality
+from repro.smoothing import make_traversal
+
+FAST = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def check_schedule(seq, xadj, adjncy, batched, offsets):
+    # (a) Same multiset of vertices, valid level boundaries.
+    assert np.array_equal(np.sort(batched), np.sort(seq))
+    assert offsets[0] == 0 and offsets[-1] == seq.size
+    assert np.all(np.diff(offsets) > 0)
+
+    level_of = {}
+    for k in range(offsets.size - 1):
+        for v in batched[offsets[k] : offsets[k + 1]].tolist():
+            level_of[v] = k
+
+    pos = {int(v): i for i, v in enumerate(seq)}
+    for k in range(offsets.size - 1):
+        level = batched[offsets[k] : offsets[k + 1]].tolist()
+        members = set(level)
+        for v in level:
+            neighbors = adjncy[xadj[v] : xadj[v + 1]].tolist()
+            # (b) Levels are independent sets of the adjacency graph.
+            assert not (set(neighbors) & members - {v})
+            # (c) Earlier-in-sequence neighbors sit in lower levels.
+            for u in neighbors:
+                if u in pos and pos[u] < pos[v]:
+                    assert level_of[u] < level_of[v]
+
+
+@pytest.mark.parametrize("traversal", ["storage", "greedy"])
+def test_schedule_valid_on_mesh_traversals(ocean_mesh, traversal):
+    g = ocean_mesh.adjacency
+    q = vertex_quality(ocean_mesh)
+    seq = make_traversal(traversal, ocean_mesh, q)
+    batched, offsets = wavefront_schedule(seq, g.xadj, g.adjncy)
+    check_schedule(seq, g.xadj, g.adjncy, batched, offsets)
+
+
+def test_schedule_of_empty_sequence(ocean_mesh):
+    g = ocean_mesh.adjacency
+    batched, offsets = wavefront_schedule(
+        np.empty(0, dtype=np.int64), g.xadj, g.adjncy
+    )
+    assert batched.size == 0
+    assert offsets.size == 1 and offsets[0] == 0
+
+
+@FAST
+@given(
+    nx=st.integers(min_value=3, max_value=10),
+    ny=st.integers(min_value=3, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_schedule_valid_on_random_subsets(nx, ny, seed):
+    """Arbitrary subsets in arbitrary order (the culling case) schedule
+    correctly too."""
+    mesh = perturb_interior(
+        structured_rectangle(nx, ny), amplitude=0.03, seed=seed
+    )
+    g = mesh.adjacency
+    rng = np.random.default_rng(seed)
+    interior = mesh.interior_vertices()
+    take = rng.random(interior.size) < 0.7
+    seq = rng.permutation(interior[take])
+    batched, offsets = wavefront_schedule(seq, g.xadj, g.adjncy)
+    check_schedule(seq, g.xadj, g.adjncy, batched, offsets)
+
+
+def test_schedule_preserves_within_level_order(ocean_mesh):
+    """Within a level, vertices keep their traversal order (the sort is
+    stable), so the batched trace layout is deterministic."""
+    g = ocean_mesh.adjacency
+    seq = ocean_mesh.interior_vertices()
+    batched, offsets = wavefront_schedule(seq, g.xadj, g.adjncy)
+    pos = {int(v): i for i, v in enumerate(seq)}
+    for k in range(offsets.size - 1):
+        level = [pos[int(v)] for v in batched[offsets[k] : offsets[k + 1]]]
+        assert level == sorted(level)
