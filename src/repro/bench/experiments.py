@@ -90,6 +90,9 @@ class BenchConfig:
     #: Multicore replay engine: "sequential" or "sharded" (worker
     #: processes, one per occupied socket; identical counts).
     mem_engine: str = "sequential"
+    #: Cache simulator: "reference" (per-event replay) or "batched"
+    #: (vectorized stack-distance engine; identical counts).
+    sim_engine: str = "reference"
 
 
 DEFAULT_CONFIG = BenchConfig()
@@ -147,6 +150,7 @@ def serial_run(
         iterations,
         traversal,
         rank_passes,
+        cfg.sim_engine,
     )
     if key not in _RUNS:
         mesh = suite_meshes(cfg)[label]
@@ -156,6 +160,7 @@ def serial_run(
             fixed_iterations=iterations,
             traversal=traversal,
             rank_passes_override=rank_passes,
+            sim_engine=cfg.sim_engine,
         )
     return _RUNS[key]
 
@@ -447,6 +452,7 @@ def scaling_sweep(
         cfg.rank_passes,
         cfg.traversal,
         cfg.mem_engine,
+        cfg.sim_engine,
     )
     if key in _SCALING:
         return _SCALING[key]
@@ -472,7 +478,11 @@ def scaling_sweep(
                 )
                 lines = [layout.lines(t) for t in traces]
                 result = simulate_multicore(
-                    lines, machine, affinity=cfg.affinity, engine=cfg.mem_engine
+                    lines,
+                    machine,
+                    affinity=cfg.affinity,
+                    engine=cfg.mem_engine,
+                    sim_engine=cfg.sim_engine,
                 )
                 times[(label, ordering, p)] = result.modeled_seconds
                 counts[(label, ordering, p)] = result.access_counts()

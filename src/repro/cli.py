@@ -6,6 +6,7 @@ Subcommands:
 ``smooth``     smooth a mesh (optionally after a reordering) and report
 ``reorder``    write the reordered mesh under a named ordering
 ``analyze``    trace a run, break misses down per array, export the trace
+``parallel``   simulate a multicore smoothing run (shared-L3 sockets)
 ``experiment`` run one of the paper's tables/figures and print it
 ``lab``        durable experiment sweeps: ``init|run|status|reset|export``
 ``list``       show available domains, orderings and experiments
@@ -110,7 +111,33 @@ def _build_parser() -> argparse.ArgumentParser:
     an.add_argument("--engine", default="reference",
                     choices=["reference", "vectorized"],
                     help="smoothing execution engine (traces are identical)")
+    an.add_argument("--sim-engine", default="reference",
+                    choices=["reference", "batched"],
+                    help="cache simulator: per-event reference replay or "
+                         "the vectorized stack-distance engine "
+                         "(identical counts, much faster)")
     an.add_argument("--save-trace", help="write the access trace to this .npz path")
+
+    pa = sub.add_parser(
+        "parallel", help="simulate a multicore smoothing run"
+    )
+    pa.add_argument("input", help="input stem (reads <stem>.node/.ele)")
+    pa.add_argument("--ordering", default="rdr", choices=sorted(ORDERINGS))
+    pa.add_argument("--cores", type=int, default=2,
+                    help="number of simulated threads")
+    pa.add_argument("--iterations", type=int, default=8)
+    pa.add_argument("--seed", type=int, default=0,
+                    help="seed for stochastic orderings (e.g. random)")
+    pa.add_argument("--affinity", default="scatter",
+                    choices=["compact", "scatter"])
+    pa.add_argument("--mem-engine", default="sequential",
+                    choices=["sequential", "sharded"],
+                    help="replay engine: in-process sockets or one worker "
+                         "process per socket")
+    pa.add_argument("--sim-engine", default="reference",
+                    choices=["reference", "batched"],
+                    help="cache simulator (batched vectorizes single-core "
+                         "sockets exactly)")
 
     ex = sub.add_parser("experiment", help="run a paper table/figure")
     ex.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -164,6 +191,10 @@ def _build_lab_parser(sub) -> None:
                      default=("reference",),
                      help="comma list of smoothing engines "
                           "(reference,vectorized)")
+    ini.add_argument("--sim-engines", type=_comma_list(str),
+                     default=("reference",),
+                     help="comma list of cache simulators "
+                          "(reference,batched)")
     ini.add_argument("--max-iterations", type=int, default=8)
     ini.add_argument("--max-attempts", type=int, default=3)
     ini.add_argument("--force-new", action="store_true",
@@ -276,7 +307,7 @@ def _cmd_analyze(args) -> int:
     mesh = read_triangle(args.input)
     run = run_ordering(
         mesh, args.ordering, fixed_iterations=args.iterations, seed=args.seed,
-        engine=args.engine,
+        engine=args.engine, sim_engine=args.sim_engine,
     )
     summary = trace_summary(run.trace, run.layout)
     print(
@@ -285,7 +316,12 @@ def _cmd_analyze(args) -> int:
         f"{summary['distinct_lines']} distinct lines, "
         f"cold fraction {summary['cold_fraction']:.1%}"
     )
-    rows = [b.as_row() for b in per_array_breakdown(run.trace, run.layout, run.machine)]
+    rows = [
+        b.as_row()
+        for b in per_array_breakdown(
+            run.trace, run.layout, run.machine, sim_engine=args.sim_engine
+        )
+    ]
     print(format_table(rows, title=f"per-array breakdown ({args.ordering})"))
     prof = run.reuse_profile()
     print(
@@ -296,6 +332,40 @@ def _cmd_analyze(args) -> int:
     if args.save_trace:
         path = run.trace.save_npz(args.save_trace)
         print(f"wrote trace to {path}")
+    return 0
+
+
+def _cmd_parallel(args) -> int:
+    from .core import run_parallel_ordering
+
+    mesh = read_triangle(args.input)
+    run = run_parallel_ordering(
+        mesh,
+        args.ordering,
+        args.cores,
+        iterations=args.iterations,
+        seed=args.seed,
+        affinity=args.affinity,
+        mem_engine=args.mem_engine,
+        sim_engine=args.sim_engine,
+    )
+    counts = run.result.access_counts()
+    print(
+        f"{args.ordering!r} on {args.cores} core(s) "
+        f"({args.affinity} affinity, {run.iterations} iteration(s)): "
+        f"modeled time {run.modeled_seconds * 1e3:.3f} ms"
+    )
+    print(
+        f"accesses: L2 {counts['L2']}, L3 {counts['L3']}, "
+        f"memory {counts['memory']}"
+    )
+    for cr in run.result.per_core:
+        st = cr.stats
+        print(
+            f"  core {cr.core} (socket {cr.socket}): "
+            f"L1 {st.l1.miss_rate:.3%} L2 {st.l2.miss_rate:.3%} "
+            f"L3 {st.l3.miss_rate:.3%} miss rates"
+        )
     return 0
 
 
@@ -352,6 +422,7 @@ def _cmd_lab(args) -> int:
             quality_structure=args.quality_structure,
             max_iterations=args.max_iterations,
             engines=args.engines,
+            sim_engines=args.sim_engines,
         ).validate()
         store = JobStore(db)
         latest = store.latest_run_id()
@@ -441,6 +512,7 @@ def main(argv: list[str] | None = None) -> int:
         "smooth": _cmd_smooth,
         "reorder": _cmd_reorder,
         "analyze": _cmd_analyze,
+        "parallel": _cmd_parallel,
         "experiment": _cmd_experiment,
         "lab": _cmd_lab,
         "list": lambda _args: _cmd_list(),

@@ -155,6 +155,7 @@ def run_ordering(
     smoother_kwargs: dict | None = None,
     precomputed_order: np.ndarray | None = None,
     engine: str = "reference",
+    sim_engine: str = "reference",
 ) -> OrderedRun:
     """Order, smooth (with tracing), simulate, and price one execution.
 
@@ -169,6 +170,8 @@ def run_ordering(
     ``engine`` selects the smoothing execution engine (``"reference"``
     or ``"vectorized"``); both produce the same access trace, so the
     cache simulation is engine-independent.
+    ``sim_engine`` selects the cache simulator (``"reference"`` or
+    ``"batched"``); both produce identical per-level counts.
     """
     if machine is None:
         machine = default_machine_for(mesh, profile="serial")
@@ -193,7 +196,7 @@ def run_ordering(
 
     layout = MemoryLayout.for_mesh(permuted, line_size=machine.line_size)
     lines = layout.lines(result.trace)
-    cache = simulate_trace(lines, machine)
+    cache = simulate_trace(lines, machine, sim_engine=sim_engine)
     cost = modeled_time(cache, machine)
     return OrderedRun(
         mesh_name=mesh.name,
@@ -283,6 +286,7 @@ def run_parallel_ordering(
     qualities: np.ndarray | None = None,
     seed: int = 0,
     mem_engine: str = "sequential",
+    sim_engine: str = "reference",
 ) -> ParallelRun:
     """Simulate a ``num_cores``-thread smoothing run under an ordering.
 
@@ -290,7 +294,9 @@ def run_parallel_ordering(
     hypothesises its machine used for few-thread runs (the source of the
     super-linear speedups); the ablation bench flips it to ``compact``.
     ``mem_engine`` selects the replay engine (``"sequential"`` or
-    ``"sharded"``; see :func:`repro.memsim.simulate_multicore`).
+    ``"sharded"``; see :func:`repro.memsim.simulate_multicore`), and
+    ``sim_engine`` the per-socket simulator (``"reference"`` or
+    ``"batched"``; single-core sockets vectorize exactly).
     """
     if machine is None:
         machine = default_machine_for(mesh, profile="scaling")
@@ -308,7 +314,11 @@ def run_parallel_ordering(
     layout = MemoryLayout.for_mesh(permuted, line_size=machine.line_size)
     lines_per_core = [layout.lines(t) for t in traces]
     result = simulate_multicore(
-        lines_per_core, machine, affinity=affinity, engine=mem_engine
+        lines_per_core,
+        machine,
+        affinity=affinity,
+        engine=mem_engine,
+        sim_engine=sim_engine,
     )
     return ParallelRun(
         mesh_name=mesh.name,

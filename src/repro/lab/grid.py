@@ -47,6 +47,7 @@ class JobSpec:
     quality_structure: str = "ramp"
     max_iterations: int = 8
     engine: str = "reference"
+    sim_engine: str = "reference"
 
     def key(self) -> str:
         """Canonical identity string (job uniqueness + cache keying)."""
@@ -76,8 +77,10 @@ def validate_names(
     orderings: tuple[str, ...] = (),
     experiments: tuple[str, ...] = (),
     engines: tuple[str, ...] = (),
+    sim_engines: tuple[str, ...] = (),
 ) -> None:
     """Raise :class:`UnknownNameError` for the first unknown name."""
+    from ..memsim.batched import SIM_ENGINES
     from ..smoothing import ENGINES
     from .worker import EXPERIMENT_RUNNERS  # late: worker imports JobSpec
 
@@ -94,6 +97,9 @@ def validate_names(
     for name in engines:
         if name not in ENGINES:
             raise UnknownNameError("engine", name, list(ENGINES))
+    for name in sim_engines:
+        if name not in SIM_ENGINES:
+            raise UnknownNameError("sim engine", name, list(SIM_ENGINES))
 
 
 @dataclass(frozen=True)
@@ -109,6 +115,7 @@ class ExperimentGrid:
     quality_structure: str = "ramp"
     max_iterations: int = 8
     engines: tuple[str, ...] = ("reference",)
+    sim_engines: tuple[str, ...] = ("reference",)
 
     def validate(self) -> "ExperimentGrid":
         validate_names(
@@ -116,6 +123,7 @@ class ExperimentGrid:
             orderings=self.orderings,
             experiments=self.experiments,
             engines=self.engines,
+            sim_engines=self.sim_engines,
         )
         return self
 
@@ -132,8 +140,10 @@ class ExperimentGrid:
                 quality_structure=self.quality_structure,
                 max_iterations=self.max_iterations,
                 engine=engine,
+                sim_engine=sim_engine,
             )
-            for experiment, domain, ordering, vertices, scale, seed, engine
+            for experiment, domain, ordering, vertices, scale, seed, engine,
+            sim_engine
             in product(
                 self.experiments,
                 self.domains,
@@ -142,6 +152,7 @@ class ExperimentGrid:
                 self.cache_scales,
                 self.seeds,
                 self.engines,
+                self.sim_engines,
             )
         ]
 
@@ -154,7 +165,7 @@ class ExperimentGrid:
         kwargs = {k: v for k, v in data.items() if k in names}
         for key in (
             "experiments", "domains", "orderings",
-            "vertices", "seeds", "cache_scales", "engines",
+            "vertices", "seeds", "cache_scales", "engines", "sim_engines",
         ):
             if key in kwargs:
                 kwargs[key] = tuple(kwargs[key])

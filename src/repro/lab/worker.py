@@ -109,6 +109,7 @@ def _run_pipeline(spec: JobSpec, cache: ArtifactCache) -> dict:
             seed=spec.seed,
             precomputed_order=order,
             engine=spec.engine,
+            sim_engine=spec.sim_engine,
         )
         return run_summary(run)
 
@@ -153,6 +154,7 @@ def _run_parallel_pipeline(spec: JobSpec, cache: ArtifactCache) -> dict:
             iterations=spec.max_iterations,
             seed=spec.seed,
             mem_engine="sharded",
+            sim_engine=spec.sim_engine,
         )
         counts = run.result.access_counts()
         return {

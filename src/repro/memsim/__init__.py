@@ -8,6 +8,7 @@ simulator.
 """
 
 from .analysis import ArrayBreakdown, per_array_breakdown, trace_summary
+from .batched import SIM_ENGINES, batched_levels, simulate_trace_batched
 from .cache import (
     CacheHierarchy,
     HierarchyStats,
@@ -61,8 +62,10 @@ __all__ = [
     "MemoryLayout",
     "MulticoreResult",
     "ReuseProfile",
+    "SIM_ENGINES",
     "TraceBuilder",
     "affinity_sockets",
+    "batched_levels",
     "bucketed_series",
     "calibrated_machine",
     "extra_miss_cycles",
@@ -76,6 +79,7 @@ __all__ = [
     "simulate_multicore_sharded",
     "simulate_socket",
     "simulate_trace",
+    "simulate_trace_batched",
     "socket_shards",
     "tiny_machine",
     "trace_summary",

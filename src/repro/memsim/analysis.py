@@ -53,20 +53,30 @@ def per_array_breakdown(
     trace: AccessTrace,
     layout: MemoryLayout,
     machine: MachineSpec,
+    *,
+    sim_engine: str = "reference",
 ) -> list[ArrayBreakdown]:
     """Simulate the hierarchy, attributing misses to logical arrays.
 
     Returns one row per array (in :data:`ARRAY_NAMES` order) that
-    appears in the trace.
+    appears in the trace. ``sim_engine="batched"`` computes the served
+    levels with the vectorized engine (identical results).
     """
     lines = layout.lines(trace)
-    hierarchy = CacheHierarchy(machine)
-    access = hierarchy.access
     ids = trace.array_ids
-    # served level per access: 1..4
-    levels = np.empty(len(trace), dtype=np.int8)
-    for i, line in enumerate(lines.tolist()):
-        levels[i] = access(line)
+    if sim_engine == "batched":
+        from .batched import batched_levels
+
+        _, levels = batched_levels(lines, machine)
+    elif sim_engine == "reference":
+        hierarchy = CacheHierarchy(machine)
+        access = hierarchy.access
+        # served level per access: 1..4
+        levels = np.empty(len(trace), dtype=np.int8)
+        for i, line in enumerate(lines.tolist()):
+            levels[i] = access(line)
+    else:
+        raise ValueError(f"unknown sim engine {sim_engine!r}")
 
     out: list[ArrayBreakdown] = []
     for aid, name in enumerate(ARRAY_NAMES):
@@ -88,12 +98,20 @@ def per_array_breakdown(
     return out
 
 
-def trace_summary(trace: AccessTrace, layout: MemoryLayout) -> dict:
-    """Structural summary of a trace (no cache simulation).
+def trace_summary(
+    trace: AccessTrace,
+    layout: MemoryLayout,
+    machine: MachineSpec | None = None,
+    *,
+    sim_engine: str = "reference",
+) -> dict:
+    """Structural summary of a trace.
 
     Reports length, per-array access shares, write fraction, distinct
     lines/elements touched, and the cold-access fraction at line
-    granularity.
+    granularity. When ``machine`` is given, a ``cache`` entry with
+    per-level hierarchy statistics is included, simulated with the
+    selected ``sim_engine``.
     """
     lines = layout.lines(trace)
     elements = layout.element_ids(trace)
@@ -103,7 +121,7 @@ def trace_summary(trace: AccessTrace, layout: MemoryLayout) -> dict:
         for aid, name in enumerate(ARRAY_NAMES)
         if np.count_nonzero(trace.array_ids == aid)
     }
-    return {
+    summary = {
         "length": len(trace),
         "iterations": trace.num_iterations,
         "writes": int(trace.is_write.sum()),
@@ -113,3 +131,9 @@ def trace_summary(trace: AccessTrace, layout: MemoryLayout) -> dict:
         "per_array": per_array,
         "meta": dict(trace.meta),
     }
+    if machine is not None:
+        from .cache import simulate_trace
+
+        stats = simulate_trace(lines, machine, sim_engine=sim_engine)
+        summary["cache"] = [lv.as_row() for lv in stats.levels()]
+    return summary

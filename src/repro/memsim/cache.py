@@ -194,6 +194,11 @@ class CacheHierarchy:
         self.stats = HierarchyStats(
             LevelStats("L1"), LevelStats("L2"), LevelStats("L3")
         )
+        # Per-level counter objects bound once; access() is the hot loop
+        # and must not chase stats.lX on every event.
+        self._s1 = self.stats.l1
+        self._s2 = self.stats.l2
+        self._s3 = self.stats.l3
 
     def _fill(self, line: int) -> None:
         """Install a line in every level without touching demand stats
@@ -211,11 +216,11 @@ class CacheHierarchy:
 
     def access(self, line: int) -> int:
         """Touch a line; returns the level that served it (1, 2, 3, 4=memory)."""
-        st = self.stats
-        st.l1.accesses += 1
+        s1 = self._s1
+        s1.accesses += 1
         hit, ev = self.l1.access(line)
         if hit:
-            st.l1.hits += 1
+            s1.hits += 1
             return 1
         if self.next_line_prefetch:
             # Sequential next-line prefetch, triggered by demand misses
@@ -225,29 +230,78 @@ class CacheHierarchy:
             self._fill(line + 1)
         # L1 filled `line` already; handle its eviction silently (L1
         # victims stay in L2/L3 under inclusion).
-        st.l2.accesses += 1
+        s2 = self._s2
+        s2.accesses += 1
         hit, ev2 = self.l2.access(line)
         if hit:
-            st.l2.hits += 1
+            s2.hits += 1
             return 2
         if ev2 >= 0:
             # Inclusive: a line leaving L2 must leave L1.
             self.l1.invalidate(ev2)
-        st.l3.accesses += 1
+        s3 = self._s3
+        s3.accesses += 1
         hit, ev3 = self.l3.access(line)
         if hit:
-            st.l3.hits += 1
+            s3.hits += 1
             return 3
         if ev3 >= 0:
             self.l2.invalidate(ev3)
             self.l1.invalidate(ev3)
         return 4
 
+    # run() processes the stream in fixed-size chunks: chunk.tolist()
+    # yields plain Python ints (np.int64 scalars are several times
+    # slower in the set lists) without materializing the whole stream.
+    _RUN_CHUNK = 1 << 16
+
     def run(self, lines: np.ndarray) -> "HierarchyStats":
         """Feed a whole stream; returns the (cumulative) stats."""
-        access = self.access
-        for line in np.asarray(lines, dtype=np.int64).tolist():
-            access(line)
+        arr = np.asarray(lines, dtype=np.int64)
+        if self.next_line_prefetch:
+            # Prefetch path: _fill mutates every level mid-event, so use
+            # the straightforward per-event method.
+            access = self.access
+            for start in range(0, arr.size, self._RUN_CHUNK):
+                for line in arr[start : start + self._RUN_CHUNK].tolist():
+                    access(line)
+            return self.stats
+        # Demand-only path: same transitions as access(), with the level
+        # counters hoisted into locals and flushed once at the end.
+        l1_access = self.l1.access
+        l2_access = self.l2.access
+        l3_access = self.l3.access
+        l1_inval = self.l1.invalidate
+        l2_inval = self.l2.invalidate
+        n1 = h1 = n2 = h2 = n3 = h3 = 0
+        for start in range(0, arr.size, self._RUN_CHUNK):
+            for line in arr[start : start + self._RUN_CHUNK].tolist():
+                n1 += 1
+                hit, _ev = l1_access(line)
+                if hit:
+                    h1 += 1
+                    continue
+                n2 += 1
+                hit, ev2 = l2_access(line)
+                if hit:
+                    h2 += 1
+                    continue
+                if ev2 >= 0:
+                    l1_inval(ev2)
+                n3 += 1
+                hit, ev3 = l3_access(line)
+                if hit:
+                    h3 += 1
+                    continue
+                if ev3 >= 0:
+                    l2_inval(ev3)
+                    l1_inval(ev3)
+        self._s1.accesses += n1
+        self._s1.hits += h1
+        self._s2.accesses += n2
+        self._s2.hits += h2
+        self._s3.accesses += n3
+        self._s3.hits += h3
         return self.stats
 
 
@@ -257,8 +311,23 @@ def simulate_trace(
     *,
     next_line_prefetch: bool = False,
     policy: str = "lru",
+    sim_engine: str = "reference",
 ) -> HierarchyStats:
-    """One-core simulation of a line-id stream on ``machine``."""
+    """One-core simulation of a line-id stream on ``machine``.
+
+    ``sim_engine="batched"`` routes through the vectorized stack-distance
+    engine in :mod:`repro.memsim.batched`; it produces bit-identical
+    per-level counts (falling back to this reference internally where the
+    cascade cannot stay exact).
+    """
+    if sim_engine == "batched":
+        from .batched import simulate_trace_batched
+
+        return simulate_trace_batched(
+            lines, machine, next_line_prefetch=next_line_prefetch, policy=policy
+        )
+    if sim_engine != "reference":
+        raise ValueError(f"unknown sim engine {sim_engine!r}")
     return CacheHierarchy(
         machine, next_line_prefetch=next_line_prefetch, policy=policy
     ).run(lines)

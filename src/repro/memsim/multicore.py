@@ -114,6 +114,7 @@ def simulate_socket(
     machine: MachineSpec,
     *,
     quantum: int = 64,
+    sim_engine: str = "reference",
 ) -> list[CoreResult]:
     """Simulate one socket: its cores' streams against one shared L3.
 
@@ -122,7 +123,28 @@ def simulate_socket(
     (:mod:`repro.memsim.sharded`) distributes to worker processes. Both
     the sequential and the sharded engine run this very function, which
     is what makes their per-level counts identical by construction.
+
+    ``sim_engine="batched"`` applies to single-core sockets only, where
+    the socket degenerates to a private hierarchy and the vectorized
+    cascade is exact; multi-core sockets interleave through the shared
+    L3 and always use the reference replay.
     """
+    if sim_engine not in ("reference", "batched"):
+        raise ValueError(f"unknown sim engine {sim_engine!r}")
+    if sim_engine == "batched" and len(member_cores) == 1:
+        # One core: no shared-L3 contention, the socket is exactly a
+        # private three-level hierarchy and the batched cascade applies.
+        from .batched import batched_levels
+
+        stats, _ = batched_levels(streams[0], machine)
+        return [
+            CoreResult(
+                core=int(member_cores[0]),
+                socket=int(socket_id),
+                stats=stats,
+                cost=modeled_time(stats, machine),
+            )
+        ]
     shared_l3 = LRUCache(machine.l3)
     hierarchies = [CacheHierarchy(machine, shared_l3=shared_l3) for _ in member_cores]
     line_lists = [
@@ -162,6 +184,7 @@ def simulate_multicore(
     quantum: int = 64,
     engine: str = "sequential",
     max_workers: int | None = None,
+    sim_engine: str = "reference",
 ) -> MulticoreResult:
     """Simulate per-core line streams on the machine's cache topology.
 
@@ -182,6 +205,10 @@ def simulate_multicore(
         per-level counts are identical either way.
     max_workers:
         Worker-process cap for the sharded engine (ignored otherwise).
+    sim_engine:
+        ``"reference"`` or ``"batched"``; the batched engine vectorizes
+        single-core sockets (exactly) and composes with either replay
+        engine.
     """
     if engine == "sharded":
         from .sharded import simulate_multicore_sharded
@@ -192,6 +219,7 @@ def simulate_multicore(
             affinity=affinity,
             quantum=quantum,
             max_workers=max_workers,
+            sim_engine=sim_engine,
         )
     if engine != "sequential":
         raise ValueError(
@@ -209,6 +237,7 @@ def simulate_multicore(
             [lines_per_core[c] for c in member_cores],
             machine,
             quantum=quantum,
+            sim_engine=sim_engine,
         ):
             results[cr.core] = cr
     return MulticoreResult(

@@ -7,11 +7,24 @@ fully-associative LRU cache of capacity C, an access hits iff its reuse
 distance is < C — which is the first-order model the paper builds its
 whole analysis on (Section 3.1).
 
-Algorithm: keep, for every item, the time of its latest access, and a
-Fenwick tree (binary indexed tree) over time marking which positions are
-currently "the latest access of some item". The reuse distance of an
-access at time ``t`` to an item last touched at ``t0`` is the number of
-marks in ``(t0, t)``. Each access does O(log n) Fenwick work.
+Algorithm: the classic formulation keeps a Fenwick tree over time
+marking which positions are currently "the latest access of some item";
+the vectorized version used here counts *contained repeats* instead.
+With ``p`` the previous access to the same item and ``span = t - p``,
+
+    distance(t) = span - 1 - #{repeats (prev_f, f) contained in (p, t)}
+
+because every access ``f`` in the window whose own previous occurrence
+``prev_f`` also lies after ``p`` double-counts an item the plain
+position count already saw. Repeats are binned by their backward gap
+``g = f - prev_f``; a repeat with gap ``g`` is contained iff
+``p + g < f < t``, which per gap class is a 1-D range count answered by
+two ``searchsorted`` calls over *all* queries at once. Only gap classes
+with ``g + 2 <= span`` can contribute, so queries are processed in
+descending span order and each class touches only the still-active
+prefix. On streams where that class/span product degenerates (estimated
+up front) the original O(n log n) Fenwick loop is used instead, so the
+worst case never regresses.
 """
 
 from __future__ import annotations
@@ -30,6 +43,122 @@ __all__ = [
 ]
 
 COLD = -1  # sentinel distance for first-touch accesses
+
+# Fall back to the Fenwick loop when the class-sweep would do more than
+# this many range-count lookups per access (adversarial gap spectra).
+_SWEEP_WORK_FACTOR = 64
+
+
+def previous_occurrence(stream: np.ndarray) -> np.ndarray:
+    """Index of the previous access to the same item, -1 for first touches.
+
+    Works on any integer id stream; the result indexes into ``stream``.
+    """
+    stream = np.asarray(stream)
+    n = stream.size
+    prev = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return prev
+    # Stable sort groups equal ids while keeping time order inside each
+    # group, so the predecessor in sort order is the previous occurrence.
+    order = np.argsort(stream, kind="stable")
+    sorted_ids = stream[order]
+    same = sorted_ids[1:] == sorted_ids[:-1]
+    prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def _distances_fenwick(prev: np.ndarray) -> np.ndarray:
+    """Reference Bennett-Kruskal loop (kept as the worst-case fallback)."""
+    n = prev.size
+    out = np.full(n, COLD, dtype=np.int64)
+    size = n + 1
+    tree = [0] * size  # Fenwick tree over access times (1-based)
+    out_local = out
+    prev_list = prev.tolist()
+
+    for t, t0 in enumerate(prev_list):
+        if t0 >= 0:
+            # Count marks strictly inside (t0, t): each is the latest
+            # access of a distinct other item touched since t0.
+            s = 0
+            i = t  # prefix over [0, t-1], 1-based index t
+            while i > 0:
+                s += tree[i]
+                i -= i & (-i)
+            i = t0 + 1
+            while i > 0:
+                s -= tree[i]
+                i -= i & (-i)
+            out_local[t] = s
+            i = t0 + 1  # unmark the previous occurrence
+            while i < size:
+                tree[i] -= 1
+                i += i & (-i)
+        i = t + 1  # mark this occurrence as the item's latest
+        while i < size:
+            tree[i] += 1
+            i += i & (-i)
+    return out
+
+
+def contained_repeat_counts(
+    prev: np.ndarray, t_idx: np.ndarray, p_idx: np.ndarray
+) -> np.ndarray:
+    """For each query window ``(p_idx[q], t_idx[q])``, count repeats inside.
+
+    A repeat is a position ``f`` with ``prev[f] >= 0`` whose backward gap
+    ``g = f - prev[f]`` satisfies ``p + g < f < t`` — i.e. both endpoints
+    of the interval ``(prev[f], f)`` fall strictly inside the window.
+    Vectorized per distinct gap class; cost is proportional to the number
+    of (query, class-with-smaller-gap) pairs.
+    """
+    nq = t_idx.size
+    counts = np.zeros(nq, dtype=np.int64)
+    if nq == 0:
+        return counts
+    repeats = np.nonzero(prev >= 0)[0]
+    if repeats.size == 0:
+        return counts
+    gaps = repeats - prev[repeats]
+    # Group repeat positions by gap; positions stay time-sorted in-group.
+    g_order = np.argsort(gaps, kind="stable")
+    g_sorted = gaps[g_order]
+    f_by_gap = repeats[g_order]
+    class_gaps, class_starts = np.unique(g_sorted, return_index=True)
+    class_ends = np.append(class_starts[1:], g_sorted.size)
+
+    # Queries in descending span order: class g only affects spans >= g+2,
+    # a prefix of this order, so accumulation stays slice-aligned.
+    span = t_idx - p_idx
+    q_order = np.argsort(-span, kind="stable")
+    span_desc = span[q_order]
+    t_desc = t_idx[q_order]
+    p_desc = p_idx[q_order]
+    acc = np.zeros(nq, dtype=np.int64)
+
+    # active(g) = #queries with span >= g + 2, a prefix of the
+    # descending span order.
+    active = np.searchsorted(-span_desc, -(class_gaps + 1))
+    if int(active.sum()) > _SWEEP_WORK_FACTOR * (prev.size + nq):
+        raise _SweepDegenerate()
+
+    for gap, lo, hi, na in zip(
+        class_gaps.tolist(), class_starts.tolist(), class_ends.tolist(),
+        active.tolist(),
+    ):
+        if na == 0:
+            break  # spans only shrink from here on
+        cls = f_by_gap[lo:hi]
+        hi_cnt = np.searchsorted(cls, t_desc[:na], side="left")
+        lo_cnt = np.searchsorted(cls, p_desc[:na] + gap, side="right")
+        acc[:na] += hi_cnt - lo_cnt
+    counts[q_order] = acc
+    return counts
+
+
+class _SweepDegenerate(Exception):
+    """Raised when the class sweep would exceed its work budget."""
 
 
 def reuse_distances(stream: np.ndarray) -> np.ndarray:
@@ -50,43 +179,16 @@ def reuse_distances(stream: np.ndarray) -> np.ndarray:
     out = np.full(n, COLD, dtype=np.int64)
     if n == 0:
         return out
-    # Compress ids to 0..u-1 for dense bookkeeping.
-    _, compact = np.unique(stream, return_inverse=True)
-    compact = compact.astype(np.int64)
-
-    size = n + 1
-    tree = [0] * size  # Fenwick tree over access times (1-based)
-    last = {}  # item -> last access time (0-based)
-
-    # Local bindings: this loop dominates the analysis cost.
-    tree_local = tree
-    last_local = last
-    out_local = out
-    compact_list = compact.tolist()
-
-    def update(i: int, delta: int) -> None:
-        i += 1
-        while i < size:
-            tree_local[i] += delta
-            i += i & (-i)
-
-    def query(i: int) -> int:  # prefix sum of marks at times <= i (0-based)
-        i += 1
-        s = 0
-        while i > 0:
-            s += tree_local[i]
-            i -= i & (-i)
-        return s
-
-    for t, x in enumerate(compact_list):
-        t0 = last_local.get(x)
-        if t0 is not None:
-            # Marks strictly inside (t0, t): each is the latest access of
-            # a distinct other item touched since t0.
-            out_local[t] = query(t - 1) - query(t0)
-            update(t0, -1)
-        update(t, +1)
-        last_local[x] = t
+    prev = previous_occurrence(stream)
+    t_idx = np.nonzero(prev >= 0)[0]
+    if t_idx.size == 0:
+        return out
+    p_idx = prev[t_idx]
+    try:
+        repeats = contained_repeat_counts(prev, t_idx, p_idx)
+    except _SweepDegenerate:
+        return _distances_fenwick(prev)
+    out[t_idx] = t_idx - p_idx - 1 - repeats
     return out
 
 
@@ -167,12 +269,13 @@ def bucketed_series(
     num_buckets = min(num_buckets, n)
     edges = np.linspace(0, n, num_buckets + 1).astype(np.int64)
     centers = 0.5 * (edges[:-1] + edges[1:])
-    means = np.full(num_buckets, np.nan)
-    for b in range(num_buckets):
-        seg = distances[edges[b] : edges[b + 1]]
-        warm = seg[seg != COLD]
-        if warm.size:
-            means[b] = warm.mean()
+    # Masked segment sums/counts in one pass each; num_buckets <= n keeps
+    # the edges strictly increasing, which reduceat requires.
+    warm = distances != COLD
+    sums = np.add.reduceat(np.where(warm, distances, 0.0), edges[:-1])
+    cnts = np.add.reduceat(warm.astype(np.int64), edges[:-1])
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = np.where(cnts > 0, sums / cnts, np.nan)
     return centers, means
 
 

@@ -66,9 +66,14 @@ def socket_shards(
 
 
 def _run_shard(args) -> list[CoreResult]:
-    socket_id, member_cores, streams, machine, quantum = args
+    socket_id, member_cores, streams, machine, quantum, sim_engine = args
     return simulate_socket(
-        socket_id, member_cores, streams, machine, quantum=quantum
+        socket_id,
+        member_cores,
+        streams,
+        machine,
+        quantum=quantum,
+        sim_engine=sim_engine,
     )
 
 
@@ -79,6 +84,7 @@ def simulate_multicore_sharded(
     affinity: str = "compact",
     quantum: int = 64,
     max_workers: int | None = None,
+    sim_engine: str = "reference",
 ) -> MulticoreResult:
     """Replay per-core line streams with one worker process per socket.
 
@@ -91,7 +97,7 @@ def simulate_multicore_sharded(
     """
     shards = socket_shards(lines_per_core, machine, affinity)
     payloads = [
-        (socket_id, members, streams, machine, quantum)
+        (socket_id, members, streams, machine, quantum, sim_engine)
         for socket_id, members, streams in shards
     ]
     if max_workers is None:

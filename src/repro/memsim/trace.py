@@ -116,8 +116,16 @@ class AccessTrace:
 
     # -- persistence ----------------------------------------------------
     def save_npz(self, path) -> Path:
-        """Persist the trace (compressed). Meta goes along as JSON."""
+        """Persist the trace (compressed). Meta goes along as JSON.
+
+        Returns the path actually written: ``np.savez`` appends ``.npz``
+        to names lacking it, so the suffix is normalized up front (with
+        plain name concatenation — ``with_suffix`` rejects names ending
+        in a dot) and the write targets the returned path exactly.
+        """
         path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_name(path.name + ".npz")
         np.savez_compressed(
             path,
             array_ids=self.array_ids,
@@ -128,10 +136,7 @@ class AccessTrace:
                 json.dumps(self.meta, default=str).encode(), dtype=np.uint8
             ),
         )
-        # np.savez appends .npz when missing.
-        return path if path.suffix == ".npz" else path.with_suffix(
-            path.suffix + ".npz"
-        )
+        return path
 
     @classmethod
     def load_npz(cls, path) -> "AccessTrace":

@@ -65,6 +65,36 @@ class TestAccessTrace:
         assert [ARRAY_IDS[n] for n in ARRAY_NAMES] == list(range(len(ARRAY_NAMES)))
 
 
+class TestPersistence:
+    @pytest.mark.parametrize(
+        "name", ["plain.npz", "stem", "foo.trace", "multi.dot.name", "odd."]
+    )
+    def test_save_returns_written_path(self, tmp_path, name):
+        trace = make_trace(6)
+        written = trace.save_npz(tmp_path / name)
+        # The returned path is the file on disk, whatever the input
+        # suffix was (np.savez appends .npz to names lacking it).
+        assert written.is_file()
+        assert written.suffix == ".npz"
+        assert written.parent == tmp_path
+
+    def test_round_trip(self, tmp_path):
+        trace = AccessTrace(
+            np.array([0, 3, 0, 1], dtype=np.uint8),
+            np.array([5, 6, 7, 8], dtype=np.int64),
+            np.array([False, True, False, True]),
+            iteration_starts=np.array([0, 2], dtype=np.int64),
+            meta={"mesh": "m", "k": 3},
+        )
+        written = trace.save_npz(tmp_path / "foo.trace")
+        loaded = AccessTrace.load_npz(written)
+        assert np.array_equal(loaded.array_ids, trace.array_ids)
+        assert np.array_equal(loaded.indices, trace.indices)
+        assert np.array_equal(loaded.is_write, trace.is_write)
+        assert np.array_equal(loaded.iteration_starts, trace.iteration_starts)
+        assert loaded.meta == trace.meta
+
+
 class TestTraceBuilder:
     def test_append_scalar_and_vector(self):
         tb = TraceBuilder()
