@@ -21,6 +21,7 @@ import time
 import numpy as np
 from conftest import run_once
 
+from repro import RunConfig
 from repro.bench import format_table, save_json
 from repro.core.pipeline import default_machine_for
 from repro.memsim import MemoryLayout, simulate_multicore
@@ -47,7 +48,7 @@ def _time_engines(record_trace: bool) -> dict:
             max_iterations=ITERATIONS,
             tol=-np.inf,
             record_trace=record_trace,
-            engine=engine,
+            config=RunConfig(engine=engine),
         )
         times[engine] = time.perf_counter() - t0
     assert np.allclose(
@@ -103,7 +104,7 @@ def _sharded_rows() -> list[dict]:
     for engine in ("sequential", "sharded"):
         t0 = time.perf_counter()
         outputs[engine] = simulate_multicore(
-            lines_per_core, machine, engine=engine
+            lines_per_core, machine, config=RunConfig(mem_engine=engine)
         )
         timings[engine] = time.perf_counter() - t0
     for a, b in zip(

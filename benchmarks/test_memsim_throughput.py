@@ -32,6 +32,7 @@ import numpy as np
 from conftest import run_once
 
 from repro.bench import format_table, save_json
+from repro import RunConfig
 from repro.core.pipeline import run_ordering
 from repro.memsim import simulate_trace, westmere_ex
 from repro.meshgen import perturb_interior, structured_rectangle
@@ -46,7 +47,9 @@ def _time_both(name: str, lines: np.ndarray) -> dict:
     batched_s = float("inf")
     for _ in range(3):
         t0 = time.perf_counter()
-        got = simulate_trace(lines, machine, sim_engine="batched")
+        got = simulate_trace(
+            lines, machine, config=RunConfig(sim_engine="batched")
+        )
         batched_s = min(batched_s, time.perf_counter() - t0)
     for a, b in zip(ref.levels(), got.levels()):
         assert (a.accesses, a.hits) == (b.accesses, b.hits), a.name
@@ -67,7 +70,11 @@ def _mesh_lines() -> np.ndarray:
         seed=0,
     )
     run = run_ordering(
-        mesh, "random", fixed_iterations=4, traversal="storage", seed=1
+        mesh,
+        "random",
+        config=RunConfig(seed=1),
+        fixed_iterations=4,
+        traversal="storage",
     )
     return run.lines
 

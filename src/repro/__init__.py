@@ -20,9 +20,14 @@ Packages
 ``repro.memsim``     reuse distance, LRU cache hierarchy, Eq.(2) timing
 ``repro.parallel``   static scheduling, thread team, multicore traces
 ``repro.bench``      experiment drivers, one per paper table/figure
+``repro.config``     the unified ``RunConfig`` engine/seed/obs selection
+``repro.obs``        span tracer, metrics registry, exporters
+``repro.lab``        durable experiment sweeps (job store + worker pool)
 """
 
+from . import obs
 from . import core as _core  # registers the "rdr" ordering
+from .config import ObsConfig, RunConfig, engine_axes
 from .core import (
     DEFAULT_CACHE_SCALE,
     OrderedRun,
@@ -64,14 +69,17 @@ __all__ = [
     "LaplacianSmoother",
     "MemoryLayout",
     "ORDERINGS",
+    "ObsConfig",
     "OrderedRun",
     "PAPER_SUITE",
     "ParallelRun",
+    "RunConfig",
     "TriMesh",
     "apply_ordering",
     "break_even_iterations",
     "compare_orderings",
     "delaunay",
+    "engine_axes",
     "generate_domain_mesh",
     "get_ordering",
     "global_quality",
@@ -79,6 +87,7 @@ __all__ = [
     "laplacian_smooth",
     "list_domains",
     "measure_reordering_cost",
+    "obs",
     "paper_suite",
     "parallel_smooth",
     "profile_from_distances",

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..config import RunConfig
 from ..core.pipeline import OrderedRun, default_machine_for, run_ordering
 from ..core.cost import measure_reordering_cost
 from ..memsim import (
@@ -87,12 +88,38 @@ class BenchConfig:
     cores: tuple[int, ...] = (1, 2, 4, 8, 16, 24, 32)
     scaling_iterations: int = 3
     affinity: str = "scatter"
+    #: Smoothing execution engine: "reference" or "vectorized"
+    #: (identical traces and coordinates).
+    engine: str = "reference"
     #: Multicore replay engine: "sequential" or "sharded" (worker
     #: processes, one per occupied socket; identical counts).
     mem_engine: str = "sequential"
     #: Cache simulator: "reference" (per-event replay) or "batched"
     #: (vectorized stack-distance engine; identical counts).
     sim_engine: str = "reference"
+
+    @classmethod
+    def from_run_config(cls, config: RunConfig, **overrides) -> "BenchConfig":
+        """A BenchConfig whose engine axes and seed come from ``config``
+        (the CLI's ``--engine``/``--sim-engine``/``--mem-engine``/``--seed``);
+        everything else keeps its default unless overridden."""
+        return cls(
+            engine=config.engine,
+            sim_engine=config.sim_engine,
+            mem_engine=config.mem_engine,
+            seed=config.seed,
+            **overrides,
+        )
+
+    def to_run_config(self) -> RunConfig:
+        """The :class:`repro.config.RunConfig` projection of this config
+        (what the drivers pass to the pipeline/memsim APIs)."""
+        return RunConfig(
+            engine=self.engine,
+            sim_engine=self.sim_engine,
+            mem_engine=self.mem_engine,
+            seed=self.seed,
+        )
 
 
 DEFAULT_CONFIG = BenchConfig()
@@ -150,6 +177,7 @@ def serial_run(
         iterations,
         traversal,
         rank_passes,
+        cfg.engine,
         cfg.sim_engine,
     )
     if key not in _RUNS:
@@ -157,10 +185,10 @@ def serial_run(
         _RUNS[key] = run_ordering(
             mesh,
             ordering,
+            config=cfg.to_run_config(),
             fixed_iterations=iterations,
             traversal=traversal,
             rank_passes_override=rank_passes,
-            sim_engine=cfg.sim_engine,
         )
     return _RUNS[key]
 
@@ -480,9 +508,8 @@ def scaling_sweep(
                 result = simulate_multicore(
                     lines,
                     machine,
+                    config=cfg.to_run_config(),
                     affinity=cfg.affinity,
-                    engine=cfg.mem_engine,
-                    sim_engine=cfg.sim_engine,
                 )
                 times[(label, ordering, p)] = result.modeled_seconds
                 counts[(label, ordering, p)] = result.access_counts()

@@ -9,10 +9,17 @@ Subcommands:
 ``parallel``   simulate a multicore smoothing run (shared-L3 sockets)
 ``experiment`` run one of the paper's tables/figures and print it
 ``lab``        durable experiment sweeps: ``init|run|status|reset|export``
-``list``       show available domains, orderings and experiments
+``list``       show available domains, orderings, experiments and engines
 
-Unknown domain/ordering/experiment names exit with status 2 and a
-one-line message listing the valid choices.
+Engine selection is uniform across subcommands:
+:func:`add_engine_args` attaches ``--engine``/``--sim-engine``/
+``--mem-engine``/``--seed`` (or their plural comma-list forms for grid
+sweeps) and :func:`run_config_from_args` folds them into one validated
+:class:`repro.config.RunConfig`. Observability flags (``--trace-out``,
+``--metrics-out``) ride in the same config.
+
+Unknown domain/ordering/experiment/engine names exit with status 2 and
+a one-line message listing the valid choices.
 """
 
 from __future__ import annotations
@@ -22,13 +29,18 @@ import json
 import sys
 from pathlib import Path
 
-from . import bench
+from . import bench, obs
 from .bench import format_table
 from .bench.report import save_csv
+from .config import ObsConfig, RunConfig, UnknownNameError, engine_axes
 from .core import measure_reordering_cost, run_ordering
 from .mesh import read_triangle, write_triangle
-from .meshgen import generate_domain_mesh, list_domains
-from .lab.grid import UnknownNameError
+from .meshgen import (
+    generate_domain_mesh,
+    list_domains,
+    perturb_interior,
+    structured_rectangle,
+)
 from .ordering import ORDERINGS, apply_ordering
 from .quality import global_quality
 from .smoothing import laplacian_smooth
@@ -82,15 +94,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sm.add_argument("--output", help="output stem for the smoothed mesh")
     sm.add_argument("--ordering", default=None, choices=sorted(ORDERINGS))
     sm.add_argument("--max-iterations", type=int, default=50)
-    sm.add_argument("--seed", type=int, default=0,
-                    help="seed for stochastic orderings (e.g. random)")
     sm.add_argument("--traversal", default="greedy", choices=["greedy", "storage"])
-    sm.add_argument("--engine", default="reference",
-                    choices=["reference", "vectorized"],
-                    help="execution engine: scalar reference loop or the "
-                         "NumPy wavefront engine (same results, faster)")
     sm.add_argument("--report-cache", action="store_true",
                     help="simulate the memory hierarchy and print miss rates")
+    add_engine_args(sm)
+    add_obs_args(sm)
 
     ro = sub.add_parser("reorder", help="reorder a mesh's vertices")
     ro.add_argument("input", help="input stem (reads <stem>.node/.ele)")
@@ -103,20 +111,20 @@ def _build_parser() -> argparse.ArgumentParser:
     an = sub.add_parser(
         "analyze", help="trace one smoothing iteration and break down misses"
     )
-    an.add_argument("input", help="input stem (reads <stem>.node/.ele)")
+    an.add_argument("input", nargs="?", default=None,
+                    help="input stem (reads <stem>.node/.ele); omit to "
+                         "generate a mesh with --domain instead")
+    an.add_argument("--domain", default=None,
+                    choices=[*list_domains(), "unit-square"],
+                    help="generate the mesh instead of reading one: a named "
+                         "domain or the perturbed structured unit square")
+    an.add_argument("--vertices", type=int, default=1500,
+                    help="vertex budget for --domain meshes")
     an.add_argument("--ordering", default="rdr", choices=sorted(ORDERINGS))
     an.add_argument("--iterations", type=int, default=1)
-    an.add_argument("--seed", type=int, default=0,
-                    help="seed for stochastic orderings (e.g. random)")
-    an.add_argument("--engine", default="reference",
-                    choices=["reference", "vectorized"],
-                    help="smoothing execution engine (traces are identical)")
-    an.add_argument("--sim-engine", default="reference",
-                    choices=["reference", "batched"],
-                    help="cache simulator: per-event reference replay or "
-                         "the vectorized stack-distance engine "
-                         "(identical counts, much faster)")
     an.add_argument("--save-trace", help="write the access trace to this .npz path")
+    add_engine_args(an)
+    add_obs_args(an)
 
     pa = sub.add_parser(
         "parallel", help="simulate a multicore smoothing run"
@@ -126,28 +134,22 @@ def _build_parser() -> argparse.ArgumentParser:
     pa.add_argument("--cores", type=int, default=2,
                     help="number of simulated threads")
     pa.add_argument("--iterations", type=int, default=8)
-    pa.add_argument("--seed", type=int, default=0,
-                    help="seed for stochastic orderings (e.g. random)")
     pa.add_argument("--affinity", default="scatter",
                     choices=["compact", "scatter"])
-    pa.add_argument("--mem-engine", default="sequential",
-                    choices=["sequential", "sharded"],
-                    help="replay engine: in-process sockets or one worker "
-                         "process per socket")
-    pa.add_argument("--sim-engine", default="reference",
-                    choices=["reference", "batched"],
-                    help="cache simulator (batched vectorizes single-core "
-                         "sockets exactly)")
+    add_engine_args(pa)
+    add_obs_args(pa)
 
     ex = sub.add_parser("experiment", help="run a paper table/figure")
     ex.add_argument("name", choices=sorted(EXPERIMENTS))
     ex.add_argument("--scale", type=float, default=None,
                     help="mesh-suite scale relative to the paper's sizes")
-    ex.add_argument("--seed", type=int, default=0)
+    add_engine_args(ex)
 
     _build_lab_parser(sub)
 
-    sub.add_parser("list", help="list domains, orderings and experiments")
+    sub.add_parser(
+        "list", help="list domains, orderings, experiments and engines"
+    )
     return parser
 
 
@@ -156,6 +158,78 @@ def _comma_list(cast):
         return tuple(cast(part) for part in text.split(",") if part)
 
     return parse
+
+
+def add_engine_args(parser, *, plural: bool = False) -> None:
+    """Attach the unified engine/seed flags to a subcommand parser.
+
+    Singular form (``--engine``/``--sim-engine``/``--mem-engine``/
+    ``--seed``) selects one :class:`repro.config.RunConfig`; the plural
+    comma-list form (``--engines``/``--sim-engines``/``--mem-engines``/
+    ``--seeds``) spans grid axes for ``lab init``.
+    """
+    axes = engine_axes()
+    if plural:
+        parser.add_argument("--engines", type=_comma_list(str),
+                            default=("reference",),
+                            help="comma list of smoothing engines "
+                                 f"({','.join(axes['engine'])})")
+        parser.add_argument("--sim-engines", type=_comma_list(str),
+                            default=("reference",),
+                            help="comma list of cache simulators "
+                                 f"({','.join(axes['sim_engine'])})")
+        parser.add_argument("--mem-engines", type=_comma_list(str),
+                            default=("sequential",),
+                            help="comma list of multicore replay engines "
+                                 f"({','.join(axes['mem_engine'])})")
+        parser.add_argument("--seeds", type=_comma_list(int), default=(0,),
+                            help="comma list of seeds")
+        return
+    parser.add_argument("--engine", default="reference",
+                        choices=list(axes["engine"]),
+                        help="smoothing execution engine: scalar reference "
+                             "loop or the NumPy wavefront engine "
+                             "(same results, faster)")
+    parser.add_argument("--sim-engine", default="reference",
+                        choices=list(axes["sim_engine"]),
+                        help="cache simulator: per-event reference replay or "
+                             "the vectorized stack-distance engine "
+                             "(identical counts, much faster)")
+    parser.add_argument("--mem-engine", default="sequential",
+                        choices=list(axes["mem_engine"]),
+                        help="multicore replay engine: in-process sockets or "
+                             "one worker process per socket "
+                             "(identical counts)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for stochastic orderings (e.g. random)")
+
+
+def add_obs_args(parser) -> None:
+    """Attach the observability flags (span/metrics export paths)."""
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="capture a span trace of the run and write it "
+                             "as JSONL (one span per line)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="capture live metrics (counters/histograms) "
+                             "and write the snapshot as JSON")
+
+
+def run_config_from_args(args) -> RunConfig:
+    """Fold the flags attached by :func:`add_engine_args` /
+    :func:`add_obs_args` into one validated :class:`RunConfig`."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    return RunConfig(
+        engine=getattr(args, "engine", "reference"),
+        sim_engine=getattr(args, "sim_engine", "reference"),
+        mem_engine=getattr(args, "mem_engine", "sequential"),
+        seed=getattr(args, "seed", 0),
+        obs=ObsConfig(
+            enabled=bool(trace_out or metrics_out),
+            trace_path=trace_out,
+            metrics_path=metrics_out,
+        ),
+    ).validate()
 
 
 def _build_lab_parser(sub) -> None:
@@ -181,20 +255,11 @@ def _build_lab_parser(sub) -> None:
                      help="comma list of ordering names")
     ini.add_argument("--vertices", type=_comma_list(int), default=(300,),
                      help="comma list of vertex budgets")
-    ini.add_argument("--seeds", type=_comma_list(int), default=(0,),
-                     help="comma list of seeds")
     ini.add_argument("--cache-scales", type=_comma_list(float), default=(1.0,),
                      help="comma list of cache-size multipliers")
     ini.add_argument("--quality-structure", default="ramp",
                      choices=["ramp", "hotspots", "uniform"])
-    ini.add_argument("--engines", type=_comma_list(str),
-                     default=("reference",),
-                     help="comma list of smoothing engines "
-                          "(reference,vectorized)")
-    ini.add_argument("--sim-engines", type=_comma_list(str),
-                     default=("reference",),
-                     help="comma list of cache simulators "
-                          "(reference,batched)")
+    add_engine_args(ini, plural=True)
     ini.add_argument("--max-iterations", type=int, default=8)
     ini.add_argument("--max-attempts", type=int, default=3)
     ini.add_argument("--force-new", action="store_true",
@@ -213,6 +278,9 @@ def _build_lab_parser(sub) -> None:
                      help="artifact cache directory (default: <db>.artifacts)")
     run.add_argument("--telemetry", default=None,
                      help="telemetry JSONL path (default: <db>.telemetry.jsonl)")
+    run.add_argument("--obs", action="store_true",
+                     help="trace every job (span tree + metrics appended to "
+                          "telemetry as job_spans events)")
 
     st = lab_sub.add_parser("status", help="job counts + telemetry summary")
     add_db(st)
@@ -234,6 +302,9 @@ def _build_lab_parser(sub) -> None:
     ex.add_argument("--drop-timing", action="store_true",
                     help="omit measured wall-clock columns so identical "
                          "runs export byte-identical files")
+    ex.add_argument("--with-spans", action="store_true",
+                    help="join job_spans telemetry (from `lab run --obs`) "
+                         "into the rows by job_id")
 
 
 def _cmd_generate(args) -> int:
@@ -254,27 +325,30 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_smooth(args) -> int:
+    config = run_config_from_args(args)
     mesh = read_triangle(args.input)
-    if args.report_cache and args.ordering:
-        run = run_ordering(mesh, args.ordering, traversal=args.traversal,
-                           max_iterations=args.max_iterations, seed=args.seed,
-                           engine=args.engine)
-        result = run.smoothing
-        st = run.cache
-        print(
-            f"cache (simulated): L1 {st.l1.miss_rate:.3%} "
-            f"L2 {st.l2.miss_rate:.3%} L3 {st.l3.miss_rate:.3%} miss rates; "
-            f"modeled time {run.modeled_seconds * 1e3:.3f} ms"
-        )
-        smoothed = result.mesh
-    else:
-        if args.ordering:
-            mesh, _ = apply_ordering(mesh, args.ordering, seed=args.seed)
-        result = laplacian_smooth(
-            mesh, traversal=args.traversal, max_iterations=args.max_iterations,
-            engine=args.engine,
-        )
-        smoothed = result.mesh
+    with obs.activated(config.obs):
+        if args.report_cache and args.ordering:
+            run = run_ordering(mesh, args.ordering, config=config,
+                               traversal=args.traversal,
+                               max_iterations=args.max_iterations)
+            result = run.smoothing
+            st = run.cache
+            print(
+                f"cache (simulated): L1 {st.l1.miss_rate:.3%} "
+                f"L2 {st.l2.miss_rate:.3%} L3 {st.l3.miss_rate:.3%} miss rates; "
+                f"modeled time {run.modeled_seconds * 1e3:.3f} ms"
+            )
+            smoothed = result.mesh
+        else:
+            if args.ordering:
+                mesh, _ = apply_ordering(mesh, args.ordering, seed=config.seed)
+            result = laplacian_smooth(
+                mesh, config=config, traversal=args.traversal,
+                max_iterations=args.max_iterations,
+            )
+            smoothed = result.mesh
+    _report_obs_outputs(config)
     print(
         f"smoothed in {result.iterations} iterations "
         f"({'converged' if result.converged else 'iteration cap'}): "
@@ -301,27 +375,58 @@ def _cmd_reorder(args) -> int:
     return 0
 
 
+def _analyze_mesh(args, config: RunConfig):
+    """The analyzed mesh: read from files, or generated via ``--domain``."""
+    if args.input is not None:
+        return read_triangle(args.input)
+    if args.domain is None:
+        raise UnknownNameError(
+            "analyze input", "<missing>", ["<stem>", "--domain <name>"]
+        )
+    if args.domain == "unit-square":
+        # Perturbed structured unit square (the engine benchmarks' mesh):
+        # n x n grid sized to the vertex budget, interior jittered so the
+        # smoother has work to do.
+        n = max(4, int(round(args.vertices ** 0.5)))
+        with obs.span("meshgen.generate", domain="unit-square", vertices=n * n):
+            mesh = structured_rectangle(n, n, name=f"unit-square-{n}x{n}")
+            return perturb_interior(
+                mesh, amplitude=0.2 / n, seed=config.seed
+            )
+    return generate_domain_mesh(
+        args.domain, target_vertices=args.vertices, seed=config.seed
+    )
+
+
+def _report_obs_outputs(config: RunConfig) -> None:
+    if config.obs.trace_path:
+        print(f"wrote span trace to {config.obs.trace_path}")
+    if config.obs.metrics_path:
+        print(f"wrote metrics snapshot to {config.obs.metrics_path}")
+
+
 def _cmd_analyze(args) -> int:
     from .memsim import per_array_breakdown, trace_summary
 
-    mesh = read_triangle(args.input)
-    run = run_ordering(
-        mesh, args.ordering, fixed_iterations=args.iterations, seed=args.seed,
-        engine=args.engine, sim_engine=args.sim_engine,
-    )
-    summary = trace_summary(run.trace, run.layout)
+    config = run_config_from_args(args)
+    with obs.activated(config.obs):
+        mesh = _analyze_mesh(args, config)
+        run = run_ordering(
+            mesh, args.ordering, config=config, fixed_iterations=args.iterations
+        )
+        summary = trace_summary(run.trace, run.layout)
+        rows = [
+            b.as_row()
+            for b in per_array_breakdown(
+                run.trace, run.layout, run.machine, config=config
+            )
+        ]
     print(
         f"trace: {summary['length']} accesses over "
         f"{summary['iterations']} iteration(s), "
         f"{summary['distinct_lines']} distinct lines, "
         f"cold fraction {summary['cold_fraction']:.1%}"
     )
-    rows = [
-        b.as_row()
-        for b in per_array_breakdown(
-            run.trace, run.layout, run.machine, sim_engine=args.sim_engine
-        )
-    ]
     print(format_table(rows, title=f"per-array breakdown ({args.ordering})"))
     prof = run.reuse_profile()
     print(
@@ -332,24 +437,26 @@ def _cmd_analyze(args) -> int:
     if args.save_trace:
         path = run.trace.save_npz(args.save_trace)
         print(f"wrote trace to {path}")
+    _report_obs_outputs(config)
     return 0
 
 
 def _cmd_parallel(args) -> int:
     from .core import run_parallel_ordering
 
+    config = run_config_from_args(args)
     mesh = read_triangle(args.input)
-    run = run_parallel_ordering(
-        mesh,
-        args.ordering,
-        args.cores,
-        iterations=args.iterations,
-        seed=args.seed,
-        affinity=args.affinity,
-        mem_engine=args.mem_engine,
-        sim_engine=args.sim_engine,
-    )
+    with obs.activated(config.obs):
+        run = run_parallel_ordering(
+            mesh,
+            args.ordering,
+            args.cores,
+            config=config,
+            iterations=args.iterations,
+            affinity=args.affinity,
+        )
     counts = run.result.access_counts()
+    _report_obs_outputs(config)
     print(
         f"{args.ordering!r} on {args.cores} core(s) "
         f"({args.affinity} affinity, {run.iterations} iteration(s)): "
@@ -370,11 +477,11 @@ def _cmd_parallel(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
-    kwargs = {"seed": args.seed}
+    kwargs = {}
     if args.scale is not None:
         kwargs["suite_scale"] = args.scale
         kwargs["scaling_scale"] = max(args.scale, 3 * args.scale)
-    cfg = bench.BenchConfig(**kwargs)
+    cfg = bench.BenchConfig.from_run_config(run_config_from_args(args), **kwargs)
     print(EXPERIMENTS[args.name](cfg))
     return 0
 
@@ -382,10 +489,14 @@ def _cmd_experiment(args) -> int:
 def _cmd_list() -> int:
     from .lab import EXPERIMENT_RUNNERS
 
+    axes = engine_axes()
     print("domains:    ", ", ".join(list_domains()))
     print("orderings:  ", ", ".join(sorted(ORDERINGS)))
     print("experiments:", ", ".join(sorted(EXPERIMENTS)))
     print("lab:        ", ", ".join(sorted(EXPERIMENT_RUNNERS)))
+    print("engines:    ", ", ".join(axes["engine"]))
+    print("sim engines:", ", ".join(axes["sim_engine"]))
+    print("mem engines:", ", ".join(axes["mem_engine"]))
     return 0
 
 
@@ -423,6 +534,7 @@ def _cmd_lab(args) -> int:
             max_iterations=args.max_iterations,
             engines=args.engines,
             sim_engines=args.sim_engines,
+            mem_engines=args.mem_engines,
         ).validate()
         store = JobStore(db)
         latest = store.latest_run_id()
@@ -457,6 +569,7 @@ def _cmd_lab(args) -> int:
             job_timeout_s=args.timeout,
             retry_base_s=args.retry_base,
             max_jobs=args.max_jobs,
+            obs_spans=args.obs,
         )
         print(
             f"done {counts['done']}, failed {counts['failed']}, "
@@ -492,6 +605,19 @@ def _cmd_lab(args) -> int:
                 {k: v for k, v in row.items() if k != "wall_s"}
                 for row in rows
             ]
+        if args.with_spans:
+            from .lab.telemetry import read_events
+
+            spans_by_job: dict[int, dict] = {}
+            if telemetry.exists():
+                for event in read_events(telemetry):
+                    if event.get("event") == "job_spans":
+                        spans_by_job[event["job_id"]] = {
+                            "spans": event.get("spans"),
+                            "metrics": event.get("metrics"),
+                        }
+            for row in rows:
+                row.update(spans_by_job.get(row["job_id"], {}))
         out = Path(args.output)
         fmt = args.format or ("csv" if out.suffix == ".csv" else "json")
         if fmt == "csv":

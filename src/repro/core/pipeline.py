@@ -22,8 +22,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
+from ..config import DEFAULT_RUN_CONFIG, RunConfig, resolve_config
 from ..mesh import TriMesh
 from ..memsim import (
+    COLD,
     AccessTrace,
     HierarchyStats,
     MachineSpec,
@@ -82,6 +85,7 @@ class OrderedRun:
     lines: np.ndarray
     cache: HierarchyStats
     cost: CostBreakdown
+    config: RunConfig = DEFAULT_RUN_CONFIG
     _distances: np.ndarray | None = field(default=None, repr=False)
 
     @property
@@ -145,20 +149,26 @@ def run_ordering(
     mesh: TriMesh,
     ordering: str,
     *,
+    config: RunConfig | None = None,
     machine: MachineSpec | None = None,
     traversal: str = "greedy",
     max_iterations: int = 50,
     fixed_iterations: int | None = None,
     qualities: np.ndarray | None = None,
-    seed: int = 0,
+    seed: int | None = None,
     rank_passes_override: int | None = None,
     smoother_kwargs: dict | None = None,
     precomputed_order: np.ndarray | None = None,
-    engine: str = "reference",
-    sim_engine: str = "reference",
+    engine: str | None = None,
+    sim_engine: str | None = None,
 ) -> OrderedRun:
     """Order, smooth (with tracing), simulate, and price one execution.
 
+    ``config`` selects the smoothing engine, the cache simulator, the
+    ordering seed, the default-machine calibration profile and the
+    observability flags in one :class:`repro.config.RunConfig`; the bare
+    ``engine=``/``sim_engine=``/``seed=`` keywords are deprecated shims
+    for the same fields.
     ``fixed_iterations`` overrides convergence (useful when comparing
     orderings at identical work, mirroring the paper's note that
     orderings did not change the iteration count).
@@ -167,37 +177,72 @@ def run_ordering(
     :data:`repro.quality.DEFAULT_RANK_PASSES`).
     ``precomputed_order`` bypasses the ordering computation (see
     :func:`_prepare`) so cached permutations can be replayed.
-    ``engine`` selects the smoothing execution engine (``"reference"``
-    or ``"vectorized"``); both produce the same access trace, so the
-    cache simulation is engine-independent.
-    ``sim_engine`` selects the cache simulator (``"reference"`` or
-    ``"batched"``); both produce identical per-level counts.
+
+    When tracing is active (``config.obs.enabled`` or an ambient
+    :func:`repro.obs.capture`), the run emits a span tree —
+    ``pipeline.run_ordering`` over ``pipeline.reorder`` /
+    ``pipeline.smooth`` / ``pipeline.layout`` / ``pipeline.simulate`` —
+    and a live ``memsim.reuse_distance`` histogram whose computation is
+    cached on the returned run (:attr:`OrderedRun.distances`).
     """
+    config = resolve_config(
+        config, engine=engine, sim_engine=sim_engine, seed=seed
+    )
     if machine is None:
-        machine = default_machine_for(mesh, profile="serial")
+        machine = default_machine_for(
+            mesh, profile=config.machine_profile or "serial"
+        )
     rank_passes = (
         DEFAULT_RANK_PASSES if rank_passes_override is None else rank_passes_override
     )
-    permuted, order, _ = _prepare(
-        mesh, ordering, qualities, seed, rank_passes, precomputed_order
-    )
+    with obs.activated(config.obs), obs.span(
+        "pipeline.run_ordering",
+        mesh=mesh.name,
+        ordering=ordering,
+        engine=config.engine,
+        sim_engine=config.sim_engine,
+    ):
+        with obs.span("pipeline.reorder", ordering=ordering) as sp:
+            permuted, order, _ = _prepare(
+                mesh, ordering, qualities, config.seed, rank_passes,
+                precomputed_order,
+            )
+            sp.add_event(permuted.num_vertices)
 
-    kwargs = dict(smoother_kwargs or {})
-    kwargs.setdefault("traversal", traversal)
-    kwargs.setdefault("max_iterations", max_iterations)
-    kwargs.setdefault("rank_passes", rank_passes)
-    kwargs.setdefault("engine", engine)
-    if fixed_iterations is not None:
-        kwargs["max_iterations"] = fixed_iterations
-        kwargs["tol"] = -np.inf  # never converge early
-    smoother = LaplacianSmoother(record_trace=True, **kwargs)
-    result = smoother.smooth(permuted)
-    assert result.trace is not None
+        kwargs = dict(smoother_kwargs or {})
+        kwargs.setdefault("traversal", traversal)
+        kwargs.setdefault("max_iterations", max_iterations)
+        kwargs.setdefault("rank_passes", rank_passes)
+        smoother_engine = kwargs.pop("engine", config.engine)
+        if fixed_iterations is not None:
+            kwargs["max_iterations"] = fixed_iterations
+            kwargs["tol"] = -np.inf  # never converge early
+        smoother = LaplacianSmoother(
+            record_trace=True,
+            config=config.replace(engine=smoother_engine),
+            **kwargs,
+        )
+        with obs.span("pipeline.smooth"):
+            result = smoother.smooth(permuted)
+        assert result.trace is not None
 
-    layout = MemoryLayout.for_mesh(permuted, line_size=machine.line_size)
-    lines = layout.lines(result.trace)
-    cache = simulate_trace(lines, machine, sim_engine=sim_engine)
-    cost = modeled_time(cache, machine)
+        with obs.span("pipeline.layout") as sp:
+            layout = MemoryLayout.for_mesh(permuted, line_size=machine.line_size)
+            lines = layout.lines(result.trace)
+            sp.add_event(int(lines.size))
+        distances = None
+        with obs.span("pipeline.simulate"):
+            cache = simulate_trace(lines, machine, config=config)
+            if obs.is_enabled():
+                # The live reuse-distance histogram doubles as the
+                # OrderedRun.distances cache, so tracing pays for itself.
+                distances = reuse_distances(lines)
+                obs.observe("memsim.reuse_distance", distances[distances >= 0])
+                obs.add(
+                    "memsim.reuse.cold",
+                    int(np.count_nonzero(distances == COLD)),
+                )
+        cost = modeled_time(cache, machine)
     return OrderedRun(
         mesh_name=mesh.name,
         ordering=ordering,
@@ -209,6 +254,8 @@ def run_ordering(
         lines=lines,
         cache=cache,
         cost=cost,
+        config=config,
+        _distances=distances,
     )
 
 
@@ -216,16 +263,33 @@ def compare_orderings(
     mesh: TriMesh,
     orderings: list[str],
     *,
+    config: RunConfig | None = None,
     machine: MachineSpec | None = None,
     **kwargs,
 ) -> dict[str, OrderedRun]:
-    """Run several orderings of one mesh under identical settings."""
+    """Run several orderings of one mesh under identical settings.
+
+    Engine/seed selection rides in ``config``; the deprecated
+    ``engine=``/``sim_engine=``/``seed=`` keywords are resolved here (not
+    in :func:`run_ordering`) so the warning points at the caller.
+    """
+    config = resolve_config(
+        config,
+        engine=kwargs.pop("engine", None),
+        sim_engine=kwargs.pop("sim_engine", None),
+        seed=kwargs.pop("seed", None),
+    )
     qualities = kwargs.pop("qualities", None)
     if qualities is None:
         qualities = vertex_quality(mesh)
     return {
         name: run_ordering(
-            mesh, name, machine=machine, qualities=qualities, **kwargs
+            mesh,
+            name,
+            config=config,
+            machine=machine,
+            qualities=qualities,
+            **kwargs,
         )
         for name in orderings
     }
@@ -256,6 +320,12 @@ def run_summary(run: OrderedRun) -> dict:
         "L3_misses": int(st.l3.misses),
         "memory_accesses": int(st.memory_accesses),
         "modeled_ms": run.modeled_seconds * 1e3,
+        "engine": run.config.engine,
+        "sim_engine": run.config.sim_engine,
+        "mem_engine": run.config.mem_engine,
+        "seed": run.config.seed,
+        "machine": run.machine.name,
+        "machine_profile": run.config.machine_profile,
     }
 
 
@@ -268,10 +338,35 @@ class ParallelRun:
     num_cores: int
     result: MulticoreResult
     iterations: int
+    config: RunConfig = DEFAULT_RUN_CONFIG
+    num_vertices: int = 0
 
     @property
     def modeled_seconds(self) -> float:
         return self.result.modeled_seconds
+
+    def summary(self) -> dict:
+        """Flatten into a JSON-serialisable row (the parallel analogue
+        of :func:`run_summary`), including full engine provenance."""
+        counts = self.result.access_counts()
+        return {
+            "mesh": self.mesh_name,
+            "num_vertices": self.num_vertices,
+            "ordering": self.ordering,
+            "num_cores": self.num_cores,
+            "iterations": self.iterations,
+            "affinity": self.result.affinity,
+            "L2_accesses": int(counts["L2"]),
+            "L3_accesses": int(counts["L3"]),
+            "memory_accesses": int(counts["memory"]),
+            "modeled_ms": self.modeled_seconds * 1e3,
+            "engine": self.config.engine,
+            "sim_engine": self.config.sim_engine,
+            "mem_engine": self.config.mem_engine,
+            "seed": self.config.seed,
+            "machine": self.result.machine.name,
+            "machine_profile": self.config.machine_profile,
+        }
 
 
 def run_parallel_ordering(
@@ -279,51 +374,75 @@ def run_parallel_ordering(
     ordering: str,
     num_cores: int,
     *,
+    config: RunConfig | None = None,
     machine: MachineSpec | None = None,
     iterations: int = 8,
     traversal: str = "greedy",
     affinity: str = "scatter",
     qualities: np.ndarray | None = None,
-    seed: int = 0,
-    mem_engine: str = "sequential",
-    sim_engine: str = "reference",
+    seed: int | None = None,
+    mem_engine: str | None = None,
+    sim_engine: str | None = None,
 ) -> ParallelRun:
     """Simulate a ``num_cores``-thread smoothing run under an ordering.
 
     Default affinity is ``scatter`` — the distribution the paper
     hypothesises its machine used for few-thread runs (the source of the
     super-linear speedups); the ablation bench flips it to ``compact``.
-    ``mem_engine`` selects the replay engine (``"sequential"`` or
-    ``"sharded"``; see :func:`repro.memsim.simulate_multicore`), and
-    ``sim_engine`` the per-socket simulator (``"reference"`` or
-    ``"batched"``; single-core sockets vectorize exactly).
+    ``config.mem_engine`` selects the replay engine (``"sequential"`` or
+    ``"sharded"``; see :func:`repro.memsim.simulate_multicore`) and
+    ``config.sim_engine`` the per-socket simulator (``"reference"`` or
+    ``"batched"``; single-core sockets vectorize exactly); the bare
+    ``mem_engine=``/``sim_engine=``/``seed=`` keywords are deprecated
+    shims for the same fields.
     """
+    config = resolve_config(
+        config, mem_engine=mem_engine, sim_engine=sim_engine, seed=seed
+    )
     if machine is None:
-        machine = default_machine_for(mesh, profile="scaling")
-    if qualities is None:
-        qualities = vertex_quality(mesh)
-    permuted, order, perm_q = _prepare(mesh, ordering, qualities, seed)
-    traces = parallel_traces(
-        permuted,
-        num_cores,
-        iterations=iterations,
-        traversal=traversal,
-        qualities=perm_q,
+        machine = default_machine_for(
+            mesh, profile=config.machine_profile or "scaling"
+        )
+    with obs.activated(config.obs), obs.span(
+        "pipeline.run_parallel_ordering",
+        mesh=mesh.name,
         ordering=ordering,
-    )
-    layout = MemoryLayout.for_mesh(permuted, line_size=machine.line_size)
-    lines_per_core = [layout.lines(t) for t in traces]
-    result = simulate_multicore(
-        lines_per_core,
-        machine,
-        affinity=affinity,
-        engine=mem_engine,
-        sim_engine=sim_engine,
-    )
+        cores=num_cores,
+        mem_engine=config.mem_engine,
+        sim_engine=config.sim_engine,
+    ):
+        if qualities is None:
+            qualities = vertex_quality(mesh)
+        with obs.span("pipeline.reorder", ordering=ordering) as sp:
+            permuted, order, perm_q = _prepare(
+                mesh, ordering, qualities, config.seed
+            )
+            sp.add_event(permuted.num_vertices)
+        with obs.span("pipeline.partition", cores=num_cores):
+            traces = parallel_traces(
+                permuted,
+                num_cores,
+                iterations=iterations,
+                traversal=traversal,
+                qualities=perm_q,
+                ordering=ordering,
+            )
+        with obs.span("pipeline.layout") as sp:
+            layout = MemoryLayout.for_mesh(permuted, line_size=machine.line_size)
+            lines_per_core = [layout.lines(t) for t in traces]
+            sp.add_event(int(sum(l.size for l in lines_per_core)))
+        result = simulate_multicore(
+            lines_per_core,
+            machine,
+            config=config,
+            affinity=affinity,
+        )
     return ParallelRun(
         mesh_name=mesh.name,
         ordering=ordering,
         num_cores=num_cores,
         result=result,
         iterations=iterations,
+        config=config,
+        num_vertices=permuted.num_vertices,
     )

@@ -13,25 +13,13 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, fields
 from itertools import product
 
+# UnknownNameError moved to repro.config (the CLI and RunConfig.validate
+# share it); re-exported here for backward compatibility.
+from ..config import RunConfig, UnknownNameError
 from ..meshgen import list_domains
 from ..ordering import ORDERINGS
 
 __all__ = ["ExperimentGrid", "JobSpec", "UnknownNameError", "validate_names"]
-
-
-class UnknownNameError(ValueError):
-    """An unknown domain/ordering/experiment name, with the valid choices.
-
-    The CLI turns this into a one-line message and exit status 2.
-    """
-
-    def __init__(self, kind: str, name: str, choices: list[str]):
-        self.kind = kind
-        self.name = name
-        self.choices = sorted(choices)
-        super().__init__(
-            f"unknown {kind} {name!r}; valid {kind}s: {', '.join(self.choices)}"
-        )
 
 
 @dataclass(frozen=True)
@@ -48,6 +36,7 @@ class JobSpec:
     max_iterations: int = 8
     engine: str = "reference"
     sim_engine: str = "reference"
+    mem_engine: str = "sequential"
 
     def key(self) -> str:
         """Canonical identity string (job uniqueness + cache keying)."""
@@ -60,6 +49,28 @@ class JobSpec:
     def from_dict(cls, data: dict) -> "JobSpec":
         names = {f.name for f in fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in names})
+
+    @classmethod
+    def from_run_config(cls, config: RunConfig, **kwargs) -> "JobSpec":
+        """A spec whose engine axes and seed come from ``config``;
+        everything else (experiment, domain, ...) via ``kwargs``."""
+        return cls(
+            engine=config.engine,
+            sim_engine=config.sim_engine,
+            mem_engine=config.mem_engine,
+            seed=config.seed,
+            **kwargs,
+        )
+
+    def to_run_config(self) -> RunConfig:
+        """The :class:`repro.config.RunConfig` projection of this spec
+        (what the worker runners pass to the pipeline APIs)."""
+        return RunConfig(
+            engine=self.engine,
+            sim_engine=self.sim_engine,
+            mem_engine=self.mem_engine,
+            seed=self.seed,
+        )
 
     def mesh_params(self) -> dict:
         """The parameters that determine the generated mesh (cache key)."""
@@ -78,9 +89,11 @@ def validate_names(
     experiments: tuple[str, ...] = (),
     engines: tuple[str, ...] = (),
     sim_engines: tuple[str, ...] = (),
+    mem_engines: tuple[str, ...] = (),
 ) -> None:
     """Raise :class:`UnknownNameError` for the first unknown name."""
     from ..memsim.batched import SIM_ENGINES
+    from ..memsim.multicore import MEM_ENGINES
     from ..smoothing import ENGINES
     from .worker import EXPERIMENT_RUNNERS  # late: worker imports JobSpec
 
@@ -100,6 +113,9 @@ def validate_names(
     for name in sim_engines:
         if name not in SIM_ENGINES:
             raise UnknownNameError("sim engine", name, list(SIM_ENGINES))
+    for name in mem_engines:
+        if name not in MEM_ENGINES:
+            raise UnknownNameError("mem engine", name, list(MEM_ENGINES))
 
 
 @dataclass(frozen=True)
@@ -116,6 +132,7 @@ class ExperimentGrid:
     max_iterations: int = 8
     engines: tuple[str, ...] = ("reference",)
     sim_engines: tuple[str, ...] = ("reference",)
+    mem_engines: tuple[str, ...] = ("sequential",)
 
     def validate(self) -> "ExperimentGrid":
         validate_names(
@@ -124,6 +141,7 @@ class ExperimentGrid:
             experiments=self.experiments,
             engines=self.engines,
             sim_engines=self.sim_engines,
+            mem_engines=self.mem_engines,
         )
         return self
 
@@ -141,9 +159,10 @@ class ExperimentGrid:
                 max_iterations=self.max_iterations,
                 engine=engine,
                 sim_engine=sim_engine,
+                mem_engine=mem_engine,
             )
             for experiment, domain, ordering, vertices, scale, seed, engine,
-            sim_engine
+            sim_engine, mem_engine
             in product(
                 self.experiments,
                 self.domains,
@@ -153,6 +172,7 @@ class ExperimentGrid:
                 self.seeds,
                 self.engines,
                 self.sim_engines,
+                self.mem_engines,
             )
         ]
 
@@ -164,8 +184,8 @@ class ExperimentGrid:
         names = {f.name for f in fields(cls)}
         kwargs = {k: v for k, v in data.items() if k in names}
         for key in (
-            "experiments", "domains", "orderings",
-            "vertices", "seeds", "cache_scales", "engines", "sim_engines",
+            "experiments", "domains", "orderings", "vertices", "seeds",
+            "cache_scales", "engines", "sim_engines", "mem_engines",
         ):
             if key in kwargs:
                 kwargs[key] = tuple(kwargs[key])

@@ -35,6 +35,7 @@ import traceback
 from pathlib import Path
 from typing import Callable
 
+from .. import obs
 from ..core.pipeline import run_ordering, run_summary
 from ..core.cost import measure_reordering_cost
 from ..memsim import MemoryLayout, calibrated_machine
@@ -104,12 +105,10 @@ def _run_pipeline(spec: JobSpec, cache: ArtifactCache) -> dict:
         run = run_ordering(
             mesh,
             spec.ordering,
+            config=spec.to_run_config(),
             machine=machine,
             fixed_iterations=spec.max_iterations,
-            seed=spec.seed,
             precomputed_order=order,
-            engine=spec.engine,
-            sim_engine=spec.sim_engine,
         )
         return run_summary(run)
 
@@ -122,8 +121,8 @@ def _run_smooth(spec: JobSpec, cache: ArtifactCache) -> dict:
         order = _cached_order(spec, cache, mesh)
         result = laplacian_smooth(
             mesh.permute(order),
+            config=spec.to_run_config(),
             max_iterations=spec.max_iterations,
-            engine=spec.engine,
         )
         return {
             "iterations": result.iterations,
@@ -136,10 +135,10 @@ def _run_smooth(spec: JobSpec, cache: ArtifactCache) -> dict:
 
 
 def _run_parallel_pipeline(spec: JobSpec, cache: ArtifactCache) -> dict:
-    """Multicore scaling cell: sharded memsim replay over a static
-    partition (``max_iterations`` doubles as the traced iteration
-    count; core count is the machine's socket count so every shard is
-    one worker process under scatter affinity)."""
+    """Multicore scaling cell: memsim replay over a static partition
+    (``max_iterations`` doubles as the traced iteration count; core
+    count is the machine's socket count, so with ``mem_engine=sharded``
+    every shard is one worker process under scatter affinity)."""
 
     def compute() -> dict:
         from ..core.pipeline import default_machine_for, run_parallel_ordering
@@ -150,23 +149,11 @@ def _run_parallel_pipeline(spec: JobSpec, cache: ArtifactCache) -> dict:
             mesh,
             spec.ordering,
             machine.num_sockets,
+            config=spec.to_run_config(),
             machine=machine,
             iterations=spec.max_iterations,
-            seed=spec.seed,
-            mem_engine="sharded",
-            sim_engine=spec.sim_engine,
         )
-        counts = run.result.access_counts()
-        return {
-            "mesh": mesh.name,
-            "num_vertices": mesh.num_vertices,
-            "num_cores": run.num_cores,
-            "iterations": run.iterations,
-            "L2_accesses": int(counts["L2"]),
-            "L3_accesses": int(counts["L3"]),
-            "memory_accesses": int(counts["memory"]),
-            "modeled_ms": run.modeled_seconds * 1e3,
-        }
+        return run.summary()
 
     return cache.json_blob("parallel", spec.as_dict(), compute)
 
@@ -235,11 +222,16 @@ def worker_loop(
     retry_base_s: float = 0.5,
     max_jobs: int | None = None,
     poll_s: float = 0.05,
+    obs_spans: bool = False,
 ) -> int:
     """Claim-and-execute until the queue drains; returns jobs completed.
 
     Runs as the body of each pool process, and inline (in-process) for
-    ``--workers 1`` and for tests.
+    ``--workers 1`` and for tests.  With ``obs_spans``, every job runs
+    under a fresh :func:`repro.obs.capture` tracer and its span tree and
+    metrics snapshot are appended to the telemetry stream as a
+    ``job_spans`` event (joinable to rows by ``job_id``; see
+    ``repro-lms lab export --with-spans``).
     """
     worker_id = f"{os.getpid()}:{worker_seq}"
     store = JobStore(db_path)
@@ -266,8 +258,18 @@ def worker_loop(
             tel.emit("job_claimed", job_id=job.id, key=job.key, attempt=job.attempt)
             hits0, misses0 = cache.snapshot()
             start = time.perf_counter()
+            spans: list | None = None
+            metrics_snapshot: dict | None = None
             try:
-                result = execute_job(spec, cache, timeout_s=job_timeout_s)
+                if obs_spans:
+                    with obs.capture() as tracer:
+                        result = execute_job(
+                            spec, cache, timeout_s=job_timeout_s
+                        )
+                    spans = tracer.export()
+                    metrics_snapshot = tracer.metrics.snapshot()
+                else:
+                    result = execute_job(spec, cache, timeout_s=job_timeout_s)
             except JobTimeout as exc:
                 tel.emit("job_timeout", job_id=job.id, error=str(exc))
                 status = store.fail(job.id, str(exc), retry_base_s=retry_base_s)
@@ -301,6 +303,13 @@ def worker_loop(
                         cache_hits=hits1 - hits0,
                         cache_misses=misses1 - misses0,
                     )
+                    if obs_spans:
+                        tel.emit(
+                            "job_spans",
+                            job_id=job.id,
+                            spans=spans,
+                            metrics=metrics_snapshot,
+                        )
     finally:
         tel.emit("worker_exit", completed=completed)
         store.close()
@@ -316,6 +325,7 @@ def run_pool(
     job_timeout_s: float = 300.0,
     retry_base_s: float = 0.5,
     max_jobs: int | None = None,
+    obs_spans: bool = False,
 ) -> dict[str, int]:
     """Reclaim orphans, run ``workers`` processes to drain the queue, and
     return the final status counts."""
@@ -336,6 +346,7 @@ def run_pool(
             job_timeout_s=job_timeout_s,
             retry_base_s=retry_base_s,
             max_jobs=max_jobs,
+            obs_spans=obs_spans,
         )
     else:
         procs = [
@@ -346,6 +357,7 @@ def run_pool(
                     "job_timeout_s": job_timeout_s,
                     "retry_base_s": retry_base_s,
                     "max_jobs": max_jobs,
+                    "obs_spans": obs_spans,
                 },
             )
             for seq in range(workers)

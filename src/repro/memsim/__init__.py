@@ -14,6 +14,7 @@ from .cache import (
     HierarchyStats,
     LevelStats,
     LRUCache,
+    observe_hierarchy_stats,
     simulate_trace,
 )
 from .layout import DEFAULT_ELEMENT_SIZES, MemoryLayout
@@ -25,6 +26,7 @@ from .machine import (
     westmere_ex,
 )
 from .multicore import (
+    MEM_ENGINES,
     CoreResult,
     MulticoreResult,
     affinity_sockets,
@@ -58,6 +60,7 @@ __all__ = [
     "HierarchyStats",
     "LevelStats",
     "LRUCache",
+    "MEM_ENGINES",
     "MachineSpec",
     "MemoryLayout",
     "MulticoreResult",
@@ -72,6 +75,7 @@ __all__ = [
     "hits_under_capacity",
     "max_elements_within",
     "modeled_time",
+    "observe_hierarchy_stats",
     "per_array_breakdown",
     "profile_from_distances",
     "reuse_distances",

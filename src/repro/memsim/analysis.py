@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..config import RunConfig, resolve_config
 from .cache import CacheHierarchy
 from .layout import MemoryLayout
 from .machine import MachineSpec
@@ -54,14 +55,18 @@ def per_array_breakdown(
     layout: MemoryLayout,
     machine: MachineSpec,
     *,
-    sim_engine: str = "reference",
+    config: RunConfig | None = None,
+    sim_engine: str | None = None,
 ) -> list[ArrayBreakdown]:
     """Simulate the hierarchy, attributing misses to logical arrays.
 
     Returns one row per array (in :data:`ARRAY_NAMES` order) that
-    appears in the trace. ``sim_engine="batched"`` computes the served
-    levels with the vectorized engine (identical results).
+    appears in the trace. ``config=RunConfig(sim_engine="batched")``
+    computes the served levels with the vectorized engine (identical
+    results); the bare ``sim_engine=`` keyword is a deprecated shim.
     """
+    config = resolve_config(config, sim_engine=sim_engine)
+    sim_engine = config.sim_engine
     lines = layout.lines(trace)
     ids = trace.array_ids
     if sim_engine == "batched":
@@ -103,16 +108,19 @@ def trace_summary(
     layout: MemoryLayout,
     machine: MachineSpec | None = None,
     *,
-    sim_engine: str = "reference",
+    config: RunConfig | None = None,
+    sim_engine: str | None = None,
 ) -> dict:
     """Structural summary of a trace.
 
     Reports length, per-array access shares, write fraction, distinct
     lines/elements touched, and the cold-access fraction at line
     granularity. When ``machine`` is given, a ``cache`` entry with
-    per-level hierarchy statistics is included, simulated with the
-    selected ``sim_engine``.
+    per-level hierarchy statistics is included, simulated with
+    ``config.sim_engine`` (the bare ``sim_engine=`` keyword is a
+    deprecated shim).
     """
+    config = resolve_config(config, sim_engine=sim_engine)
     lines = layout.lines(trace)
     elements = layout.element_ids(trace)
     dists = reuse_distances(lines)
@@ -134,6 +142,6 @@ def trace_summary(
     if machine is not None:
         from .cache import simulate_trace
 
-        stats = simulate_trace(lines, machine, sim_engine=sim_engine)
+        stats = simulate_trace(lines, machine, config=config)
         summary["cache"] = [lv.as_row() for lv in stats.levels()]
     return summary

@@ -18,9 +18,31 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
+from ..config import RunConfig, resolve_config
 from .machine import CacheSpec, MachineSpec
 
-__all__ = ["LRUCache", "LevelStats", "HierarchyStats", "CacheHierarchy", "simulate_trace"]
+__all__ = [
+    "LRUCache",
+    "LevelStats",
+    "HierarchyStats",
+    "CacheHierarchy",
+    "observe_hierarchy_stats",
+    "simulate_trace",
+]
+
+
+def observe_hierarchy_stats(stats: "HierarchyStats") -> None:
+    """Add a simulation's per-level access/hit/miss counts to the active
+    metrics registry (no-op when tracing is disabled)."""
+    if not obs.is_enabled():
+        return
+    for level in stats.levels():
+        prefix = f"memsim.{level.name.lower()}"
+        obs.add(f"{prefix}.accesses", level.accesses)
+        obs.add(f"{prefix}.hits", level.hits)
+        obs.add(f"{prefix}.misses", level.misses)
+    obs.add("memsim.memory.accesses", stats.memory_accesses)
 
 
 @dataclass
@@ -309,25 +331,41 @@ def simulate_trace(
     lines: np.ndarray,
     machine: MachineSpec,
     *,
+    config: RunConfig | None = None,
     next_line_prefetch: bool = False,
     policy: str = "lru",
-    sim_engine: str = "reference",
+    sim_engine: str | None = None,
 ) -> HierarchyStats:
     """One-core simulation of a line-id stream on ``machine``.
 
-    ``sim_engine="batched"`` routes through the vectorized stack-distance
-    engine in :mod:`repro.memsim.batched`; it produces bit-identical
-    per-level counts (falling back to this reference internally where the
-    cascade cannot stay exact).
+    The simulator is selected by ``config.sim_engine``:
+    ``config=RunConfig(sim_engine="batched")`` routes through the
+    vectorized stack-distance engine in :mod:`repro.memsim.batched`; it
+    produces bit-identical per-level counts (falling back to this
+    reference internally where the cascade cannot stay exact).  The
+    bare ``sim_engine=`` keyword is a deprecated shim for the same
+    selection.
     """
-    if sim_engine == "batched":
-        from .batched import simulate_trace_batched
+    config = resolve_config(config, sim_engine=sim_engine)
+    engine = config.sim_engine
+    with obs.span(
+        "memsim.simulate_trace", engine=engine, machine=machine.name
+    ) as sp:
+        sp.add_event(int(np.asarray(lines).size))
+        if engine == "batched":
+            from .batched import simulate_trace_batched
 
-        return simulate_trace_batched(
-            lines, machine, next_line_prefetch=next_line_prefetch, policy=policy
-        )
-    if sim_engine != "reference":
-        raise ValueError(f"unknown sim engine {sim_engine!r}")
-    return CacheHierarchy(
-        machine, next_line_prefetch=next_line_prefetch, policy=policy
-    ).run(lines)
+            stats = simulate_trace_batched(
+                lines,
+                machine,
+                next_line_prefetch=next_line_prefetch,
+                policy=policy,
+            )
+        elif engine == "reference":
+            stats = CacheHierarchy(
+                machine, next_line_prefetch=next_line_prefetch, policy=policy
+            ).run(lines)
+        else:
+            raise ValueError(f"unknown sim engine {engine!r}")
+        observe_hierarchy_stats(stats)
+        return stats

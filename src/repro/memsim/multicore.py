@@ -30,17 +30,31 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .cache import CacheHierarchy, HierarchyStats, LevelStats, LRUCache
+from .. import obs
+from ..config import RunConfig, resolve_config
+from .cache import (
+    CacheHierarchy,
+    HierarchyStats,
+    LevelStats,
+    LRUCache,
+    observe_hierarchy_stats,
+)
 from .machine import MachineSpec
 from .timing import CostBreakdown, modeled_time
 
 __all__ = [
+    "MEM_ENGINES",
     "affinity_sockets",
     "CoreResult",
     "MulticoreResult",
     "simulate_multicore",
     "simulate_socket",
 ]
+
+#: Multicore replay engines: simulate sockets in this process one after
+#: the other, or distribute them to worker processes (identical counts;
+#: see :mod:`repro.memsim.sharded`).
+MEM_ENGINES = ("sequential", "sharded")
 
 
 def affinity_sockets(
@@ -131,6 +145,29 @@ def simulate_socket(
     """
     if sim_engine not in ("reference", "batched"):
         raise ValueError(f"unknown sim engine {sim_engine!r}")
+    with obs.span(
+        "memsim.socket",
+        socket=int(socket_id),
+        cores=len(member_cores),
+        engine=sim_engine,
+    ) as sp:
+        sp.add_event(int(sum(np.asarray(s).size for s in streams)))
+        results = _simulate_socket_impl(
+            socket_id, member_cores, streams, machine, quantum, sim_engine
+        )
+        for cr in results:
+            observe_hierarchy_stats(cr.stats)
+        return results
+
+
+def _simulate_socket_impl(
+    socket_id: int,
+    member_cores: list[int],
+    streams: list[np.ndarray],
+    machine: MachineSpec,
+    quantum: int,
+    sim_engine: str,
+) -> list[CoreResult]:
     if sim_engine == "batched" and len(member_cores) == 1:
         # One core: no shared-L3 contention, the socket is exactly a
         # private three-level hierarchy and the batched cascade applies.
@@ -180,11 +217,12 @@ def simulate_multicore(
     lines_per_core: list[np.ndarray],
     machine: MachineSpec,
     *,
+    config: RunConfig | None = None,
     affinity: str = "compact",
     quantum: int = 64,
-    engine: str = "sequential",
+    engine: str | None = None,
     max_workers: int | None = None,
-    sim_engine: str = "reference",
+    sim_engine: str | None = None,
 ) -> MulticoreResult:
     """Simulate per-core line streams on the machine's cache topology.
 
@@ -192,56 +230,68 @@ def simulate_multicore(
     ----------
     lines_per_core:
         One line-id stream per thread (from the partitioned smoother).
+    config:
+        A :class:`repro.config.RunConfig`; ``config.mem_engine`` selects
+        the replay engine (``"sequential"`` simulates sockets one after
+        the other in this process, ``"sharded"`` distributes them to
+        worker processes — per-level counts are identical either way)
+        and ``config.sim_engine`` the per-socket simulator
+        (``"reference"`` or ``"batched"``; the batched engine vectorizes
+        single-core sockets exactly and composes with either replay
+        engine).
     affinity:
         ``"compact"`` or ``"scatter"`` (see module docstring).
     quantum:
         Number of consecutive accesses one core executes before the
         round-robin hands the socket to the next core; models the
         fine-grained interleaving of simultaneously running threads.
-    engine:
-        ``"sequential"`` simulates sockets one after the other in this
-        process; ``"sharded"`` distributes them to worker processes
-        (:func:`repro.memsim.sharded.simulate_multicore_sharded`) —
-        per-level counts are identical either way.
+    engine, sim_engine:
+        Deprecated shims for ``config=RunConfig(mem_engine=...)`` and
+        ``config=RunConfig(sim_engine=...)``.
     max_workers:
         Worker-process cap for the sharded engine (ignored otherwise).
-    sim_engine:
-        ``"reference"`` or ``"batched"``; the batched engine vectorizes
-        single-core sockets (exactly) and composes with either replay
-        engine.
     """
-    if engine == "sharded":
-        from .sharded import simulate_multicore_sharded
-
-        return simulate_multicore_sharded(
-            lines_per_core,
-            machine,
-            affinity=affinity,
-            quantum=quantum,
-            max_workers=max_workers,
-            sim_engine=sim_engine,
-        )
-    if engine != "sequential":
-        raise ValueError(
-            f"unknown replay engine {engine!r}; "
-            "choose from ('sequential', 'sharded')"
-        )
-    p = len(lines_per_core)
-    sockets = affinity_sockets(p, machine, affinity)
-    results: list[CoreResult | None] = [None] * p
-    for socket_id in np.unique(sockets):
-        member_cores = [int(c) for c in np.flatnonzero(sockets == socket_id)]
-        for cr in simulate_socket(
-            int(socket_id),
-            member_cores,
-            [lines_per_core[c] for c in member_cores],
-            machine,
-            quantum=quantum,
-            sim_engine=sim_engine,
-        ):
-            results[cr.core] = cr
-    return MulticoreResult(
-        machine=machine,
+    config = resolve_config(config, mem_engine=engine, sim_engine=sim_engine)
+    mem_engine = config.mem_engine
+    with obs.span(
+        "memsim.multicore",
+        mem_engine=mem_engine,
+        sim_engine=config.sim_engine,
         affinity=affinity,
-        per_core=[r for r in results if r is not None],
-    )
+        cores=len(lines_per_core),
+    ):
+        if mem_engine == "sharded":
+            from .sharded import simulate_multicore_sharded
+
+            return simulate_multicore_sharded(
+                lines_per_core,
+                machine,
+                affinity=affinity,
+                quantum=quantum,
+                max_workers=max_workers,
+                sim_engine=config.sim_engine,
+            )
+        if mem_engine != "sequential":
+            raise ValueError(
+                f"unknown replay engine {mem_engine!r}; "
+                f"choose from {MEM_ENGINES}"
+            )
+        p = len(lines_per_core)
+        sockets = affinity_sockets(p, machine, affinity)
+        results: list[CoreResult | None] = [None] * p
+        for socket_id in np.unique(sockets):
+            member_cores = [int(c) for c in np.flatnonzero(sockets == socket_id)]
+            for cr in simulate_socket(
+                int(socket_id),
+                member_cores,
+                [lines_per_core[c] for c in member_cores],
+                machine,
+                quantum=quantum,
+                sim_engine=config.sim_engine,
+            ):
+                results[cr.core] = cr
+        return MulticoreResult(
+            machine=machine,
+            affinity=affinity,
+            per_core=[r for r in results if r is not None],
+        )

@@ -24,6 +24,14 @@ Statistics merging: per-core L1/L2 stats come back untouched (they are
 private), and the shared-L3 statistics of a socket are the sum of its
 cores' L3 counters — :class:`repro.memsim.cache.MulticoreResult.combined`
 aggregates them exactly as in the sequential engine.
+
+Observability: when the parent process is tracing
+(:func:`repro.obs.is_enabled`), each worker runs its shard under a fresh
+local tracer and ships the exported span dicts plus its metrics snapshot
+back over the same result channel the shard payloads use; the parent
+adopts the spans as children of its ``memsim.sharded`` span and merges
+the metrics into its registry, so a sharded replay produces the same
+span tree and counters as a sequential one (plus per-process parents).
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from .. import obs
 from .machine import MachineSpec
 from .multicore import (
     CoreResult,
@@ -65,16 +74,34 @@ def socket_shards(
     return shards
 
 
-def _run_shard(args) -> list[CoreResult]:
-    socket_id, member_cores, streams, machine, quantum, sim_engine = args
-    return simulate_socket(
-        socket_id,
-        member_cores,
-        streams,
-        machine,
-        quantum=quantum,
-        sim_engine=sim_engine,
-    )
+def _run_shard(args) -> tuple[list[CoreResult], list[dict], dict]:
+    """Simulate one shard; returns (results, span dicts, metrics snapshot).
+
+    ``obs_enabled`` in the payload mirrors the parent's tracer state at
+    dispatch time: the worker then captures its own spans/metrics and
+    returns them for the parent to merge (empty otherwise).
+    """
+    socket_id, member_cores, streams, machine, quantum, sim_engine, obs_on = args
+    if not obs_on:
+        results = simulate_socket(
+            socket_id,
+            member_cores,
+            streams,
+            machine,
+            quantum=quantum,
+            sim_engine=sim_engine,
+        )
+        return results, [], {}
+    with obs.capture() as tracer:
+        results = simulate_socket(
+            socket_id,
+            member_cores,
+            streams,
+            machine,
+            quantum=quantum,
+            sim_engine=sim_engine,
+        )
+    return results, tracer.export(), tracer.metrics.snapshot()
 
 
 def simulate_multicore_sharded(
@@ -88,7 +115,8 @@ def simulate_multicore_sharded(
 ) -> MulticoreResult:
     """Replay per-core line streams with one worker process per socket.
 
-    Exactly equivalent to ``simulate_multicore(..., engine="sequential")``
+    Exactly equivalent to the sequential ``simulate_multicore`` engine
+    (``config=RunConfig(mem_engine="sequential")``)
     — same per-level hit/miss counts, same per-core cost breakdowns —
     but wall-clock scales with the number of occupied sockets.
     ``max_workers`` caps the process pool (default: one worker per
@@ -96,23 +124,31 @@ def simulate_multicore_sharded(
     to an in-process call.
     """
     shards = socket_shards(lines_per_core, machine, affinity)
+    obs_on = obs.is_enabled()
     payloads = [
-        (socket_id, members, streams, machine, quantum, sim_engine)
+        (socket_id, members, streams, machine, quantum, sim_engine, obs_on)
         for socket_id, members, streams in shards
     ]
     if max_workers is None:
         max_workers = min(len(shards), os.cpu_count() or 1)
-    if len(shards) <= 1 or max_workers <= 1:
-        shard_results = [_run_shard(p) for p in payloads]
-    else:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            shard_results = list(pool.map(_run_shard, payloads))
-    results: list[CoreResult | None] = [None] * len(lines_per_core)
-    for core_results in shard_results:
-        for cr in core_results:
-            results[cr.core] = cr
-    return MulticoreResult(
-        machine=machine,
-        affinity=affinity,
-        per_core=[r for r in results if r is not None],
-    )
+    with obs.span(
+        "memsim.sharded", shards=len(shards), max_workers=max_workers
+    ):
+        if len(shards) <= 1 or max_workers <= 1:
+            shard_results = [_run_shard(p) for p in payloads]
+        else:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                shard_results = list(pool.map(_run_shard, payloads))
+        tracer = obs.get_tracer()
+        results: list[CoreResult | None] = [None] * len(lines_per_core)
+        for core_results, span_dicts, metrics_snapshot in shard_results:
+            for cr in core_results:
+                results[cr.core] = cr
+            if obs_on:
+                tracer.adopt(span_dicts)
+                tracer.metrics.merge(metrics_snapshot)
+        return MulticoreResult(
+            machine=machine,
+            affinity=affinity,
+            per_core=[r for r in results if r is not None],
+        )

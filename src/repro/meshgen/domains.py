@@ -33,6 +33,7 @@ from typing import Callable
 
 import numpy as np
 
+from .. import obs
 from ..mesh import TriMesh, validate_mesh
 from .delaunay import delaunay
 from .fields import apply_quality_structure
@@ -271,6 +272,30 @@ def generate_domain_mesh(
     """
     if target_vertices < 16:
         raise ValueError("target_vertices must be at least 16")
+    with obs.span(
+        "meshgen.generate", domain=name, target_vertices=target_vertices
+    ) as sp:
+        mesh = _generate_domain_mesh(
+            name,
+            target_vertices=target_vertices,
+            seed=seed,
+            quality_structure=quality_structure,
+            strength=strength,
+            jitter=jitter,
+        )
+        sp.add_event(mesh.num_vertices)
+        return mesh
+
+
+def _generate_domain_mesh(
+    name: str,
+    *,
+    target_vertices: int,
+    seed: int,
+    quality_structure: str,
+    strength: float,
+    jitter: float,
+) -> TriMesh:
     rings = domain_rings(name)
     area = _domain_area(rings)
     rng = np.random.default_rng(seed)

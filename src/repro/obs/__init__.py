@@ -1,0 +1,112 @@
+"""``repro.obs`` — lightweight tracing + metrics for every hot path.
+
+The observability layer every pipeline stage reports through:
+
+* :mod:`~repro.obs.tracer` — nested context-manager spans (wall/CPU
+  time, event counts, parent links) with a process-global active tracer
+  whose disabled default is allocation-free;
+* :mod:`~repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms (reuse-distance and wavefront-width distributions are
+  captured live during smoothing and simulation);
+* :mod:`~repro.obs.export` — JSONL span logs, flat ``metrics.json`` and
+  text span trees, surfaced as ``repro-lms analyze --trace-out`` and
+  ``repro-lms lab export --with-spans``.
+
+Instrumented code calls ``obs.span(...)`` / ``obs.add(...)`` /
+``obs.observe(...)`` unconditionally; nothing is recorded (and nothing
+is allocated) until a tracer is installed with :func:`capture` — or
+:func:`activated`, which installs one when a
+:class:`repro.config.ObsConfig` asks for it and exports to its
+configured paths on exit.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .export import (
+    format_spans,
+    read_spans_jsonl,
+    span_rows,
+    write_metrics_json,
+    write_spans_jsonl,
+)
+from .metrics import (
+    NULL_REGISTRY,
+    POW2_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    add,
+    capture,
+    gauge_set,
+    get_tracer,
+    is_enabled,
+    metrics,
+    observe,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "POW2_EDGES",
+    "Span",
+    "Tracer",
+    "activated",
+    "add",
+    "capture",
+    "format_spans",
+    "gauge_set",
+    "get_tracer",
+    "is_enabled",
+    "metrics",
+    "observe",
+    "read_spans_jsonl",
+    "span",
+    "span_rows",
+    "write_metrics_json",
+    "write_spans_jsonl",
+]
+
+
+@contextmanager
+def activated(obs_cfg) -> Iterator[Tracer | NullTracer]:
+    """Honour the ``obs`` flags of a :class:`repro.config.RunConfig`.
+
+    If ``obs_cfg.enabled`` is set and no tracer is currently collecting,
+    install a fresh one for the block and, on exit, export the span log
+    and metrics snapshot to ``obs_cfg.trace_path`` /
+    ``obs_cfg.metrics_path`` (when given).  If tracing is already active
+    — e.g. the CLI captured around the whole command — or the config
+    does not ask for it, the block runs under the ambient tracer and
+    nothing is exported here.
+    """
+    if obs_cfg is None or not getattr(obs_cfg, "enabled", False) or is_enabled():
+        yield get_tracer()
+        return
+    with capture() as tracer:
+        try:
+            yield tracer
+        finally:
+            if obs_cfg.trace_path:
+                write_spans_jsonl(obs_cfg.trace_path, tracer.export())
+            if obs_cfg.metrics_path:
+                write_metrics_json(
+                    obs_cfg.metrics_path, tracer.metrics.snapshot()
+                )

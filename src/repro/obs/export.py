@@ -1,0 +1,97 @@
+"""Exporters: JSONL span logs, flat ``metrics.json``, text span trees.
+
+Three formats, all derived from the plain-dict form produced by
+:meth:`repro.obs.tracer.Tracer.export` / :meth:`Span.to_dict`:
+
+* :func:`write_spans_jsonl` — one JSON object per line, each span
+  flattened with a stable ``id``/``parent`` pair (depth-first
+  numbering), so streams concatenate and stream-process naturally.
+  ``span_rows`` is the in-memory version.
+* :func:`write_metrics_json` — one flat JSON document from a
+  :meth:`MetricsRegistry.snapshot` (counters, gauges, histograms).
+* :func:`format_spans` — an indented human-readable tree with wall/CPU
+  durations and event counts, used by the CLI to summarise a traced run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "format_spans",
+    "span_rows",
+    "write_metrics_json",
+    "write_spans_jsonl",
+]
+
+
+def span_rows(span_dicts: list[dict]) -> list[dict]:
+    """Flatten nested span dicts into rows with ``id``/``parent`` links.
+
+    Ids are assigned depth-first in tree order, roots have
+    ``parent=None``; the nested ``children`` lists are dropped.
+    """
+    rows: list[dict] = []
+
+    def walk(node: dict, parent_id: int | None) -> None:
+        row = {k: v for k, v in node.items() if k != "children"}
+        row["id"] = len(rows)
+        row["parent"] = parent_id
+        rows.append(row)
+        for child in node.get("children", ()):
+            walk(child, row["id"])
+
+    for root in span_dicts:
+        walk(root, None)
+    return rows
+
+
+def write_spans_jsonl(path: str | Path, span_dicts: list[dict]) -> Path:
+    """Write flattened span rows as JSONL; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for row in span_rows(span_dicts):
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return path
+
+
+def read_spans_jsonl(path: str | Path) -> list[dict]:
+    """Parse a span JSONL file back into flat rows (file order)."""
+    rows = []
+    for raw in Path(path).read_text().splitlines():
+        raw = raw.strip()
+        if raw:
+            rows.append(json.loads(raw))
+    return rows
+
+
+def write_metrics_json(path: str | Path, snapshot: dict) -> Path:
+    """Write a metrics snapshot as one flat JSON document."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def format_spans(span_dicts: list[dict], *, max_depth: int | None = None) -> str:
+    """Indented text rendering of a span forest (for CLI summaries)."""
+    lines: list[str] = []
+
+    def walk(node: dict, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        events = node.get("events", 0)
+        suffix = f" events={events}" if events else ""
+        lines.append(
+            f"{'  ' * depth}{node['name']}: "
+            f"wall {node.get('wall_s', 0.0) * 1e3:.2f} ms, "
+            f"cpu {node.get('cpu_s', 0.0) * 1e3:.2f} ms{suffix}"
+        )
+        for child in node.get("children", ()):
+            walk(child, depth + 1)
+
+    for root in span_dicts:
+        walk(root, 0)
+    return "\n".join(lines)

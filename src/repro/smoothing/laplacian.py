@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
+from ..config import RunConfig, resolve_config
 from ..mesh import TriMesh
 from ..memsim.trace import AccessTrace, TraceBuilder
 from ..quality import DEFAULT_RANK_PASSES, global_quality, patch_quality, vertex_quality
@@ -142,6 +144,10 @@ class LaplacianSmoother:
         vertices for the greedy traversal (see
         :func:`repro.quality.patch_quality`); the convergence criterion
         always uses the raw global quality.
+    config:
+        A :class:`repro.config.RunConfig`; its ``engine`` field selects
+        the execution engine (the bare ``engine=`` keyword is a
+        deprecated shim for it).
     record_trace:
         Emit the logical access trace alongside the numeric result.
     culling:
@@ -166,6 +172,7 @@ class LaplacianSmoother:
     def __init__(
         self,
         *,
+        config: RunConfig | None = None,
         traversal: str = "greedy",
         update: str = "gauss-seidel",
         tol: float = DEFAULT_CONVERGENCE_TOL,
@@ -176,19 +183,21 @@ class LaplacianSmoother:
         record_trace: bool = False,
         culling: bool = False,
         cull_tol: float | None = None,
-        engine: str = "reference",
+        engine: str | None = None,
     ):
+        config = resolve_config(config, engine=engine)
         if update not in ("gauss-seidel", "jacobi"):
             raise ValueError(f"unknown update discipline {update!r}")
         if greedy_qualities not in ("current", "initial"):
             raise ValueError(f"unknown greedy_qualities {greedy_qualities!r}")
         if culling and update != "gauss-seidel":
             raise ValueError("culling requires the gauss-seidel update")
-        if engine not in ENGINES:
+        if config.engine not in ENGINES:
             raise ValueError(
-                f"unknown engine {engine!r}; choose from {ENGINES}"
+                f"unknown engine {config.engine!r}; choose from {ENGINES}"
             )
-        self.engine = engine
+        self.config = config
+        self.engine = config.engine
         self.traversal = traversal
         self.update = update
         self.tol = tol
@@ -201,7 +210,25 @@ class LaplacianSmoother:
         self.cull_tol = cull_tol
 
     def smooth(self, mesh: TriMesh) -> SmoothingResult:
-        """Run smoothing to convergence; the input mesh is not modified."""
+        """Run smoothing to convergence; the input mesh is not modified.
+
+        When tracing is active, the run emits a ``smooth.run`` span with
+        one ``smooth.iteration`` child per sweep, a
+        ``smoothing.vertices_smoothed`` counter, and (vectorized engine)
+        a live ``smoothing.wavefront_width`` histogram.
+        """
+        with obs.span(
+            "smooth.run",
+            mesh=mesh.name,
+            engine=self.engine,
+            traversal=self.traversal,
+            update=self.update,
+        ) as sp:
+            result = self._smooth_impl(mesh)
+            sp.set(iterations=result.iterations, converged=bool(result.converged))
+            return result
+
+    def _smooth_impl(self, mesh: TriMesh) -> SmoothingResult:
         t0 = time.perf_counter()
         g = mesh.adjacency
         xadj, adjncy = g.xadj, g.adjncy
@@ -267,40 +294,47 @@ class LaplacianSmoother:
             moved: np.ndarray | None = (
                 np.zeros(mesh.num_vertices, dtype=bool) if self.culling else None
             )
-            if self.update == "jacobi":
-                coords = smooth_iteration_jacobi(
-                    coords, xadj, adjncy, interior_mask
-                )
-                if builder is not None:
-                    if self.engine == "vectorized":
-                        append_smooth_accesses_batch(builder, xadj, adjncy, seq)
-                    else:
-                        for v in seq.tolist():
-                            append_smooth_accesses(builder, xadj, adjncy, v)
-            elif self.engine == "vectorized":
-                if builder is not None:
-                    append_smooth_accesses_batch(builder, xadj, adjncy, seq)
-                if wf_seq is None or not np.array_equal(seq, wf_seq):
-                    from ..parallel.scheduler import wavefront_schedule
-
-                    wf_seq = seq
-                    batched, offsets = wavefront_schedule(seq, xadj, adjncy)
-                    wf_plan = WavefrontPlan(xadj, adjncy, batched, offsets)
-                wf_plan.execute(coords, cull_tol=cull_tol, moved=moved)
-            else:
-                for v in seq.tolist():
+            with obs.span(
+                "smooth.iteration", index=iterations, active=int(seq.size)
+            ):
+                obs.add("smoothing.vertices_smoothed", int(seq.size))
+                if self.update == "jacobi":
+                    coords = smooth_iteration_jacobi(
+                        coords, xadj, adjncy, interior_mask
+                    )
                     if builder is not None:
-                        append_smooth_accesses(builder, xadj, adjncy, v)
-                    lo, hi = xadj[v], xadj[v + 1]
-                    if hi > lo:
-                        new = coords[adjncy[lo:hi]].mean(axis=0)
-                        if moved is not None and (
-                            abs(new[0] - coords[v, 0])
-                            + abs(new[1] - coords[v, 1])
-                            > cull_tol
-                        ):
-                            moved[v] = True
-                        coords[v] = new
+                        if self.engine == "vectorized":
+                            append_smooth_accesses_batch(builder, xadj, adjncy, seq)
+                        else:
+                            for v in seq.tolist():
+                                append_smooth_accesses(builder, xadj, adjncy, v)
+                elif self.engine == "vectorized":
+                    if builder is not None:
+                        append_smooth_accesses_batch(builder, xadj, adjncy, seq)
+                    if wf_seq is None or not np.array_equal(seq, wf_seq):
+                        from ..parallel.scheduler import wavefront_schedule
+
+                        wf_seq = seq
+                        batched, offsets = wavefront_schedule(seq, xadj, adjncy)
+                        obs.observe(
+                            "smoothing.wavefront_width", np.diff(offsets)
+                        )
+                        wf_plan = WavefrontPlan(xadj, adjncy, batched, offsets)
+                    wf_plan.execute(coords, cull_tol=cull_tol, moved=moved)
+                else:
+                    for v in seq.tolist():
+                        if builder is not None:
+                            append_smooth_accesses(builder, xadj, adjncy, v)
+                        lo, hi = xadj[v], xadj[v + 1]
+                        if hi > lo:
+                            new = coords[adjncy[lo:hi]].mean(axis=0)
+                            if moved is not None and (
+                                abs(new[0] - coords[v, 0])
+                                + abs(new[1] - coords[v, 1])
+                                > cull_tol
+                            ):
+                                moved[v] = True
+                            coords[v] = new
 
             iterations += 1
             work = mesh.with_vertices(coords)
@@ -343,6 +377,13 @@ class LaplacianSmoother:
         )
 
 
-def laplacian_smooth(mesh: TriMesh, **kwargs) -> SmoothingResult:
-    """Convenience wrapper: ``LaplacianSmoother(**kwargs).smooth(mesh)``."""
-    return LaplacianSmoother(**kwargs).smooth(mesh)
+def laplacian_smooth(
+    mesh: TriMesh, *, config: RunConfig | None = None, **kwargs
+) -> SmoothingResult:
+    """Convenience wrapper: ``LaplacianSmoother(**kwargs).smooth(mesh)``.
+
+    The deprecated ``engine=`` keyword is resolved here (not in the
+    smoother) so the warning points at the caller.
+    """
+    config = resolve_config(config, engine=kwargs.pop("engine", None))
+    return LaplacianSmoother(config=config, **kwargs).smooth(mesh)

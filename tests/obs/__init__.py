@@ -1,0 +1,1 @@
+"""Tests for :mod:`repro.obs` — tracer, metrics, exporters."""

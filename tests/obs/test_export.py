@@ -1,0 +1,125 @@
+"""Exporter tests: JSONL spans, metrics JSON, text trees, ``activated``."""
+
+import json
+
+from repro import ObsConfig, obs
+from repro.obs import (
+    format_spans,
+    read_spans_jsonl,
+    span_rows,
+    write_metrics_json,
+    write_spans_jsonl,
+)
+
+
+def sample_forest():
+    with obs.capture() as tracer:
+        with obs.span("root", mesh="ocean") as sp:
+            sp.add_event(3)
+            with obs.span("child.a"):
+                pass
+            with obs.span("child.b"):
+                with obs.span("leaf"):
+                    pass
+        with obs.span("second-root"):
+            pass
+    return tracer.export()
+
+
+class TestSpanRows:
+    def test_ids_are_depth_first_and_parents_link(self):
+        rows = span_rows(sample_forest())
+        assert [r["name"] for r in rows] == [
+            "root", "child.a", "child.b", "leaf", "second-root",
+        ]
+        assert [r["id"] for r in rows] == [0, 1, 2, 3, 4]
+        assert [r["parent"] for r in rows] == [None, 0, 0, 2, None]
+
+    def test_rows_drop_the_nested_children(self):
+        for row in span_rows(sample_forest()):
+            assert "children" not in row
+
+    def test_jsonl_round_trip(self, tmp_path):
+        forest = sample_forest()
+        path = tmp_path / "sub" / "trace.jsonl"
+        written = write_spans_jsonl(path, forest)
+        assert written == path and path.exists()
+        assert read_spans_jsonl(path) == span_rows(forest)
+
+
+class TestMetricsJson:
+    def test_write_metrics_json(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        snapshot = {
+            "counters": {"c": 1},
+            "gauges": {},
+            "histograms": {"h": {"edges": [1], "counts": [1, 0], "total": 1}},
+        }
+        write_metrics_json(path, snapshot)
+        assert json.loads(path.read_text()) == snapshot
+
+
+class TestFormatSpans:
+    def test_tree_is_indented_with_event_suffix(self):
+        text = format_spans(sample_forest())
+        lines = text.splitlines()
+        assert lines[0].startswith("root: wall ")
+        assert "events=3" in lines[0]
+        assert lines[1].startswith("  child.a: ")
+        assert lines[3].startswith("    leaf: ")
+        assert "events=" not in lines[1]
+
+    def test_max_depth_prunes(self):
+        text = format_spans(sample_forest(), max_depth=0)
+        assert [ln.split(":")[0] for ln in text.splitlines()] == [
+            "root", "second-root",
+        ]
+
+
+class TestActivated:
+    def test_disabled_config_yields_the_null_tracer(self, tmp_path):
+        cfg = ObsConfig(enabled=False, trace_path=str(tmp_path / "t.jsonl"))
+        with obs.activated(cfg):
+            assert not obs.is_enabled()
+        assert not (tmp_path / "t.jsonl").exists()
+
+    def test_none_config_is_a_noop(self):
+        with obs.activated(None):
+            assert not obs.is_enabled()
+
+    def test_enabled_config_exports_on_exit(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        cfg = ObsConfig(
+            enabled=True, trace_path=str(trace), metrics_path=str(metrics)
+        )
+        with obs.activated(cfg):
+            assert obs.is_enabled()
+            with obs.span("work"):
+                obs.add("events.count", 2)
+        assert [r["name"] for r in read_spans_jsonl(trace)] == ["work"]
+        assert json.loads(metrics.read_text())["counters"] == {
+            "events.count": 2
+        }
+
+    def test_enabled_without_paths_collects_but_writes_nothing(self, tmp_path):
+        with obs.activated(ObsConfig(enabled=True)) as tracer:
+            with obs.span("work"):
+                pass
+        assert [s["name"] for s in tracer.export()] == ["work"]
+        assert list(tmp_path.iterdir()) == []
+
+    def test_nested_activated_defers_to_the_ambient_tracer(self, tmp_path):
+        # The CLI activates around the whole command; run_ordering
+        # activates again inside. The inner call must not install a
+        # second tracer or overwrite the outer export.
+        inner_cfg = ObsConfig(
+            enabled=True, trace_path=str(tmp_path / "inner.jsonl")
+        )
+        with obs.capture() as outer:
+            with obs.activated(inner_cfg) as tracer:
+                assert tracer is outer
+                with obs.span("work"):
+                    pass
+        assert not (tmp_path / "inner.jsonl").exists()
+        assert [s["name"] for s in outer.export()] == ["work"]

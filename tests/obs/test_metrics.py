@@ -1,0 +1,128 @@
+"""Metrics registry unit tests: instruments, snapshots, merging."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    POW2_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import NULL_TRACER
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter("hits")
+        c.add()
+        c.add(41)
+        assert c.value == 42
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("quality")
+        g.set(0.5)
+        g.set(0.9)
+        assert g.value == 0.9
+
+    def test_histogram_buckets_by_inclusive_upper_edge(self):
+        h = Histogram("h", edges=(1, 2, 4))
+        h.observe([0, 1, 2, 3, 4, 5])
+        # 0,1 <= 1; 2 <= 2; 3,4 <= 4; 5 overflows.
+        assert h.counts.tolist() == [2, 1, 2, 1]
+        assert h.total == 6
+
+    def test_observe_one_matches_vectorized_observe(self):
+        a = Histogram("a", edges=(1, 2, 4))
+        b = Histogram("b", edges=(1, 2, 4))
+        values = [0, 1, 2, 3, 4, 5, 7]
+        a.observe(values)
+        for v in values:
+            b.observe_one(v)
+        assert a.counts.tolist() == b.counts.tolist()
+        assert a.total == b.total
+
+    def test_observe_empty_is_a_noop(self):
+        h = Histogram("h", edges=(1, 2))
+        h.observe(np.array([], dtype=np.int64))
+        assert h.total == 0
+
+    def test_default_edges_are_powers_of_two(self):
+        h = Histogram("h")
+        assert h.edges == POW2_EDGES
+        assert POW2_EDGES[0] == 1 and POW2_EDGES[-1] == 2**30
+
+    @pytest.mark.parametrize("edges", [(), (4, 2), (1, 1)])
+    def test_bad_edges_rejected(self, edges):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=edges)
+
+
+class TestRegistry:
+    def test_create_on_first_use_and_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_snapshot_is_plain_json_types(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").add(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", edges=(1, 2)).observe([0, 3])
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"] == {
+            "edges": [1, 2],
+            "counts": [1, 0, 1],
+            "total": 2,
+        }
+
+    def test_merge_adds_counters_and_histogram_counts(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg, n in ((a, 1), (b, 10)):
+            reg.counter("c").add(n)
+            reg.gauge("g").set(float(n))
+            reg.histogram("h", edges=(1, 2)).observe([0] * n)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["c"] == 11
+        assert snap["gauges"]["g"] == 10.0  # last write wins
+        assert snap["histograms"]["h"]["counts"] == [11, 0, 0]
+        assert snap["histograms"]["h"]["total"] == 11
+
+    def test_merge_into_empty_registry_recreates_instruments(self):
+        src = MetricsRegistry()
+        src.counter("c").add(2)
+        src.histogram("h", edges=(1, 2)).observe([5])
+        dst = MetricsRegistry()
+        dst.merge(src.snapshot())
+        assert dst.snapshot() == src.snapshot()
+
+    def test_merge_rejects_mismatched_histogram_edges(self):
+        a = MetricsRegistry()
+        a.histogram("h", edges=(1, 2)).observe([1])
+        b = MetricsRegistry()
+        b.histogram("h", edges=(1, 4)).observe([1])
+        with pytest.raises(ValueError, match="mismatched edges"):
+            a.merge(b.snapshot())
+
+
+class TestNullRegistry:
+    def test_null_registry_hands_out_working_noops(self):
+        reg = NULL_TRACER.metrics
+        reg.counter("c").add(5)
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe([1, 2])
+        reg.histogram("h").observe_one(3)
+        reg.merge({"counters": {"c": 1}})
+        assert reg.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

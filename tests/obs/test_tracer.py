@@ -1,0 +1,150 @@
+"""Span tracer unit tests: disabled path, nesting, dict round-trips."""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER, Span, Tracer
+
+
+class TestDisabledPath:
+    def test_null_tracer_is_the_default(self):
+        assert obs.get_tracer() is NULL_TRACER
+        assert not obs.is_enabled()
+
+    def test_span_returns_the_shared_noop_singleton(self):
+        # The disabled path must not allocate: every span() call hands
+        # back the same object regardless of name or attributes.
+        a = obs.span("pipeline.run_ordering", mesh="m")
+        b = obs.span("anything.else")
+        assert a is b is NULL_SPAN
+
+    def test_null_span_noops_survive_use(self):
+        with obs.span("outer") as sp:
+            sp.add_event(10)
+            sp.set(key="value")
+        assert NULL_TRACER.export() == []
+
+    def test_metric_helpers_are_noops_when_disabled(self):
+        obs.add("some.counter", 5)
+        obs.gauge_set("some.gauge", 1.5)
+        obs.observe("some.histogram", [1, 2, 3])
+        assert obs.metrics().snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestCapture:
+    def test_capture_installs_and_restores(self):
+        assert not obs.is_enabled()
+        with obs.capture() as tracer:
+            assert obs.is_enabled()
+            assert obs.get_tracer() is tracer
+        assert not obs.is_enabled()
+        assert obs.get_tracer() is NULL_TRACER
+
+    def test_capture_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.capture():
+                raise RuntimeError("boom")
+        assert not obs.is_enabled()
+
+    def test_captures_nest_and_unwind_in_order(self):
+        with obs.capture() as outer:
+            with obs.capture() as inner:
+                assert obs.get_tracer() is inner
+            assert obs.get_tracer() is outer
+
+    def test_capture_accepts_an_existing_tracer(self):
+        mine = Tracer()
+        with obs.capture(mine) as tracer:
+            assert tracer is mine
+            with obs.span("s"):
+                pass
+        assert [s["name"] for s in mine.export()] == ["s"]
+
+
+class TestSpanTree:
+    def test_nesting_builds_parent_child_links(self):
+        with obs.capture() as tracer:
+            with obs.span("root") as root:
+                with obs.span("child") as child:
+                    with obs.span("grandchild"):
+                        pass
+                with obs.span("sibling"):
+                    pass
+            assert child.parent is root
+        assert len(tracer.roots) == 1
+        names = [c.name for c in tracer.roots[0].children]
+        assert names == ["child", "sibling"]
+        assert tracer.roots[0].children[0].children[0].name == "grandchild"
+
+    def test_current_tracks_the_innermost_open_span(self):
+        with obs.capture() as tracer:
+            assert tracer.current is None
+            with obs.span("a") as a:
+                assert tracer.current is a
+                with obs.span("b") as b:
+                    assert tracer.current is b
+                assert tracer.current is a
+            assert tracer.current is None
+
+    def test_events_attrs_and_set(self):
+        with obs.capture() as tracer:
+            with obs.span("s", mesh="ocean") as sp:
+                sp.add_event(3)
+                sp.add_event()
+                sp.set(iterations=7)
+        (root,) = tracer.export()
+        assert root["events"] == 4
+        assert root["attrs"] == {"mesh": "ocean", "iterations": 7}
+
+    def test_exception_tags_the_span_and_still_closes_it(self):
+        with obs.capture() as tracer:
+            with pytest.raises(ValueError):
+                with obs.span("failing"):
+                    raise ValueError("bad")
+            assert tracer.current is None
+        (root,) = tracer.export()
+        assert root["attrs"]["error"] == "ValueError"
+
+    def test_wall_time_covers_the_block(self):
+        with obs.capture() as tracer:
+            with obs.span("sleepy"):
+                time.sleep(0.02)
+        (root,) = tracer.export()
+        assert root["wall_s"] >= 0.01
+        assert root["cpu_s"] >= 0.0
+
+
+class TestDictRoundTrip:
+    def build(self):
+        with obs.capture() as tracer:
+            with obs.span("root", mesh="m") as sp:
+                sp.add_event(2)
+                with obs.span("child"):
+                    pass
+        return tracer.export()
+
+    def test_to_dict_from_dict_round_trip(self):
+        (exported,) = self.build()
+        rebuilt = Span.from_dict(exported)
+        assert rebuilt.to_dict() == exported
+        assert rebuilt.children[0].parent is rebuilt
+
+    def test_adopt_under_the_open_span(self):
+        exported = self.build()
+        with obs.capture() as tracer:
+            with obs.span("parent"):
+                tracer.adopt(exported)
+        (root,) = tracer.export()
+        assert [c["name"] for c in root["children"]] == ["root"]
+
+    def test_adopt_without_open_span_appends_roots(self):
+        exported = self.build()
+        with obs.capture() as tracer:
+            tracer.adopt(exported)
+        assert [s["name"] for s in tracer.export()] == ["root"]

@@ -19,9 +19,11 @@ PACKAGES = [
     "repro.apps",
     "repro.bench",
     "repro.core",
+    "repro.lab",
     "repro.mesh",
     "repro.meshgen",
     "repro.memsim",
+    "repro.obs",
     "repro.ordering",
     "repro.parallel",
     "repro.quality",
@@ -81,6 +83,95 @@ def test_top_level_api_surface():
 
 def test_version_present():
     assert repro.__version__.count(".") == 2
+
+
+# The config= redesign froze these signatures; a change here is an API
+# break and must be deliberate (update the snapshot in the same commit
+# that documents the migration in DESIGN.md §11).
+SIGNATURE_SNAPSHOT = {
+    "repro.core.pipeline.run_ordering": (
+        "(mesh: 'TriMesh', ordering: 'str', *, config: 'RunConfig | None' = "
+        "None, machine: 'MachineSpec | None' = None, traversal: 'str' = "
+        "'greedy', max_iterations: 'int' = 50, fixed_iterations: 'int | None'"
+        " = None, qualities: 'np.ndarray | None' = None, seed: 'int | None' ="
+        " None, rank_passes_override: 'int | None' = None, smoother_kwargs: "
+        "'dict | None' = None, precomputed_order: 'np.ndarray | None' = None,"
+        " engine: 'str | None' = None, sim_engine: 'str | None' = None) -> "
+        "'OrderedRun'"
+    ),
+    "repro.core.pipeline.run_parallel_ordering": (
+        "(mesh: 'TriMesh', ordering: 'str', num_cores: 'int', *, config: "
+        "'RunConfig | None' = None, machine: 'MachineSpec | None' = None, "
+        "iterations: 'int' = 8, traversal: 'str' = 'greedy', affinity: 'str'"
+        " = 'scatter', qualities: 'np.ndarray | None' = None, seed: "
+        "'int | None' = None, mem_engine: 'str | None' = None, sim_engine: "
+        "'str | None' = None) -> 'ParallelRun'"
+    ),
+    "repro.core.pipeline.compare_orderings": (
+        "(mesh: 'TriMesh', orderings: 'list[str]', *, config: "
+        "'RunConfig | None' = None, machine: 'MachineSpec | None' = None, "
+        "**kwargs) -> 'dict[str, OrderedRun]'"
+    ),
+    "repro.smoothing.laplacian.laplacian_smooth": (
+        "(mesh: 'TriMesh', *, config: 'RunConfig | None' = None, **kwargs) "
+        "-> 'SmoothingResult'"
+    ),
+    "repro.memsim.cache.simulate_trace": (
+        "(lines: 'np.ndarray', machine: 'MachineSpec', *, config: "
+        "'RunConfig | None' = None, next_line_prefetch: 'bool' = False, "
+        "policy: 'str' = 'lru', sim_engine: 'str | None' = None) -> "
+        "'HierarchyStats'"
+    ),
+    "repro.memsim.multicore.simulate_multicore": (
+        "(lines_per_core: 'list[np.ndarray]', machine: 'MachineSpec', *, "
+        "config: 'RunConfig | None' = None, affinity: 'str' = 'compact', "
+        "quantum: 'int' = 64, engine: 'str | None' = None, max_workers: "
+        "'int | None' = None, sim_engine: 'str | None' = None) -> "
+        "'MulticoreResult'"
+    ),
+    "repro.config.RunConfig": (
+        "(engine: 'str' = 'reference', sim_engine: 'str' = 'reference', "
+        "mem_engine: 'str' = 'sequential', seed: 'int' = 0, machine_profile:"
+        " 'str | None' = None, obs: 'ObsConfig' = <factory>) -> None"
+    ),
+    "repro.config.resolve_config": (
+        "(config: 'RunConfig | None', *, stacklevel: 'int' = 3, **legacy) "
+        "-> 'RunConfig'"
+    ),
+}
+
+
+@pytest.mark.parametrize("path", sorted(SIGNATURE_SNAPSHOT))
+def test_public_signature_snapshot(path):
+    module_name, _, attr = path.rpartition(".")
+    obj = getattr(importlib.import_module(module_name), attr)
+    assert str(inspect.signature(obj)) == SIGNATURE_SNAPSHOT[path], (
+        f"{path} signature changed; if intentional, update the snapshot "
+        "and the RunConfig migration table in DESIGN.md"
+    )
+
+
+def test_config_first_parameter_order():
+    # Every redesigned API takes config= as its first keyword-only
+    # parameter, so the unified spelling reads the same everywhere.
+    from repro import LaplacianSmoother
+    from repro.core import run_ordering, run_parallel_ordering
+    from repro.memsim import simulate_multicore, simulate_trace
+
+    for func in (
+        run_ordering,
+        run_parallel_ordering,
+        simulate_trace,
+        simulate_multicore,
+        LaplacianSmoother.__init__,
+    ):
+        params = inspect.signature(func).parameters
+        first_kwonly = next(
+            p.name
+            for p in params.values()
+            if p.kind is inspect.Parameter.KEYWORD_ONLY
+        )
+        assert first_kwonly == "config", func.__qualname__
 
 
 def test_public_methods_documented_on_key_classes():

@@ -9,6 +9,13 @@ from repro.cli import main
 from repro.mesh import read_triangle
 
 
+def _flatten(span_dicts):
+    """Every span dict in a nested forest, depth-first."""
+    for node in span_dicts:
+        yield node
+        yield from _flatten(node.get("children", ()))
+
+
 @pytest.fixture
 def mesh_stem(tmp_path):
     stem = tmp_path / "m"
@@ -176,6 +183,78 @@ class TestSeedFlag:
         assert rc == 0
 
 
+class TestEngineFlags:
+    def test_smooth_accepts_engine_flags(self, mesh_stem, capsys):
+        rc = main(["smooth", str(mesh_stem), "--engine", "vectorized",
+                   "--sim-engine", "batched", "--report-cache",
+                   "--ordering", "rdr", "--max-iterations", "2"])
+        assert rc == 0
+        assert "L1" in capsys.readouterr().out
+
+    def test_rejects_unknown_engine(self, mesh_stem):
+        with pytest.raises(SystemExit):
+            main(["smooth", str(mesh_stem), "--engine", "turbo"])
+
+    def test_list_shows_engine_axes(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "engines:" in out and "vectorized" in out
+        assert "sim engines:" in out and "batched" in out
+        assert "mem engines:" in out and "sharded" in out
+
+
+class TestObsFlags:
+    def test_analyze_generated_domain_with_trace_and_metrics(
+        self, tmp_path, capsys
+    ):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        rc = main(["analyze", "--domain", "ocean", "--vertices", "200",
+                   "--ordering", "rdr", "--iterations", "2",
+                   "--trace-out", str(trace), "--metrics-out", str(metrics)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrote span trace" in out and "wrote metrics snapshot" in out
+
+        from repro.obs import read_spans_jsonl
+
+        names = {row["name"] for row in read_spans_jsonl(trace)}
+        # The exported tree covers the whole generate -> reorder ->
+        # smooth -> simulate pipeline.
+        assert {"meshgen.generate", "pipeline.run_ordering",
+                "pipeline.reorder", "pipeline.smooth", "smooth.run",
+                "pipeline.simulate", "memsim.simulate_trace"} <= names
+
+        snap = json.loads(metrics.read_text())
+        assert snap["counters"]["memsim.l1.accesses"] > 0
+        assert snap["counters"]["memsim.l1.misses"] > 0
+        assert snap["histograms"]["memsim.reuse_distance"]["total"] > 0
+
+    def test_analyze_unit_square_domain(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        rc = main(["analyze", "--domain", "unit-square", "--vertices", "100",
+                   "--trace-out", str(trace)])
+        assert rc == 0
+        assert trace.exists()
+        assert "per-array breakdown" in capsys.readouterr().out
+
+    def test_analyze_without_input_or_domain_exits_2(self, capsys):
+        rc = main(["analyze"])
+        assert rc == 2
+        assert "analyze input" in capsys.readouterr().err
+
+    def test_smooth_trace_out(self, mesh_stem, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        rc = main(["smooth", str(mesh_stem), "--max-iterations", "2",
+                   "--trace-out", str(trace)])
+        assert rc == 0
+        from repro.obs import read_spans_jsonl
+
+        assert any(
+            row["name"] == "smooth.run" for row in read_spans_jsonl(trace)
+        )
+
+
 class TestErrorHandling:
     def test_missing_input_exits_2_with_message(self, tmp_path, capsys):
         rc = main(["smooth", str(tmp_path / "nope")])
@@ -258,6 +337,41 @@ class TestLab:
         header, *body = target.read_text().splitlines()
         assert "ordering" in header and "final_quality" in header
         assert len(body) == 2
+
+    def test_init_unknown_mem_engine_exits_2(self, tmp_path, capsys):
+        rc = main(["lab", "init", "--db", str(tmp_path / "lab.db"),
+                   "--mem-engines", "turbo"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown mem engine 'turbo'" in err and "sharded" in err
+
+    def test_run_obs_export_with_spans(self, tmp_path, capsys):
+        db = tmp_path / "lab.db"
+        assert main(["lab", "init", "--db", str(db), "--domains", "ocean",
+                     "--orderings", "rdr", "--experiments", "smooth",
+                     "--vertices", "150", "--max-iterations", "2"]) == 0
+        assert main(["lab", "run", "--db", str(db), "--obs"]) == 0
+        target = tmp_path / "rows.json"
+        assert main(["lab", "export", "--db", str(db), str(target),
+                     "--with-spans"]) == 0
+        rows = json.loads(target.read_text())
+        assert len(rows) == 1
+        (row,) = rows
+        assert row["spans"], "job_spans telemetry should join onto the row"
+        names = {s["name"] for s in _flatten(row["spans"])}
+        assert "smooth.run" in names
+        assert row["metrics"]["counters"]["smoothing.vertices_smoothed"] > 0
+
+    def test_export_without_spans_keeps_rows_flat(self, tmp_path):
+        db = tmp_path / "lab.db"
+        main(["lab", "init", "--db", str(db), "--domains", "ocean",
+              "--orderings", "rdr", "--experiments", "smooth",
+              "--vertices", "150", "--max-iterations", "2"])
+        main(["lab", "run", "--db", str(db), "--obs"])
+        target = tmp_path / "rows.json"
+        main(["lab", "export", "--db", str(db), str(target)])
+        (row,) = json.loads(target.read_text())
+        assert "spans" not in row
 
     def test_reset_requeues_failed(self, tmp_path, capsys):
         from repro.lab import JobStore
