@@ -97,6 +97,9 @@ class BenchConfig:
     #: Cache simulator: "reference" (per-event replay) or "batched"
     #: (vectorized stack-distance engine; identical counts).
     sim_engine: str = "reference"
+    #: Vertex-ordering engine: "reference" or "batched" (vectorized
+    #: frontier traversals; identical permutations).
+    order_engine: str = "reference"
 
     @classmethod
     def from_run_config(cls, config: RunConfig, **overrides) -> "BenchConfig":
@@ -107,6 +110,7 @@ class BenchConfig:
             engine=config.engine,
             sim_engine=config.sim_engine,
             mem_engine=config.mem_engine,
+            order_engine=config.order_engine,
             seed=config.seed,
             **overrides,
         )
@@ -118,6 +122,7 @@ class BenchConfig:
             engine=self.engine,
             sim_engine=self.sim_engine,
             mem_engine=self.mem_engine,
+            order_engine=self.order_engine,
             seed=self.seed,
         )
 

@@ -13,9 +13,9 @@ Subcommands:
 
 Engine selection is uniform across subcommands:
 :func:`add_engine_args` attaches ``--engine``/``--sim-engine``/
-``--mem-engine``/``--seed`` (or their plural comma-list forms for grid
-sweeps) and :func:`run_config_from_args` folds them into one validated
-:class:`repro.config.RunConfig`. Observability flags (``--trace-out``,
+``--mem-engine``/``--order-engine``/``--seed`` (or their plural
+comma-list forms for grid sweeps) and :func:`run_config_from_args` folds
+them into one validated :class:`repro.config.RunConfig`. Observability flags (``--trace-out``,
 ``--metrics-out``) ride in the same config.
 
 Unknown domain/ordering/experiment/engine names exit with status 2 and
@@ -104,9 +104,8 @@ def _build_parser() -> argparse.ArgumentParser:
     ro.add_argument("input", help="input stem (reads <stem>.node/.ele)")
     ro.add_argument("output", help="output stem")
     ro.add_argument("--ordering", default="rdr", choices=sorted(ORDERINGS))
-    ro.add_argument("--seed", type=int, default=0,
-                    help="seed for stochastic orderings (e.g. random)")
     ro.add_argument("--report-cost", action="store_true")
+    add_engine_args(ro)
 
     an = sub.add_parser(
         "analyze", help="trace one smoothing iteration and break down misses"
@@ -164,9 +163,10 @@ def add_engine_args(parser, *, plural: bool = False) -> None:
     """Attach the unified engine/seed flags to a subcommand parser.
 
     Singular form (``--engine``/``--sim-engine``/``--mem-engine``/
-    ``--seed``) selects one :class:`repro.config.RunConfig`; the plural
-    comma-list form (``--engines``/``--sim-engines``/``--mem-engines``/
-    ``--seeds``) spans grid axes for ``lab init``.
+    ``--order-engine``/``--seed``) selects one
+    :class:`repro.config.RunConfig`; the plural comma-list form
+    (``--engines``/``--sim-engines``/``--mem-engines``/
+    ``--order-engines``/``--seeds``) spans grid axes for ``lab init``.
     """
     axes = engine_axes()
     if plural:
@@ -182,6 +182,10 @@ def add_engine_args(parser, *, plural: bool = False) -> None:
                             default=("sequential",),
                             help="comma list of multicore replay engines "
                                  f"({','.join(axes['mem_engine'])})")
+        parser.add_argument("--order-engines", type=_comma_list(str),
+                            default=("reference",),
+                            help="comma list of vertex-ordering engines "
+                                 f"({','.join(axes['order_engine'])})")
         parser.add_argument("--seeds", type=_comma_list(int), default=(0,),
                             help="comma list of seeds")
         return
@@ -200,6 +204,11 @@ def add_engine_args(parser, *, plural: bool = False) -> None:
                         help="multicore replay engine: in-process sockets or "
                              "one worker process per socket "
                              "(identical counts)")
+    parser.add_argument("--order-engine", default="reference",
+                        choices=list(axes["order_engine"]),
+                        help="vertex-ordering engine: reference traversals "
+                             "or the frontier-batched NumPy reimplementation "
+                             "(identical permutations, much faster)")
     parser.add_argument("--seed", type=int, default=0,
                         help="seed for stochastic orderings (e.g. random)")
 
@@ -223,6 +232,7 @@ def run_config_from_args(args) -> RunConfig:
         engine=getattr(args, "engine", "reference"),
         sim_engine=getattr(args, "sim_engine", "reference"),
         mem_engine=getattr(args, "mem_engine", "sequential"),
+        order_engine=getattr(args, "order_engine", "reference"),
         seed=getattr(args, "seed", 0),
         obs=ObsConfig(
             enabled=bool(trace_out or metrics_out),
@@ -361,13 +371,19 @@ def _cmd_smooth(args) -> int:
 
 
 def _cmd_reorder(args) -> int:
+    config = run_config_from_args(args)
     mesh = read_triangle(args.input)
-    permuted, _ = apply_ordering(mesh, args.ordering, seed=args.seed)
+    permuted, _ = apply_ordering(
+        mesh, args.ordering, seed=config.seed,
+        order_engine=config.order_engine,
+    )
     node, ele = write_triangle(permuted, args.output)
     print(f"reordered {mesh.num_vertices} vertices with {args.ordering!r}")
     print(f"wrote {node} and {ele}")
     if args.report_cost:
-        cost = measure_reordering_cost(mesh, args.ordering)
+        cost = measure_reordering_cost(
+            mesh, args.ordering, order_engine=config.order_engine
+        )
         print(
             f"reordering cost: {cost.ordering_seconds * 1e3:.2f} ms "
             f"= {cost.iterations_equivalent:.2f} smoothing iterations"
@@ -497,6 +513,7 @@ def _cmd_list() -> int:
     print("engines:    ", ", ".join(axes["engine"]))
     print("sim engines:", ", ".join(axes["sim_engine"]))
     print("mem engines:", ", ".join(axes["mem_engine"]))
+    print("ord engines:", ", ".join(axes["order_engine"]))
     return 0
 
 
@@ -535,6 +552,7 @@ def _cmd_lab(args) -> int:
             engines=args.engines,
             sim_engines=args.sim_engines,
             mem_engines=args.mem_engines,
+            order_engines=args.order_engines,
         ).validate()
         store = JobStore(db)
         latest = store.latest_run_id()

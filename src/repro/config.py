@@ -11,6 +11,9 @@ as ``config=``:
 * ``engine`` — smoothing execution engine (``reference``/``vectorized``),
 * ``sim_engine`` — cache simulator (``reference``/``batched``),
 * ``mem_engine`` — multicore replay (``sequential``/``sharded``),
+* ``order_engine`` — vertex-ordering engine (``reference``/``batched``;
+  both produce identical permutations, the batched one vectorizes the
+  traversal/chain machinery),
 * ``seed`` — the stochastic-ordering seed,
 * ``machine_profile`` — calibration profile for the default machine
   (``None`` keeps each API's historical default: serial pipelines
@@ -74,12 +77,14 @@ def engine_axes() -> dict[str, tuple[str, ...]]:
     """
     from .memsim.batched import SIM_ENGINES
     from .memsim.multicore import MEM_ENGINES
+    from .ordering.base import ORDER_ENGINES
     from .smoothing.laplacian import ENGINES
 
     return {
         "engine": tuple(ENGINES),
         "sim_engine": tuple(SIM_ENGINES),
         "mem_engine": tuple(MEM_ENGINES),
+        "order_engine": tuple(ORDER_ENGINES),
     }
 
 
@@ -119,6 +124,7 @@ class RunConfig:
     engine: str = "reference"
     sim_engine: str = "reference"
     mem_engine: str = "sequential"
+    order_engine: str = "reference"
     seed: int = 0
     machine_profile: str | None = None
     obs: ObsConfig = field(default_factory=ObsConfig)

@@ -121,6 +121,7 @@ def _prepare(
     seed: int,
     rank_passes: int = DEFAULT_RANK_PASSES,
     precomputed_order: np.ndarray | None = None,
+    order_engine: str = "reference",
 ) -> tuple[TriMesh, np.ndarray, np.ndarray]:
     """Rank-smooth the quality signal and permute the mesh under it.
 
@@ -141,7 +142,10 @@ def _prepare(
         order = np.asarray(precomputed_order, dtype=np.int64)
         permuted = mesh.permute(order)
     else:
-        permuted, order = apply_ordering(mesh, ordering, seed=seed, qualities=rank_q)
+        permuted, order = apply_ordering(
+            mesh, ordering, seed=seed, qualities=rank_q,
+            order_engine=order_engine,
+        )
     return permuted, order, rank_q[order]
 
 
@@ -161,14 +165,16 @@ def run_ordering(
     precomputed_order: np.ndarray | None = None,
     engine: str | None = None,
     sim_engine: str | None = None,
+    order_engine: str | None = None,
 ) -> OrderedRun:
     """Order, smooth (with tracing), simulate, and price one execution.
 
     ``config`` selects the smoothing engine, the cache simulator, the
-    ordering seed, the default-machine calibration profile and the
-    observability flags in one :class:`repro.config.RunConfig`; the bare
-    ``engine=``/``sim_engine=``/``seed=`` keywords are deprecated shims
-    for the same fields.
+    ordering engine, the ordering seed, the default-machine calibration
+    profile and the observability flags in one
+    :class:`repro.config.RunConfig`; the bare
+    ``engine=``/``sim_engine=``/``order_engine=``/``seed=`` keywords are
+    deprecated shims for the same fields.
     ``fixed_iterations`` overrides convergence (useful when comparing
     orderings at identical work, mirroring the paper's note that
     orderings did not change the iteration count).
@@ -186,7 +192,8 @@ def run_ordering(
     cached on the returned run (:attr:`OrderedRun.distances`).
     """
     config = resolve_config(
-        config, engine=engine, sim_engine=sim_engine, seed=seed
+        config, engine=engine, sim_engine=sim_engine,
+        order_engine=order_engine, seed=seed,
     )
     if machine is None:
         machine = default_machine_for(
@@ -201,11 +208,16 @@ def run_ordering(
         ordering=ordering,
         engine=config.engine,
         sim_engine=config.sim_engine,
+        order_engine=config.order_engine,
     ):
-        with obs.span("pipeline.reorder", ordering=ordering) as sp:
+        with obs.span(
+            "pipeline.reorder",
+            ordering=ordering,
+            order_engine=config.order_engine,
+        ) as sp:
             permuted, order, _ = _prepare(
                 mesh, ordering, qualities, config.seed, rank_passes,
-                precomputed_order,
+                precomputed_order, config.order_engine,
             )
             sp.add_event(permuted.num_vertices)
 
@@ -270,13 +282,15 @@ def compare_orderings(
     """Run several orderings of one mesh under identical settings.
 
     Engine/seed selection rides in ``config``; the deprecated
-    ``engine=``/``sim_engine=``/``seed=`` keywords are resolved here (not
-    in :func:`run_ordering`) so the warning points at the caller.
+    ``engine=``/``sim_engine=``/``order_engine=``/``seed=`` keywords are
+    resolved here (not in :func:`run_ordering`) so the warning points at
+    the caller.
     """
     config = resolve_config(
         config,
         engine=kwargs.pop("engine", None),
         sim_engine=kwargs.pop("sim_engine", None),
+        order_engine=kwargs.pop("order_engine", None),
         seed=kwargs.pop("seed", None),
     )
     qualities = kwargs.pop("qualities", None)
@@ -323,6 +337,7 @@ def run_summary(run: OrderedRun) -> dict:
         "engine": run.config.engine,
         "sim_engine": run.config.sim_engine,
         "mem_engine": run.config.mem_engine,
+        "order_engine": run.config.order_engine,
         "seed": run.config.seed,
         "machine": run.machine.name,
         "machine_profile": run.config.machine_profile,
@@ -363,6 +378,7 @@ class ParallelRun:
             "engine": self.config.engine,
             "sim_engine": self.config.sim_engine,
             "mem_engine": self.config.mem_engine,
+            "order_engine": self.config.order_engine,
             "seed": self.config.seed,
             "machine": self.result.machine.name,
             "machine_profile": self.config.machine_profile,
@@ -383,6 +399,7 @@ def run_parallel_ordering(
     seed: int | None = None,
     mem_engine: str | None = None,
     sim_engine: str | None = None,
+    order_engine: str | None = None,
 ) -> ParallelRun:
     """Simulate a ``num_cores``-thread smoothing run under an ordering.
 
@@ -392,12 +409,14 @@ def run_parallel_ordering(
     ``config.mem_engine`` selects the replay engine (``"sequential"`` or
     ``"sharded"``; see :func:`repro.memsim.simulate_multicore`) and
     ``config.sim_engine`` the per-socket simulator (``"reference"`` or
-    ``"batched"``; single-core sockets vectorize exactly); the bare
-    ``mem_engine=``/``sim_engine=``/``seed=`` keywords are deprecated
-    shims for the same fields.
+    ``"batched"``; single-core sockets vectorize exactly), while
+    ``config.order_engine`` picks the vertex-ordering implementation; the
+    bare ``mem_engine=``/``sim_engine=``/``order_engine=``/``seed=``
+    keywords are deprecated shims for the same fields.
     """
     config = resolve_config(
-        config, mem_engine=mem_engine, sim_engine=sim_engine, seed=seed
+        config, mem_engine=mem_engine, sim_engine=sim_engine,
+        order_engine=order_engine, seed=seed,
     )
     if machine is None:
         machine = default_machine_for(
@@ -410,12 +429,18 @@ def run_parallel_ordering(
         cores=num_cores,
         mem_engine=config.mem_engine,
         sim_engine=config.sim_engine,
+        order_engine=config.order_engine,
     ):
         if qualities is None:
             qualities = vertex_quality(mesh)
-        with obs.span("pipeline.reorder", ordering=ordering) as sp:
+        with obs.span(
+            "pipeline.reorder",
+            ordering=ordering,
+            order_engine=config.order_engine,
+        ) as sp:
             permuted, order, perm_q = _prepare(
-                mesh, ordering, qualities, config.seed
+                mesh, ordering, qualities, config.seed,
+                order_engine=config.order_engine,
             )
             sp.add_event(permuted.num_vertices)
         with obs.span("pipeline.partition", cores=num_cores):

@@ -37,6 +37,7 @@ class JobSpec:
     engine: str = "reference"
     sim_engine: str = "reference"
     mem_engine: str = "sequential"
+    order_engine: str = "reference"
 
     def key(self) -> str:
         """Canonical identity string (job uniqueness + cache keying)."""
@@ -58,6 +59,7 @@ class JobSpec:
             engine=config.engine,
             sim_engine=config.sim_engine,
             mem_engine=config.mem_engine,
+            order_engine=config.order_engine,
             seed=config.seed,
             **kwargs,
         )
@@ -69,6 +71,7 @@ class JobSpec:
             engine=self.engine,
             sim_engine=self.sim_engine,
             mem_engine=self.mem_engine,
+            order_engine=self.order_engine,
             seed=self.seed,
         )
 
@@ -90,10 +93,12 @@ def validate_names(
     engines: tuple[str, ...] = (),
     sim_engines: tuple[str, ...] = (),
     mem_engines: tuple[str, ...] = (),
+    order_engines: tuple[str, ...] = (),
 ) -> None:
     """Raise :class:`UnknownNameError` for the first unknown name."""
     from ..memsim.batched import SIM_ENGINES
     from ..memsim.multicore import MEM_ENGINES
+    from ..ordering.base import ORDER_ENGINES
     from ..smoothing import ENGINES
     from .worker import EXPERIMENT_RUNNERS  # late: worker imports JobSpec
 
@@ -116,6 +121,9 @@ def validate_names(
     for name in mem_engines:
         if name not in MEM_ENGINES:
             raise UnknownNameError("mem engine", name, list(MEM_ENGINES))
+    for name in order_engines:
+        if name not in ORDER_ENGINES:
+            raise UnknownNameError("order engine", name, list(ORDER_ENGINES))
 
 
 @dataclass(frozen=True)
@@ -133,6 +141,7 @@ class ExperimentGrid:
     engines: tuple[str, ...] = ("reference",)
     sim_engines: tuple[str, ...] = ("reference",)
     mem_engines: tuple[str, ...] = ("sequential",)
+    order_engines: tuple[str, ...] = ("reference",)
 
     def validate(self) -> "ExperimentGrid":
         validate_names(
@@ -142,6 +151,7 @@ class ExperimentGrid:
             engines=self.engines,
             sim_engines=self.sim_engines,
             mem_engines=self.mem_engines,
+            order_engines=self.order_engines,
         )
         return self
 
@@ -160,9 +170,10 @@ class ExperimentGrid:
                 engine=engine,
                 sim_engine=sim_engine,
                 mem_engine=mem_engine,
+                order_engine=order_engine,
             )
             for experiment, domain, ordering, vertices, scale, seed, engine,
-            sim_engine, mem_engine
+            sim_engine, mem_engine, order_engine
             in product(
                 self.experiments,
                 self.domains,
@@ -173,6 +184,7 @@ class ExperimentGrid:
                 self.engines,
                 self.sim_engines,
                 self.mem_engines,
+                self.order_engines,
             )
         ]
 
@@ -186,6 +198,7 @@ class ExperimentGrid:
         for key in (
             "experiments", "domains", "orderings", "vertices", "seeds",
             "cache_scales", "engines", "sim_engines", "mem_engines",
+            "order_engines",
         ):
             if key in kwargs:
                 kwargs[key] = tuple(kwargs[key])

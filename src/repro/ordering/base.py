@@ -12,6 +12,17 @@ layout. The inverse permutation (``new_of_old``) is obtained with
 Orderings register themselves under a short name (``"ori"``, ``"bfs"``,
 ``"rdr"``, ...) via :func:`register_ordering`; experiments look them up
 by name so benchmark parameterisations stay declarative.
+
+Each name may additionally have a *batched* implementation — a NumPy
+frontier/plan-based reimplementation registered via
+:func:`register_batched_ordering` that returns **exactly the same
+permutation** as the reference function (the differential suite in
+``tests/ordering/test_order_engines.py`` pins this element-wise).  The
+``order_engine`` axis selects between them: ``"reference"`` always uses
+the registry above; ``"batched"`` prefers the batched implementation
+and silently falls back to the reference one for names that have no
+batched variant (their reference form is already array-based), so every
+registered name works under either engine.
 """
 
 from __future__ import annotations
@@ -20,17 +31,24 @@ from typing import Callable, Protocol
 
 import numpy as np
 
+from ..config import UnknownNameError
 from ..mesh import TriMesh
 
 __all__ = [
     "OrderingFn",
     "ORDERINGS",
+    "BATCHED_ORDERINGS",
+    "ORDER_ENGINES",
     "register_ordering",
+    "register_batched_ordering",
     "get_ordering",
     "apply_ordering",
     "invert_permutation",
     "check_permutation",
 ]
+
+#: Valid values of the ``order_engine`` axis.
+ORDER_ENGINES = ("reference", "batched")
 
 
 class OrderingFn(Protocol):
@@ -52,6 +70,12 @@ class OrderingFn(Protocol):
 
 ORDERINGS: dict[str, OrderingFn] = {}
 
+#: Batched (vectorized, exact-equivalent) implementations, keyed by the
+#: same names as :data:`ORDERINGS`.  Sparse by design: names without an
+#: entry fall back to the reference function under
+#: ``order_engine="batched"``.
+BATCHED_ORDERINGS: dict[str, OrderingFn] = {}
+
 
 def register_ordering(name: str) -> Callable[[OrderingFn], OrderingFn]:
     """Class/function decorator adding an ordering to the registry."""
@@ -65,14 +89,42 @@ def register_ordering(name: str) -> Callable[[OrderingFn], OrderingFn]:
     return deco
 
 
-def get_ordering(name: str) -> OrderingFn:
-    """Look up a registered ordering by name (KeyError with choices otherwise)."""
+def register_batched_ordering(name: str) -> Callable[[OrderingFn], OrderingFn]:
+    """Decorator registering the batched implementation of ``name``.
+
+    The implementation must return exactly the permutation the reference
+    registration returns for every input (same mesh, seed, qualities).
+    """
+
+    def deco(fn: OrderingFn) -> OrderingFn:
+        if name in BATCHED_ORDERINGS:
+            raise ValueError(f"batched ordering {name!r} already registered")
+        BATCHED_ORDERINGS[name] = fn
+        return fn
+
+    return deco
+
+
+def get_ordering(name: str, *, order_engine: str = "reference") -> OrderingFn:
+    """Look up a registered ordering by name.
+
+    ``order_engine="batched"`` returns the batched implementation when
+    one is registered and the reference function otherwise (both produce
+    the same permutation).  Unknown ordering names raise ``KeyError``
+    listing the choices; unknown engine names raise
+    :class:`repro.config.UnknownNameError`.
+    """
+    if order_engine not in ORDER_ENGINES:
+        raise UnknownNameError("order engine", order_engine, ORDER_ENGINES)
     try:
-        return ORDERINGS[name]
+        fn = ORDERINGS[name]
     except KeyError:
         raise KeyError(
             f"unknown ordering {name!r}; available: {sorted(ORDERINGS)}"
         ) from None
+    if order_engine == "batched":
+        return BATCHED_ORDERINGS.get(name, fn)
+    return fn
 
 
 def apply_ordering(
@@ -81,9 +133,11 @@ def apply_ordering(
     *,
     seed: int = 0,
     qualities: np.ndarray | None = None,
+    order_engine: str = "reference",
 ) -> tuple[TriMesh, np.ndarray]:
     """Compute an ordering and return ``(permuted_mesh, order)``."""
-    order = get_ordering(name)(mesh, seed=seed, qualities=qualities)
+    fn = get_ordering(name, order_engine=order_engine)
+    order = fn(mesh, seed=seed, qualities=qualities)
     return mesh.permute(order), order
 
 

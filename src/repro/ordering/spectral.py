@@ -44,16 +44,19 @@ def fiedler_vector(
     if adjncy.size == 0:
         return x
     offsets = np.minimum(xadj[:-1], adjncy.size - 1)
+    isolated = deg == 0
 
     def step(v: np.ndarray) -> np.ndarray:
         sums = np.add.reduceat(v[adjncy], offsets)
-        sums[deg == 0] = 0.0
+        sums[isolated] = 0.0
         return sums / safe_deg
 
     prev = None
     for _ in range(iterations):
-        # Deflate the stationary component (degree-weighted mean).
-        x = x - (weights @ x) * np.ones(n)
+        # Deflate the stationary component (degree-weighted mean).  The
+        # scalar broadcast is bitwise-equal to the former explicit
+        # ``* np.ones(n)`` rank-1 update (s * 1.0 == s for IEEE floats).
+        x = x - (weights @ x)
         # One application of P, plus a 0.5 shift to damp the -1 end of
         # the spectrum (bipartite-ish oscillation).
         x = 0.5 * (x + step(x))

@@ -37,6 +37,17 @@ __all__ = [
 ]
 
 
+def _restart_seeds(n: int, start: int) -> list[int]:
+    """``[start, 0, 1, ..., start-1, start+1, ..., n-1]`` without the
+    O(n) Python list comprehension (built vectorized, iterated as a
+    list so per-seed visited checks stay cheap)."""
+    seeds = np.empty(n, dtype=np.int64)
+    seeds[0] = start
+    seeds[1 : start + 1] = np.arange(start)
+    seeds[start + 1 :] = np.arange(start + 1, n)
+    return seeds.tolist()
+
+
 @register_ordering("ori")
 def ori_ordering(mesh: TriMesh, *, seed: int = 0, qualities=None) -> np.ndarray:
     """The identity permutation: keep the mesh generator's native order."""
@@ -63,7 +74,7 @@ def _bfs_order(
     order = np.empty(n, dtype=np.int64)
     degrees = np.diff(xadj) if by_degree else None
     pos = 0
-    seeds = [start] + [v for v in range(n) if v != start]
+    seeds = _restart_seeds(n, start)
     q: deque[int] = deque()
     for s in seeds:
         if visited[s]:
@@ -112,7 +123,7 @@ def dfs_ordering(mesh: TriMesh, *, seed: int = 0, qualities=None) -> np.ndarray:
     visited = np.zeros(n, dtype=bool)
     order = np.empty(n, dtype=np.int64)
     pos = 0
-    seeds = [start] + [v for v in range(n) if v != start]
+    seeds = _restart_seeds(n, start)
     for s in seeds:
         if visited[s]:
             continue

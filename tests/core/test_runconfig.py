@@ -39,6 +39,7 @@ class TestRunConfig:
         assert cfg.engine == "reference"
         assert cfg.sim_engine == "reference"
         assert cfg.mem_engine == "sequential"
+        assert cfg.order_engine == "reference"
         assert cfg.seed == 0
         assert cfg.machine_profile is None
         assert cfg.obs == ObsConfig()
@@ -54,6 +55,7 @@ class TestRunConfig:
             engine="vectorized",
             sim_engine="batched",
             mem_engine="sharded",
+            order_engine="batched",
             machine_profile="scaling",
         )
         assert cfg.validate() is cfg
@@ -64,6 +66,7 @@ class TestRunConfig:
             ({"engine": "turbo"}, "unknown engine 'turbo'"),
             ({"sim_engine": "turbo"}, "unknown sim engine 'turbo'"),
             ({"mem_engine": "turbo"}, "unknown mem engine 'turbo'"),
+            ({"order_engine": "turbo"}, "unknown order engine 'turbo'"),
             ({"machine_profile": "laptop"}, "unknown machine profile 'laptop'"),
         ],
     )
@@ -97,6 +100,7 @@ class TestRunConfig:
         assert axes["engine"] == ("reference", "vectorized")
         assert axes["sim_engine"] == ("reference", "batched")
         assert axes["mem_engine"] == ("sequential", "sharded")
+        assert axes["order_engine"] == ("reference", "batched")
 
 
 class TestResolveConfig:
@@ -194,6 +198,7 @@ class TestCliRoundTrip:
             "--engine", "vectorized",
             "--sim-engine", "batched",
             "--mem-engine", "sharded",
+            "--order-engine", "batched",
             "--seed", "7",
             "--trace-out", str(tmp_path / "t.jsonl"),
         ])
@@ -202,6 +207,7 @@ class TestCliRoundTrip:
             engine="vectorized",
             sim_engine="batched",
             mem_engine="sharded",
+            order_engine="batched",
             seed=7,
             obs=ObsConfig(
                 enabled=True, trace_path=str(tmp_path / "t.jsonl")
@@ -221,12 +227,14 @@ class TestCliRoundTrip:
         assert args.engines == ("reference", "vectorized")
         assert args.sim_engines == ("reference",)
         assert args.mem_engines == ("sequential",)
+        assert args.order_engines == ("reference",)
         assert args.seeds == (0, 1, 2)
 
 
 class TestSpecRoundTrips:
     CFG = RunConfig(
-        engine="vectorized", sim_engine="batched", mem_engine="sharded", seed=3
+        engine="vectorized", sim_engine="batched", mem_engine="sharded",
+        order_engine="batched", seed=3,
     )
 
     def test_job_spec_round_trip(self):
@@ -235,8 +243,10 @@ class TestSpecRoundTrips:
         )
         assert spec.engine == "vectorized"
         assert spec.mem_engine == "sharded"
+        assert spec.order_engine == "batched"
         assert spec.to_run_config() == self.CFG
         assert "mem_engine=sharded" in spec.key()
+        assert "order_engine=batched" in spec.key()
 
     def test_bench_config_round_trip(self):
         cfg = BenchConfig.from_run_config(self.CFG, suite_scale=0.01)
@@ -248,13 +258,17 @@ class TestSpecRoundTrips:
         run = run_ordering(
             ocean_mesh,
             "rdr",
-            config=RunConfig(engine="vectorized", sim_engine="batched"),
+            config=RunConfig(
+                engine="vectorized", sim_engine="batched",
+                order_engine="batched",
+            ),
             fixed_iterations=1,
         )
         row = run_summary(run)
         assert row["engine"] == "vectorized"
         assert row["sim_engine"] == "batched"
         assert row["mem_engine"] == "sequential"
+        assert row["order_engine"] == "batched"
         assert row["seed"] == 0
         assert row["machine"] == run.machine.name
         assert row["machine_profile"] is None

@@ -96,8 +96,8 @@ SIGNATURE_SNAPSHOT = {
         " = None, qualities: 'np.ndarray | None' = None, seed: 'int | None' ="
         " None, rank_passes_override: 'int | None' = None, smoother_kwargs: "
         "'dict | None' = None, precomputed_order: 'np.ndarray | None' = None,"
-        " engine: 'str | None' = None, sim_engine: 'str | None' = None) -> "
-        "'OrderedRun'"
+        " engine: 'str | None' = None, sim_engine: 'str | None' = None, "
+        "order_engine: 'str | None' = None) -> 'OrderedRun'"
     ),
     "repro.core.pipeline.run_parallel_ordering": (
         "(mesh: 'TriMesh', ordering: 'str', num_cores: 'int', *, config: "
@@ -105,7 +105,8 @@ SIGNATURE_SNAPSHOT = {
         "iterations: 'int' = 8, traversal: 'str' = 'greedy', affinity: 'str'"
         " = 'scatter', qualities: 'np.ndarray | None' = None, seed: "
         "'int | None' = None, mem_engine: 'str | None' = None, sim_engine: "
-        "'str | None' = None) -> 'ParallelRun'"
+        "'str | None' = None, order_engine: 'str | None' = None) -> "
+        "'ParallelRun'"
     ),
     "repro.core.pipeline.compare_orderings": (
         "(mesh: 'TriMesh', orderings: 'list[str]', *, config: "
@@ -131,7 +132,8 @@ SIGNATURE_SNAPSHOT = {
     ),
     "repro.config.RunConfig": (
         "(engine: 'str' = 'reference', sim_engine: 'str' = 'reference', "
-        "mem_engine: 'str' = 'sequential', seed: 'int' = 0, machine_profile:"
+        "mem_engine: 'str' = 'sequential', order_engine: 'str' = "
+        "'reference', seed: 'int' = 0, machine_profile:"
         " 'str | None' = None, obs: 'ObsConfig' = <factory>) -> None"
     ),
     "repro.config.resolve_config": (
