@@ -8,7 +8,10 @@ Subcommands:
 ``analyze``    trace a run, break misses down per array, export the trace
 ``parallel``   simulate a multicore smoothing run (shared-L3 sockets)
 ``experiment`` run one of the paper's tables/figures and print it
-``lab``        durable experiment sweeps: ``init|run|status|reset|export``
+``lab``        durable experiment sweeps: ``init|run|serve|work|status|
+               reset|export`` — including the distributed mode, where
+               ``lab serve`` exposes the job store over HTTP and
+               ``lab work --server URL`` drains it from any host
 ``list``       show available domains, orderings, experiments and engines
 
 Engine selection is uniform across subcommands:
@@ -26,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -34,6 +38,8 @@ from .bench import format_table
 from .bench.report import save_csv
 from .config import ObsConfig, RunConfig, UnknownNameError, engine_axes
 from .core import measure_reordering_cost, run_ordering
+from .lab.backends import DEFAULT_LEASE_S
+from .lab.http_store import StoreConnectionError
 from .mesh import read_triangle, write_triangle
 from .meshgen import (
     generate_domain_mesh,
@@ -252,8 +258,16 @@ def _build_lab_parser(sub) -> None:
         p.add_argument("--db", default="lab.db",
                        help="job-store SQLite file (default: lab.db)")
 
+    def add_token(p):
+        p.add_argument("--token", default=None,
+                       help="shared bearer token (default: $REPRO_LAB_TOKEN)")
+
     ini = lab_sub.add_parser("init", help="expand a grid into pending jobs")
     add_db(ini)
+    ini.add_argument("--server", default=None,
+                     help="queue the grid on a running lab server "
+                          "instead of --db")
+    add_token(ini)
     ini.add_argument("--experiments", type=_comma_list(str),
                      default=("pipeline",),
                      help="comma list: pipeline,smooth,reorder-cost,"
@@ -275,27 +289,73 @@ def _build_lab_parser(sub) -> None:
     ini.add_argument("--force-new", action="store_true",
                      help="create a new run even if the latest has this grid")
 
+    def add_worker_args(p):
+        p.add_argument("--workers", type=int, default=1)
+        p.add_argument("--timeout", type=float, default=300.0,
+                       help="per-job wall-clock budget in seconds")
+        p.add_argument("--retry-base", type=float, default=0.5,
+                       help="base of the exponential retry backoff (seconds)")
+        p.add_argument("--max-jobs", type=int, default=None,
+                       help="stop each worker after this many jobs")
+        p.add_argument("--obs", action="store_true",
+                       help="trace every job (span tree + metrics appended "
+                            "to telemetry as job_spans events)")
+
     run = lab_sub.add_parser("run", help="drain pending jobs with workers")
     add_db(run)
-    run.add_argument("--workers", type=int, default=1)
-    run.add_argument("--timeout", type=float, default=300.0,
-                     help="per-job wall-clock budget in seconds")
-    run.add_argument("--retry-base", type=float, default=0.5,
-                     help="base of the exponential retry backoff (seconds)")
-    run.add_argument("--max-jobs", type=int, default=None,
-                     help="stop each worker after this many jobs")
+    add_worker_args(run)
     run.add_argument("--cache-dir", default=None,
                      help="artifact cache directory (default: <db>.artifacts)")
     run.add_argument("--telemetry", default=None,
                      help="telemetry JSONL path (default: <db>.telemetry.jsonl)")
-    run.add_argument("--obs", action="store_true",
-                     help="trace every job (span tree + metrics appended to "
-                          "telemetry as job_spans events)")
+    run.add_argument("--lease", type=float, default=DEFAULT_LEASE_S,
+                     help="claim-lease duration in seconds; jobs of a "
+                          "killed worker re-queue after this long "
+                          f"(default: {DEFAULT_LEASE_S:.0f})")
+
+    sv = lab_sub.add_parser(
+        "serve", help="expose the job store over HTTP for remote workers"
+    )
+    add_db(sv)
+    sv.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default: 127.0.0.1; use 0.0.0.0 "
+                         "to accept remote workers)")
+    sv.add_argument("--port", type=int, default=8642,
+                    help="bind port (default: 8642; 0 picks a free port)")
+    add_token(sv)
+    sv.add_argument("--lease", type=float, default=DEFAULT_LEASE_S,
+                    help="claim-lease duration granted to workers "
+                         f"(default: {DEFAULT_LEASE_S:.0f}s)")
+
+    wk = lab_sub.add_parser(
+        "work", help="drain jobs from a lab server on this host"
+    )
+    wk.add_argument("--server", required=True,
+                    help="job-server URL (http://host:port)")
+    add_token(wk)
+    add_worker_args(wk)
+    wk.add_argument("--cache-dir", default="lab-work.artifacts",
+                    help="local artifact cache directory "
+                         "(default: lab-work.artifacts)")
+    wk.add_argument("--telemetry", default="lab-work.telemetry.jsonl",
+                    help="local telemetry JSONL path "
+                         "(default: lab-work.telemetry.jsonl)")
 
     st = lab_sub.add_parser("status", help="job counts + telemetry summary")
     add_db(st)
+    st.add_argument("--server", default=None,
+                    help="query a running lab server instead of --db")
+    add_token(st)
     st.add_argument("--run", type=int, default=None, help="restrict to one run id")
     st.add_argument("--telemetry", default=None)
+    st.add_argument("--watch", action="store_true",
+                    help="refresh live: per-status counts, rows/sec and ETA "
+                         "until the queue drains")
+    st.add_argument("--interval", type=float, default=2.0,
+                    help="--watch refresh interval in seconds (default: 2)")
+    st.add_argument("--refreshes", type=int, default=None,
+                    help="stop --watch after this many refreshes "
+                         "(default: until drained)")
 
     rs = lab_sub.add_parser("reset", help="re-queue failed (or running) jobs")
     add_db(rs)
@@ -305,13 +365,17 @@ def _build_lab_parser(sub) -> None:
 
     ex = lab_sub.add_parser("export", help="export done-job rows to JSON/CSV")
     add_db(ex)
+    ex.add_argument("--server", default=None,
+                    help="export from a running lab server instead of --db")
+    add_token(ex)
     ex.add_argument("output", help="output path (.json or .csv)")
     ex.add_argument("--format", choices=["json", "csv"], default=None,
                     help="default: inferred from the output suffix")
     ex.add_argument("--run", type=int, default=None)
     ex.add_argument("--drop-timing", action="store_true",
-                    help="omit measured wall-clock columns so identical "
-                         "runs export byte-identical files")
+                    help="omit run-history columns (wall_s, attempt) so "
+                         "identical grids export byte-identical files "
+                         "regardless of retries or worker placement")
     ex.add_argument("--with-spans", action="store_true",
                     help="join job_spans telemetry (from `lab run --obs`) "
                          "into the rows by job_id")
@@ -528,14 +592,73 @@ def _lab_paths(args) -> tuple[Path, Path, Path]:
     return db, cache_dir, telemetry
 
 
+def _lab_token(args) -> str | None:
+    """--token, falling back to the $REPRO_LAB_TOKEN environment."""
+    return getattr(args, "token", None) or os.environ.get("REPRO_LAB_TOKEN")
+
+
+def _server_store(url: str, token: str | None):
+    """An :class:`HttpJobStore` for a validated, reachable ``--server``.
+
+    A malformed URL or an unreachable/incompatible server exits 2 with
+    the usual one-line message (via the ``main`` handlers).
+    """
+    from urllib.parse import urlparse
+
+    from .lab import open_backend
+
+    parsed = urlparse(url)
+    if parsed.scheme not in ("http", "https") or not parsed.netloc:
+        raise UnknownNameError(
+            "server URL", url, ["http://<host>:<port>", "https://<host>:<port>"]
+        )
+    store = open_backend(url, token=token)
+    store.ping()
+    return store
+
+
+def _lab_store(args):
+    """The store a lab subcommand addresses: ``--server`` or ``--db``."""
+    from .lab import JobStore
+
+    server = getattr(args, "server", None)
+    if server:
+        return _server_store(server, _lab_token(args))
+    return JobStore(Path(args.db))
+
+
 def _cmd_lab(args) -> int:
     from .lab import (
         ExperimentGrid,
         JobStore,
+        LabServer,
         format_summary,
         run_pool,
         summarize,
+        watch_status,
     )
+
+    if args.lab_command == "work":
+        # No --db: everything goes through the server; artifacts and
+        # telemetry stay host-local.
+        _server_store(args.server, _lab_token(args)).close()  # fail fast
+        counts = run_pool(
+            args.server,
+            Path(args.cache_dir),
+            Path(args.telemetry),
+            workers=args.workers,
+            job_timeout_s=args.timeout,
+            retry_base_s=args.retry_base,
+            max_jobs=args.max_jobs,
+            obs_spans=args.obs,
+            token=_lab_token(args),
+        )
+        print(
+            f"done {counts['done']}, failed {counts['failed']}, "
+            f"pending {counts['pending']}, running {counts['running']}"
+        )
+        print(format_summary(summarize(Path(args.telemetry))))
+        return 0 if counts["failed"] == 0 and counts["pending"] == 0 else 1
 
     db, cache_dir, telemetry = _lab_paths(args)
 
@@ -554,7 +677,8 @@ def _cmd_lab(args) -> int:
             mem_engines=args.mem_engines,
             order_engines=args.order_engines,
         ).validate()
-        store = JobStore(db)
+        store = _lab_store(args)
+        where = args.server if args.server else db
         latest = store.latest_run_id()
         stored = store.run_grid(latest) if latest is not None else None
         if (
@@ -575,7 +699,7 @@ def _cmd_lab(args) -> int:
             [(s.key(), s.as_dict()) for s in specs],
             max_attempts=args.max_attempts,
         )
-        print(f"run {run_id}: {inserted} jobs queued in {db}")
+        print(f"run {run_id}: {inserted} jobs queued in {where}")
         return 0
 
     if args.lab_command == "run":
@@ -588,6 +712,7 @@ def _cmd_lab(args) -> int:
             retry_base_s=args.retry_base,
             max_jobs=args.max_jobs,
             obs_spans=args.obs,
+            lease_s=args.lease,
         )
         print(
             f"done {counts['done']}, failed {counts['failed']}, "
@@ -596,15 +721,43 @@ def _cmd_lab(args) -> int:
         print(format_summary(summarize(telemetry)))
         return 0 if counts["failed"] == 0 and counts["pending"] == 0 else 1
 
+    if args.lab_command == "serve":
+        server = LabServer(
+            db,
+            host=args.host,
+            port=args.port,
+            token=_lab_token(args),
+            lease_s=args.lease,
+        )
+        auth = "token required" if server.token else "no auth"
+        print(f"serving {db} on {server.url} ({auth}, "
+              f"lease {server.store.lease_s:.0f}s); Ctrl-C to stop")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+        return 0
+
     if args.lab_command == "status":
-        store = JobStore(db)
+        store = _lab_store(args)
+        scope = f"run {args.run}" if args.run is not None else "all runs"
+        where = args.server if args.server else db
+        if args.watch:
+            print(f"{where} ({scope}): watching")
+            watch_status(
+                lambda: store.counts(args.run),
+                interval_s=args.interval,
+                max_refreshes=args.refreshes,
+            )
+            return 0
         counts = store.counts(args.run)
         total = sum(counts.values())
-        scope = f"run {args.run}" if args.run is not None else "all runs"
-        print(f"{db} ({scope}): {total} jobs")
+        print(f"{where} ({scope}): {total} jobs")
         for status, n in counts.items():
             print(f"  {status:8s} {n}")
-        if telemetry.exists():
+        if not args.server and telemetry.exists():
             print(format_summary(summarize(telemetry)))
         return 0
 
@@ -616,11 +769,14 @@ def _cmd_lab(args) -> int:
         return 0
 
     if args.lab_command == "export":
-        store = JobStore(db)
+        store = _lab_store(args)
         rows = store.results(args.run)
         if args.drop_timing:
+            # wall_s and attempt are run history, not results: dropping
+            # them makes exports byte-identical across reruns, retries
+            # and local-vs-distributed execution of the same grid.
             rows = [
-                {k: v for k, v in row.items() if k != "wall_s"}
+                {k: v for k, v in row.items() if k not in ("wall_s", "attempt")}
                 for row in rows
             ]
         if args.with_spans:
@@ -664,6 +820,10 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return handlers[args.command](args)
     except UnknownNameError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except StoreConnectionError as exc:
+        # Bad or unreachable --server targets: same one-line convention.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except KeyError as exc:

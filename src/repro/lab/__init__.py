@@ -1,23 +1,39 @@
 """Experiment orchestration: durable sweeps over the paper pipeline.
 
-``repro.lab`` turns the in-process bench layer into a resumable
-experiment service with four pieces:
+``repro.lab`` turns the in-process bench layer into a resumable —
+and distributable — experiment service:
 
 * :mod:`~repro.lab.grid` — the sweep specification
   (:class:`ExperimentGrid` → :class:`JobSpec` cells);
-* :mod:`~repro.lab.store` — a SQLite job queue with atomic claims,
-  bounded retry with exponential backoff, and orphan reclaim;
+* :mod:`~repro.lab.backends` — the :class:`JobStoreBackend` contract
+  (claim / heartbeat / complete / fail / reclaim + inspection) and the
+  :func:`open_backend` target resolver;
+* :mod:`~repro.lab.store` — the local SQLite backend: atomic claims,
+  bounded retry with exponential backoff, heartbeat-lease recovery;
+* :mod:`~repro.lab.server` / :mod:`~repro.lab.http_store` — the
+  ``lab serve`` HTTP job server and its client backend, which let
+  workers on any host drain the same queue;
 * :mod:`~repro.lab.artifacts` — a content-addressed cache of meshes,
-  permutations and simulated results shared by all workers;
+  permutations and simulated results shared by all workers on a host;
 * :mod:`~repro.lab.worker` — the multi-process pool that drains the
   queue, plus :mod:`~repro.lab.telemetry` (JSONL event stream and its
-  aggregator).
+  aggregator) and :mod:`~repro.lab.monitor` (the live ``status
+  --watch`` view).
 
-CLI surface: ``repro-lms lab init|run|status|reset|export``.
+CLI surface: ``repro-lms lab init|run|serve|work|status|reset|export``.
 """
 
 from .artifacts import ArtifactCache, cache_key
+from .backends import (
+    DEFAULT_LEASE_S,
+    JobStoreBackend,
+    STORE_BACKENDS,
+    open_backend,
+)
 from .grid import ExperimentGrid, JobSpec, UnknownNameError, validate_names
+from .http_store import HttpJobStore, StoreConnectionError
+from .monitor import format_watch_line, watch_status
+from .server import LabServer, PROTOCOL_VERSION
 from .store import Job, JobStore, STATUSES
 from .telemetry import TelemetryWriter, format_summary, read_events, summarize
 from .worker import (
@@ -30,21 +46,31 @@ from .worker import (
 
 __all__ = [
     "ArtifactCache",
+    "DEFAULT_LEASE_S",
     "EXPERIMENT_RUNNERS",
     "ExperimentGrid",
+    "HttpJobStore",
     "Job",
     "JobSpec",
     "JobStore",
+    "JobStoreBackend",
     "JobTimeout",
+    "LabServer",
+    "PROTOCOL_VERSION",
     "STATUSES",
+    "STORE_BACKENDS",
+    "StoreConnectionError",
     "TelemetryWriter",
     "UnknownNameError",
     "cache_key",
     "execute_job",
     "format_summary",
+    "format_watch_line",
+    "open_backend",
     "read_events",
     "run_pool",
     "summarize",
     "validate_names",
+    "watch_status",
     "worker_loop",
 ]

@@ -1,0 +1,222 @@
+"""Pluggable job-store backends: the contract every store speaks.
+
+:class:`JobStoreBackend` is the interface extracted from the original
+SQLite-only ``lab/store.py``: everything the grid expander, the worker
+pool and the CLI need from a store — create/claim/heartbeat/complete/
+fail/reclaim plus the inspection calls behind ``lab status`` and
+``lab export``.  Two backends implement it:
+
+* :class:`repro.lab.store.JobStore` — the local SQLite file (WAL mode,
+  ``BEGIN IMMEDIATE`` claims), unchanged semantics;
+* :class:`repro.lab.http_store.HttpJobStore` — a thin JSON-over-HTTP
+  client for a ``repro-lms lab serve`` job server, which lets workers on
+  any host drain the same queue.
+
+Liveness is heartbeat-lease based everywhere: a claim carries a lease
+(``lease_expires = now + lease_s``), workers extend it with
+:meth:`~JobStoreBackend.heartbeat` while a job executes, and
+:meth:`~JobStoreBackend.reclaim_expired` re-queues running jobs whose
+lease lapsed.  Unlike the earlier pid-probing reclaim this works across
+hosts, where owner pids are meaningless.
+
+:func:`open_backend` maps a *store target* — a filesystem path,
+``sqlite://<path>`` or ``http(s)://host:port`` — onto the right backend;
+unknown schemes raise :class:`repro.config.UnknownNameError` so the CLI
+can exit 2 with the usual one-line "valid store backends: ..." message.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from ..config import UnknownNameError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .store import Job
+
+__all__ = [
+    "DEFAULT_LEASE_S",
+    "JobStoreBackend",
+    "STORE_BACKENDS",
+    "open_backend",
+]
+
+#: Default claim-lease duration.  Workers heartbeat at a fraction of
+#: this, so a SIGKILLed worker's jobs become reclaimable after at most
+#: one lease period.
+DEFAULT_LEASE_S = 30.0
+
+
+class JobStoreBackend(ABC):
+    """The store contract shared by the SQLite and HTTP backends.
+
+    All mutating calls accept an optional ``now`` timestamp so tests
+    (and the backend-conformance suite) can drive lease and backoff
+    logic deterministically; production callers leave it ``None``.
+    """
+
+    # -- run / job creation ---------------------------------------------
+    @abstractmethod
+    def create_run(
+        self,
+        grid: dict,
+        specs: Iterable[tuple[str, dict]],
+        *,
+        max_attempts: int = 3,
+        now: float | None = None,
+    ) -> tuple[int, int]:
+        """Insert a run and its expanded ``(key, spec)`` jobs; returns
+        ``(run_id, jobs_inserted)``.  Duplicate keys within a run are
+        ignored."""
+
+    @abstractmethod
+    def latest_run_id(self) -> int | None:
+        """The most recently created run id (or ``None``)."""
+
+    @abstractmethod
+    def run_grid(self, run_id: int) -> dict | None:
+        """The grid dict a run was created from (or ``None``)."""
+
+    # -- claim / heartbeat / complete / fail ----------------------------
+    @abstractmethod
+    def claim(self, worker_id: str, *, now: float | None = None) -> "Job | None":
+        """Atomically claim one runnable pending job under a fresh
+        lease, or return ``None`` if nothing is claimable."""
+
+    @abstractmethod
+    def heartbeat(
+        self, job_id: int, worker_id: str, *, now: float | None = None
+    ) -> bool:
+        """Extend the lease on a running job still owned by
+        ``worker_id``.  Returns ``False`` when the lease was lost (the
+        job was reclaimed or finished elsewhere) — the worker should
+        abandon the job without reporting."""
+
+    @abstractmethod
+    def complete(
+        self,
+        job_id: int,
+        result: dict,
+        *,
+        wall_s: float,
+        worker_id: str | None = None,
+        now: float | None = None,
+    ) -> bool:
+        """Mark a running job done.  With ``worker_id`` the write only
+        lands if that worker still owns the job, so a reclaimed job can
+        never produce a duplicate result row.  Returns ``False`` if the
+        job was not running (or owned by someone else)."""
+
+    @abstractmethod
+    def fail(
+        self,
+        job_id: int,
+        error: str,
+        *,
+        retry_base_s: float = 1.0,
+        worker_id: str | None = None,
+        now: float | None = None,
+    ) -> str:
+        """Record a failure: re-queue with exponential backoff or mark
+        ``failed`` once attempts are exhausted.  Returns the new status
+        (``"pending"``/``"failed"``, or ``"missing"``/``"stale"`` when
+        the job vanished or is no longer owned)."""
+
+    # -- recovery --------------------------------------------------------
+    @abstractmethod
+    def reclaim_expired(self, *, now: float | None = None) -> int:
+        """Re-queue running jobs whose lease has lapsed (their worker
+        stopped heartbeating — crashed, SIGKILLed, or unreachable).
+        Returns the number reclaimed; spent attempts stay counted."""
+
+    @abstractmethod
+    def reset(
+        self,
+        *,
+        statuses: tuple[str, ...] = ("failed",),
+        run_id: int | None = None,
+        now: float | None = None,
+    ) -> int:
+        """Flip jobs in ``statuses`` back to pending with a fresh
+        attempt budget; returns the number re-queued."""
+
+    # -- inspection ------------------------------------------------------
+    @abstractmethod
+    def get(self, job_id: int) -> "Job | None":
+        """One job by id (or ``None``)."""
+
+    @abstractmethod
+    def counts(self, run_id: int | None = None) -> dict[str, int]:
+        """``{status: count}`` over all four statuses."""
+
+    @abstractmethod
+    def pending_runnable(self, *, now: float | None = None) -> int:
+        """Pending jobs whose backoff has elapsed (claimable now)."""
+
+    @abstractmethod
+    def next_not_before(self) -> float | None:
+        """Earliest ``not_before`` among pending jobs (backoff waits)."""
+
+    @abstractmethod
+    def results(self, run_id: int | None = None) -> list[dict]:
+        """Flat result rows for every done job, in job-id order."""
+
+    @abstractmethod
+    def jobs(self, run_id: int | None = None) -> "list[Job]":
+        """All job rows (optionally for one run), in id order."""
+
+    # -- lifecycle -------------------------------------------------------
+    @abstractmethod
+    def close(self) -> None:
+        """Release connections; the backend may be reopened lazily."""
+
+    def ping(self) -> bool:
+        """Cheap reachability probe (HTTP round-trip / SQLite open)."""
+        self.counts()
+        return True
+
+
+def _split_target(target: str) -> tuple[str | None, str]:
+    """``("http", "http://h:p")`` / ``("sqlite", "path")`` / ``(None, path)``."""
+    if "://" not in target:
+        return None, target
+    scheme, _, rest = target.partition("://")
+    if scheme == "sqlite":
+        return "sqlite", rest
+    return scheme, target
+
+
+def open_backend(
+    target: str | Path,
+    *,
+    lease_s: float = DEFAULT_LEASE_S,
+    token: str | None = None,
+    timeout_s: float = 10.0,
+    retries: int = 3,
+) -> JobStoreBackend:
+    """Open the job-store backend a *target* names.
+
+    ``target`` is a SQLite path (``lab.db`` / ``sqlite:///runs/lab.db``)
+    or a job-server URL (``http://host:8642``).  ``lease_s`` applies to
+    the SQLite backend (the HTTP server owns lease policy for its
+    clients); ``token``/``timeout_s``/``retries`` apply to HTTP.
+    """
+    from .http_store import HttpJobStore
+    from .store import JobStore
+
+    if isinstance(target, Path):
+        return JobStore(target, lease_s=lease_s)
+    scheme, rest = _split_target(str(target))
+    if scheme is None or scheme == "sqlite":
+        return JobStore(rest, lease_s=lease_s)
+    if scheme in ("http", "https"):
+        return HttpJobStore(
+            rest, token=token, timeout_s=timeout_s, retries=retries
+        )
+    raise UnknownNameError("store backend", scheme, list(STORE_BACKENDS))
+
+
+#: Backend names :func:`open_backend` accepts as URL schemes.
+STORE_BACKENDS = ("sqlite", "http", "https")

@@ -1,0 +1,267 @@
+"""HTTP client backend: a remote job store behind ``lab serve``.
+
+:class:`HttpJobStore` implements the full
+:class:`repro.lab.backends.JobStoreBackend` contract by calling the
+JSON endpoints of a :class:`repro.lab.server.LabServer`, so the worker
+pool (and ``lab status`` / ``lab export``) run unchanged on any host
+pointed at a server URL.  Built on :mod:`urllib.request` only — no new
+dependencies.
+
+Transport policy: every call has a request timeout and is retried with
+exponential backoff on connection errors, timeouts and 5xx responses
+(4xx responses are protocol errors and raise immediately — retrying a
+rejected request cannot help).  When retries are exhausted the call
+raises :class:`StoreConnectionError`, which the CLI turns into a
+one-line message and exit status 2.  Claims and completions are safe to
+retry because the server's store is idempotent where it matters: a
+retried ``complete`` whose first attempt actually landed is rejected by
+the owner check rather than duplicating a row.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Iterable
+from urllib.parse import urlencode
+
+from .backends import JobStoreBackend
+from .store import Job, STATUSES
+
+__all__ = ["HttpJobStore", "StoreConnectionError"]
+
+
+class StoreConnectionError(RuntimeError):
+    """The job server could not be reached (after retries) or answered
+    with a non-JSON/unexpected payload.  The CLI maps this to exit 2."""
+
+
+class HttpJobStore(JobStoreBackend):
+    """JSON-over-HTTP :class:`JobStoreBackend` for a ``lab serve`` URL."""
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        token: str | None = None,
+        timeout_s: float = 10.0,
+        retries: int = 3,
+        backoff_s: float = 0.2,
+    ):
+        self.url = url.rstrip("/")
+        self.token = token
+        self.timeout_s = float(timeout_s)
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+
+    # -- transport -------------------------------------------------------
+    def _request(
+        self,
+        endpoint: str,
+        *,
+        body: dict | None = None,
+        query: dict | None = None,
+    ) -> dict:
+        """One endpoint call with bounded retry.
+
+        ``body`` selects POST (mutations), ``query`` GET (inspection).
+        """
+        url = f"{self.url}/api/{endpoint}"
+        if query:
+            params = {k: v for k, v in query.items() if v is not None}
+            if params:
+                url += "?" + urlencode(params)
+        data = None
+        if body is not None:
+            data = json.dumps(
+                {k: v for k, v in body.items() if v is not None}
+            ).encode()
+        headers = {"Content-Type": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.backoff_s * 2 ** (attempt - 1))
+            request = urllib.request.Request(url, data=data, headers=headers)
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout_s
+                ) as response:
+                    return json.loads(response.read())
+            except urllib.error.HTTPError as exc:
+                if exc.code < 500:
+                    # Protocol-level rejection (auth, bad request):
+                    # retrying the same request cannot succeed.
+                    detail = _error_detail(exc)
+                    raise StoreConnectionError(
+                        f"job server at {self.url} rejected "
+                        f"{endpoint!r}: {detail}"
+                    ) from exc
+                last_error = exc
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+                last_error = exc
+            except json.JSONDecodeError as exc:
+                last_error = exc
+        raise StoreConnectionError(
+            f"job server unreachable at {self.url} "
+            f"(after {self.retries + 1} attempts): {last_error}"
+        ) from last_error
+
+    def ping(self) -> bool:
+        """Round-trip ``/api/ping`` and verify the protocol version."""
+        from .server import PROTOCOL_VERSION
+
+        reply = self._request("ping", query={})
+        if reply.get("protocol") != PROTOCOL_VERSION:
+            raise StoreConnectionError(
+                f"job server at {self.url} speaks protocol "
+                f"{reply.get('protocol')!r}, client expects {PROTOCOL_VERSION}"
+            )
+        return True
+
+    # -- run / job creation ---------------------------------------------
+    def create_run(
+        self,
+        grid: dict,
+        specs: Iterable[tuple[str, dict]],
+        *,
+        max_attempts: int = 3,
+        now: float | None = None,
+    ) -> tuple[int, int]:
+        reply = self._request(
+            "create_run",
+            body={
+                "grid": grid,
+                "specs": [[key, spec] for key, spec in specs],
+                "max_attempts": max_attempts,
+                "now": now,
+            },
+        )
+        return int(reply["run_id"]), int(reply["inserted"])
+
+    def latest_run_id(self) -> int | None:
+        run_id = self._request("latest_run", query={}).get("run_id")
+        return int(run_id) if run_id is not None else None
+
+    def run_grid(self, run_id: int) -> dict | None:
+        return self._request("grid", query={"run": run_id}).get("grid")
+
+    # -- claim / heartbeat / complete / fail ----------------------------
+    def claim(self, worker_id: str, *, now: float | None = None) -> Job | None:
+        reply = self._request(
+            "claim", body={"worker_id": worker_id, "now": now}
+        )
+        wire = reply.get("job")
+        return Job.from_wire(wire) if wire is not None else None
+
+    def heartbeat(
+        self, job_id: int, worker_id: str, *, now: float | None = None
+    ) -> bool:
+        reply = self._request(
+            "heartbeat",
+            body={"job_id": job_id, "worker_id": worker_id, "now": now},
+        )
+        return bool(reply.get("ok"))
+
+    def complete(
+        self,
+        job_id: int,
+        result: dict,
+        *,
+        wall_s: float,
+        worker_id: str | None = None,
+        now: float | None = None,
+    ) -> bool:
+        reply = self._request(
+            "complete",
+            body={
+                "job_id": job_id,
+                "result": result,
+                "wall_s": wall_s,
+                "worker_id": worker_id,
+                "now": now,
+            },
+        )
+        return bool(reply.get("completed"))
+
+    def fail(
+        self,
+        job_id: int,
+        error: str,
+        *,
+        retry_base_s: float = 1.0,
+        worker_id: str | None = None,
+        now: float | None = None,
+    ) -> str:
+        reply = self._request(
+            "fail",
+            body={
+                "job_id": job_id,
+                "error": error,
+                "retry_base_s": retry_base_s,
+                "worker_id": worker_id,
+                "now": now,
+            },
+        )
+        return str(reply.get("status"))
+
+    # -- recovery --------------------------------------------------------
+    def reclaim_expired(self, *, now: float | None = None) -> int:
+        return int(self._request("reclaim", body={"now": now})["reclaimed"])
+
+    def reset(
+        self,
+        *,
+        statuses: tuple[str, ...] = ("failed",),
+        run_id: int | None = None,
+        now: float | None = None,
+    ) -> int:
+        reply = self._request(
+            "reset",
+            body={"statuses": list(statuses), "run_id": run_id, "now": now},
+        )
+        return int(reply["reset"])
+
+    # -- inspection ------------------------------------------------------
+    def get(self, job_id: int) -> Job | None:
+        wire = self._request("job", query={"id": job_id}).get("job")
+        return Job.from_wire(wire) if wire is not None else None
+
+    def counts(self, run_id: int | None = None) -> dict[str, int]:
+        reply = self.status(run_id)
+        counts = reply.get("counts", {})
+        return {status: int(counts.get(status, 0)) for status in STATUSES}
+
+    def status(self, run_id: int | None = None) -> dict:
+        """The server's full status payload (counts, queue, metrics)."""
+        return self._request("status", query={"run": run_id})
+
+    def pending_runnable(self, *, now: float | None = None) -> int:
+        return int(self.status().get("pending_runnable", 0))
+
+    def next_not_before(self) -> float | None:
+        value = self.status().get("next_not_before")
+        return float(value) if value is not None else None
+
+    def results(self, run_id: int | None = None) -> list[dict]:
+        return list(self._request("results", query={"run": run_id})["rows"])
+
+    def jobs(self, run_id: int | None = None) -> list[Job]:
+        wires = self._request("jobs", query={"run": run_id})["jobs"]
+        return [Job.from_wire(w) for w in wires]
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        pass  # connections are per-request; nothing to release.
+
+
+def _error_detail(exc: urllib.error.HTTPError) -> str:
+    """The server's JSON ``error`` field, or the bare HTTP status."""
+    try:
+        payload = json.loads(exc.read())
+        return f"{exc.code} {payload.get('error', '')}".strip()
+    except Exception:
+        return f"HTTP {exc.code}"

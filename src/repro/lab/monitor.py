@@ -1,0 +1,87 @@
+"""Live progress view: ``repro-lms lab status --watch``.
+
+:func:`watch_status` polls a counts source — a local store or a running
+job server, anything satisfying the
+:class:`repro.lab.backends.JobStoreBackend` counts contract — and
+prints one line per refresh with per-status counts, the observed
+completion throughput (rows/sec over a sliding window of samples, i.e.
+the same signal job telemetry carries), and the ETA that rate implies
+for the jobs still pending or running.  It exits on its own once the
+queue drains, so it can tail a fleet run unattended.
+
+The clock, sleeper and output stream are injectable for tests.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import deque
+from typing import Callable, TextIO
+
+__all__ = ["format_watch_line", "watch_status"]
+
+#: Sliding-window length (samples) for the throughput estimate.
+_WINDOW = 30
+
+
+def format_watch_line(
+    counts: dict[str, int], rate: float | None, eta_s: float | None
+) -> str:
+    """One status line: counts, rows/sec and ETA (``-`` while unknown)."""
+    total = sum(counts.values())
+    done = counts.get("done", 0)
+    parts = [
+        f"{done}/{total} done",
+        f"{counts.get('running', 0)} running",
+        f"{counts.get('pending', 0)} pending",
+        f"{counts.get('failed', 0)} failed",
+        f"{rate:.2f} rows/s" if rate is not None else "- rows/s",
+    ]
+    if eta_s is None:
+        parts.append("ETA -")
+    else:
+        minutes, seconds = divmod(int(round(eta_s)), 60)
+        parts.append(f"ETA {minutes:d}:{seconds:02d}")
+    return " | ".join(parts)
+
+
+def watch_status(
+    fetch_counts: Callable[[], dict[str, int]],
+    *,
+    interval_s: float = 2.0,
+    max_refreshes: int | None = None,
+    out: TextIO | None = None,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+) -> dict[str, int]:
+    """Poll ``fetch_counts`` until the queue drains; returns the final
+    counts.
+
+    Throughput is the slope of finished jobs (done + failed) across the
+    sample window; ETA divides the outstanding jobs by it.  Both print
+    as ``-`` until two samples with progress exist.  ``max_refreshes``
+    bounds the loop for scripted/CI use.
+    """
+    out = sys.stdout if out is None else out
+    samples: deque[tuple[float, int]] = deque(maxlen=_WINDOW)
+    refreshes = 0
+    while True:
+        counts = fetch_counts()
+        finished = counts.get("done", 0) + counts.get("failed", 0)
+        outstanding = counts.get("pending", 0) + counts.get("running", 0)
+        samples.append((clock(), finished))
+        rate = eta_s = None
+        t0, n0 = samples[0]
+        t1, n1 = samples[-1]
+        if t1 > t0 and n1 > n0:
+            rate = (n1 - n0) / (t1 - t0)
+            eta_s = outstanding / rate
+        out.write(format_watch_line(counts, rate, eta_s) + "\n")
+        out.flush()
+        refreshes += 1
+        if outstanding == 0:
+            return counts
+        if max_refreshes is not None and refreshes >= max_refreshes:
+            return counts
+        sleep(interval_s)

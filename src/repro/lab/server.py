@@ -1,0 +1,358 @@
+"""HTTP job server: ``repro-lms lab serve`` — the fleet-facing store.
+
+A stdlib-only (:mod:`http.server`) threaded JSON-over-HTTP front end for
+a :class:`repro.lab.store.JobStore`, exposing the full
+:class:`repro.lab.backends.JobStoreBackend` contract so workers on any
+host can claim, heartbeat and report jobs with
+:class:`repro.lab.http_store.HttpJobStore`.
+
+Wire protocol (all JSON, ``POST /api/<verb>`` for mutations,
+``GET /api/<view>`` for inspection):
+
+==============  =====================================  =======================
+endpoint        request body / query                   response
+==============  =====================================  =======================
+claim           ``{worker_id, now?}``                  ``{job: Job|null}``
+heartbeat       ``{job_id, worker_id, now?}``          ``{ok: bool}``
+complete        ``{job_id, result, wall_s,             ``{completed: bool}``
+                worker_id?, now?}``
+fail            ``{job_id, error, retry_base_s?,       ``{status: str}``
+                worker_id?, now?}``
+create_run      ``{grid, specs, max_attempts?, now?}`` ``{run_id, inserted}``
+reclaim         ``{now?}``                             ``{reclaimed: int}``
+reset           ``{statuses?, run_id?, now?}``         ``{reset: int}``
+ping            —                                      ``{ok, server, protocol}``
+status          ``?run=N``                             counts + queue + metrics
+results         ``?run=N``                             ``{rows: [...]}``
+jobs / job      ``?run=N`` / ``?id=N``                 wire jobs
+grid / latest   ``?run=N`` / —                         run provenance
+==============  =====================================  =======================
+
+``Job`` values travel as :meth:`repro.lab.store.Job.as_wire` dicts, and
+the optional ``now`` timestamps are the same determinism hooks the
+backend contract exposes for tests.  Authentication is a shared bearer
+token (``Authorization: Bearer <token>``) checked on every endpoint
+except ``ping``; run the server without a token only on trusted
+networks.  Every request is counted and timed into a
+:class:`repro.obs.MetricsRegistry` (``lab.server.requests.<endpoint>``
+counters, a ``lab.server.latency_ms`` histogram) surfaced under
+``metrics`` in the ``status`` response.
+
+Liveness is server-driven: expired leases are reclaimed lazily before
+claims (at most every ``lease_s / 2``), so a SIGKILLed remote worker's
+jobs re-queue without any worker-side cooperation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from ..obs import MetricsRegistry
+from .backends import DEFAULT_LEASE_S
+from .store import Job, JobStore
+
+__all__ = ["LabServer", "PROTOCOL_VERSION"]
+
+#: Bumped whenever the wire schema changes incompatibly; clients check
+#: it against the ``ping`` response.
+PROTOCOL_VERSION = 1
+
+#: Millisecond latency buckets for the request histogram (sub-ms to 4s).
+_LATENCY_EDGES_MS = (0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
+
+
+class _ApiError(Exception):
+    """An error response with an HTTP status code."""
+
+    def __init__(self, code: int, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+class LabServer:
+    """Threaded HTTP front end serving one SQLite job store.
+
+    The store connection is shared across request threads behind a
+    lock (SQLite serialises writes anyway, and every operation is a
+    short transaction), which keeps the server a single process with a
+    single WAL file — the same durability story as local runs.
+    """
+
+    def __init__(
+        self,
+        db_path: str | Path,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        token: str | None = None,
+        lease_s: float = DEFAULT_LEASE_S,
+    ):
+        self.store = JobStore(db_path, lease_s=lease_s, cross_thread=True)
+        self.token = token
+        self.metrics = MetricsRegistry()
+        self.started_at = time.time()
+        self._lock = threading.Lock()
+        self._reclaim_every = max(lease_s / 2.0, 0.25)
+        self._next_reclaim = 0.0
+        handler = type("_BoundLabHandler", (_LabHandler,), {"lab": self})
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` → ephemeral)."""
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`shutdown`."""
+        self.httpd.serve_forever(poll_interval=0.1)
+
+    def start_background(self) -> "LabServer":
+        """Serve from a daemon thread (tests / embedded use); returns self."""
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop serving and close the store."""
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        with self._lock:
+            self.store.close()
+
+    # -- endpoint implementations (called under self._lock) -------------
+    def _maybe_reclaim(self, now: float | None) -> None:
+        """Lazily re-queue lapsed leases, at most every ``lease_s/2``."""
+        wall = time.time() if now is None else now
+        if wall >= self._next_reclaim:
+            reclaimed = self.store.reclaim_expired(now=now)
+            if reclaimed:
+                self.metrics.counter("lab.server.reclaimed").add(reclaimed)
+            self._next_reclaim = wall + self._reclaim_every
+
+    def _post_claim(self, body: dict) -> dict:
+        now = body.get("now")
+        self._maybe_reclaim(now)
+        job = self.store.claim(_require(body, "worker_id", str), now=now)
+        return {"job": job.as_wire() if job is not None else None}
+
+    def _post_heartbeat(self, body: dict) -> dict:
+        ok = self.store.heartbeat(
+            _require(body, "job_id", int),
+            _require(body, "worker_id", str),
+            now=body.get("now"),
+        )
+        return {"ok": ok}
+
+    def _post_complete(self, body: dict) -> dict:
+        completed = self.store.complete(
+            _require(body, "job_id", int),
+            _require(body, "result", dict),
+            wall_s=float(_require(body, "wall_s", (int, float))),
+            worker_id=body.get("worker_id"),
+            now=body.get("now"),
+        )
+        return {"completed": completed}
+
+    def _post_fail(self, body: dict) -> dict:
+        status = self.store.fail(
+            _require(body, "job_id", int),
+            _require(body, "error", str),
+            retry_base_s=float(body.get("retry_base_s", 1.0)),
+            worker_id=body.get("worker_id"),
+            now=body.get("now"),
+        )
+        return {"status": status}
+
+    def _post_create_run(self, body: dict) -> dict:
+        specs = _require(body, "specs", list)
+        run_id, inserted = self.store.create_run(
+            _require(body, "grid", dict),
+            [(key, spec) for key, spec in specs],
+            max_attempts=int(body.get("max_attempts", 3)),
+            now=body.get("now"),
+        )
+        return {"run_id": run_id, "inserted": inserted}
+
+    def _post_reclaim(self, body: dict) -> dict:
+        return {"reclaimed": self.store.reclaim_expired(now=body.get("now"))}
+
+    def _post_reset(self, body: dict) -> dict:
+        statuses = tuple(body.get("statuses", ("failed",)))
+        return {
+            "reset": self.store.reset(
+                statuses=statuses,
+                run_id=body.get("run_id"),
+                now=body.get("now"),
+            )
+        }
+
+    def _get_ping(self, query: dict) -> dict:
+        return {"ok": True, "server": "repro-lab", "protocol": PROTOCOL_VERSION}
+
+    def _get_status(self, query: dict) -> dict:
+        run_id = _query_int(query, "run")
+        self._maybe_reclaim(None)
+        return {
+            "counts": self.store.counts(run_id),
+            "pending_runnable": self.store.pending_runnable(),
+            "next_not_before": self.store.next_not_before(),
+            "latest_run": self.store.latest_run_id(),
+            "lease_s": self.store.lease_s,
+            "uptime_s": time.time() - self.started_at,
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def _get_results(self, query: dict) -> dict:
+        return {"rows": self.store.results(_query_int(query, "run"))}
+
+    def _get_jobs(self, query: dict) -> dict:
+        jobs = self.store.jobs(_query_int(query, "run"))
+        return {"jobs": [j.as_wire() for j in jobs]}
+
+    def _get_job(self, query: dict) -> dict:
+        job_id = _query_int(query, "id")
+        if job_id is None:
+            raise _ApiError(400, "missing query parameter 'id'")
+        job: Job | None = self.store.get(job_id)
+        return {"job": job.as_wire() if job is not None else None}
+
+    def _get_grid(self, query: dict) -> dict:
+        run_id = _query_int(query, "run")
+        if run_id is None:
+            raise _ApiError(400, "missing query parameter 'run'")
+        return {"grid": self.store.run_grid(run_id)}
+
+    def _get_latest_run(self, query: dict) -> dict:
+        return {"run_id": self.store.latest_run_id()}
+
+
+def _require(body: dict, field: str, types) -> Any:
+    value = body.get(field)
+    if value is None or not isinstance(value, types):
+        raise _ApiError(400, f"missing or invalid field {field!r}")
+    return value
+
+
+def _query_int(query: dict, name: str) -> int | None:
+    values = query.get(name)
+    if not values:
+        return None
+    try:
+        return int(values[0])
+    except ValueError:
+        raise _ApiError(400, f"query parameter {name!r} must be an integer")
+
+
+_POST_ROUTES = {
+    "claim": LabServer._post_claim,
+    "heartbeat": LabServer._post_heartbeat,
+    "complete": LabServer._post_complete,
+    "fail": LabServer._post_fail,
+    "create_run": LabServer._post_create_run,
+    "reclaim": LabServer._post_reclaim,
+    "reset": LabServer._post_reset,
+}
+
+_GET_ROUTES = {
+    "ping": LabServer._get_ping,
+    "status": LabServer._get_status,
+    "results": LabServer._get_results,
+    "jobs": LabServer._get_jobs,
+    "job": LabServer._get_job,
+    "grid": LabServer._get_grid,
+    "latest_run": LabServer._get_latest_run,
+}
+
+
+class _LabHandler(BaseHTTPRequestHandler):
+    """Routes ``/api/<name>`` onto the bound :class:`LabServer`."""
+
+    lab: LabServer  # bound via a subclass attribute per server
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # request logging would swamp worker polling; metrics cover it.
+
+    def _send_json(self, code: int, payload: dict) -> None:
+        blob = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _authorized(self, endpoint: str) -> bool:
+        if self.lab.token is None or endpoint == "ping":
+            return True
+        header = self.headers.get("Authorization", "")
+        return header == f"Bearer {self.lab.token}"
+
+    def _dispatch(self, routes: dict, payload_reader) -> None:
+        parsed = urlparse(self.path)
+        name = parsed.path.removeprefix("/api/")
+        route = routes.get(name) if parsed.path.startswith("/api/") else None
+        lab = self.lab
+        lab.metrics.counter(f"lab.server.requests.{name or 'unknown'}").add()
+        if route is None:
+            lab.metrics.counter("lab.server.errors").add()
+            self._send_json(404, {"error": f"unknown endpoint {parsed.path!r}"})
+            return
+        if not self._authorized(name):
+            lab.metrics.counter("lab.server.errors").add()
+            self._send_json(401, {"error": "missing or invalid bearer token"})
+            return
+        start = time.perf_counter()
+        try:
+            payload = payload_reader(parsed)
+            with lab._lock:
+                response = route(lab, payload)
+        except _ApiError as exc:
+            lab.metrics.counter("lab.server.errors").add()
+            self._send_json(exc.code, {"error": str(exc)})
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            lab.metrics.counter("lab.server.errors").add()
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        lab.metrics.histogram(
+            "lab.server.latency_ms", _LATENCY_EDGES_MS
+        ).observe_one((time.perf_counter() - start) * 1e3)
+        self._send_json(200, response)
+
+    def _read_body(self, parsed) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            body = json.loads(raw or b"{}")
+        except json.JSONDecodeError:
+            raise _ApiError(400, "request body is not valid JSON")
+        if not isinstance(body, dict):
+            raise _ApiError(400, "request body must be a JSON object")
+        return body
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch(_POST_ROUTES, self._read_body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch(_GET_ROUTES, lambda parsed: parse_qs(parsed.query))

@@ -1,4 +1,4 @@
-"""SQLite-backed job store for experiment orchestration.
+"""SQLite-backed job store: the local :class:`JobStoreBackend`.
 
 The store is the durable heart of :mod:`repro.lab`: an experiment grid
 is expanded once into job rows, and any number of worker processes then
@@ -9,28 +9,37 @@ crash-recovery lives in the database:
   provenance and re-expansion);
 * ``jobs`` — one row per grid cell with ``status`` (``pending`` →
   ``running`` → ``done``/``failed``), ``owner`` (worker id,
-  ``<pid>:<seq>``), ``attempt``/``max_attempts`` and a ``not_before``
-  timestamp implementing exponential backoff between retries.
+  ``<host>:<pid>:<seq>``), ``attempt``/``max_attempts``, a
+  ``not_before`` timestamp implementing exponential backoff between
+  retries, and ``lease_expires`` implementing heartbeat liveness.
 
 Concurrency model: every worker opens its own connection (WAL mode,
 generous busy timeout) and claims jobs inside a ``BEGIN IMMEDIATE``
-transaction, so exactly one worker wins each pending row.  A worker
-killed mid-job leaves the row ``running`` with a dead owner pid;
-:meth:`JobStore.reclaim_dead` flips such rows back to ``pending`` at the
-start of the next ``lab run``, which is what makes an interrupted run
-resumable with the same command and no duplicated result rows (job
-identity is enforced by a ``UNIQUE(run_id, key)`` constraint).
+transaction, so exactly one worker wins each pending row.  A claim
+grants a lease (``lease_expires = now + lease_s``) that the worker
+extends via :meth:`JobStore.heartbeat` while the job executes; a worker
+killed mid-job simply stops heartbeating, and
+:meth:`JobStore.reclaim_expired` flips its lapsed rows back to
+``pending``.  Leases replace the earlier pid-probing reclaim, which
+assumed owner pids were local and therefore broke the moment workers
+ran on another host (a live remote worker could be "reclaimed" because
+its pid did not exist here, and a dead remote worker could be kept
+forever because its pid happened to match a local process).  Duplicate
+result rows are impossible twice over: job identity is enforced by a
+``UNIQUE(run_id, key)`` constraint, and completions are owner-checked
+so a reclaimed job's original worker cannot report late.
 """
 
 from __future__ import annotations
 
 import json
-import os
 import sqlite3
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Iterable
+
+from .backends import DEFAULT_LEASE_S, JobStoreBackend
 
 __all__ = ["Job", "JobStore", "STATUSES"]
 
@@ -43,20 +52,21 @@ CREATE TABLE IF NOT EXISTS runs (
     grid    TEXT NOT NULL
 );
 CREATE TABLE IF NOT EXISTS jobs (
-    id           INTEGER PRIMARY KEY AUTOINCREMENT,
-    run_id       INTEGER NOT NULL REFERENCES runs(id),
-    key          TEXT NOT NULL,
-    spec         TEXT NOT NULL,
-    status       TEXT NOT NULL DEFAULT 'pending',
-    owner        TEXT,
-    attempt      INTEGER NOT NULL DEFAULT 0,
-    max_attempts INTEGER NOT NULL DEFAULT 3,
-    not_before   REAL NOT NULL DEFAULT 0,
-    claimed_at   REAL,
-    finished_at  REAL,
-    wall_s       REAL,
-    result       TEXT,
-    error        TEXT,
+    id            INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id        INTEGER NOT NULL REFERENCES runs(id),
+    key           TEXT NOT NULL,
+    spec          TEXT NOT NULL,
+    status        TEXT NOT NULL DEFAULT 'pending',
+    owner         TEXT,
+    attempt       INTEGER NOT NULL DEFAULT 0,
+    max_attempts  INTEGER NOT NULL DEFAULT 3,
+    not_before    REAL NOT NULL DEFAULT 0,
+    lease_expires REAL NOT NULL DEFAULT 0,
+    claimed_at    REAL,
+    finished_at   REAL,
+    wall_s        REAL,
+    result        TEXT,
+    error         TEXT,
     UNIQUE (run_id, key)
 );
 CREATE INDEX IF NOT EXISTS jobs_status ON jobs (status, not_before);
@@ -89,22 +99,44 @@ class Job:
             max_attempts=row["max_attempts"],
         )
 
+    # -- wire form (the HTTP backend ships jobs as plain dicts) ---------
+    def as_wire(self) -> dict:
+        """JSON-safe dict form, inverse of :meth:`from_wire`."""
+        return asdict(self)
 
-def _pid_alive(pid: int) -> bool:
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except PermissionError:  # pragma: no cover - exists but not ours
-        return True
-    return True
+    @classmethod
+    def from_wire(cls, data: dict) -> "Job":
+        """Rebuild a job from its :meth:`as_wire` dict."""
+        return cls(
+            id=int(data["id"]),
+            run_id=int(data["run_id"]),
+            key=data["key"],
+            spec=dict(data["spec"]),
+            status=data["status"],
+            owner=data.get("owner"),
+            attempt=int(data["attempt"]),
+            max_attempts=int(data["max_attempts"]),
+        )
 
 
-class JobStore:
-    """Durable multi-process job queue over a single SQLite file."""
+class JobStore(JobStoreBackend):
+    """Durable multi-process job queue over a single SQLite file.
 
-    def __init__(self, path: str | Path):
+    ``lease_s`` is the claim-lease duration; ``cross_thread=True`` opens
+    the connection with ``check_same_thread=False`` for callers that
+    serialise access themselves (the HTTP job server).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        lease_s: float = DEFAULT_LEASE_S,
+        cross_thread: bool = False,
+    ):
         self.path = Path(path)
+        self.lease_s = float(lease_s)
+        self._cross_thread = cross_thread
         self._conn: sqlite3.Connection | None = None
 
     # -- connection management ------------------------------------------
@@ -112,12 +144,25 @@ class JobStore:
     def conn(self) -> sqlite3.Connection:
         if self._conn is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            conn = sqlite3.connect(self.path, timeout=30.0)
+            conn = sqlite3.connect(
+                self.path,
+                timeout=30.0,
+                check_same_thread=not self._cross_thread,
+            )
             conn.row_factory = sqlite3.Row
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA busy_timeout=30000")
             conn.execute("PRAGMA synchronous=NORMAL")
             conn.executescript(_SCHEMA)
+            cols = {
+                row["name"]
+                for row in conn.execute("PRAGMA table_info(jobs)")
+            }
+            if "lease_expires" not in cols:  # pre-lease databases
+                conn.execute(
+                    "ALTER TABLE jobs ADD COLUMN "
+                    "lease_expires REAL NOT NULL DEFAULT 0"
+                )
             conn.commit()
             self._conn = conn
         return self._conn
@@ -171,12 +216,13 @@ class JobStore:
         ).fetchone()
         return json.loads(row["grid"]) if row else None
 
-    # -- claim / complete / fail ----------------------------------------
+    # -- claim / heartbeat / complete / fail ----------------------------
     def claim(self, worker_id: str, *, now: float | None = None) -> Job | None:
         """Atomically claim one runnable pending job (or return ``None``).
 
         ``BEGIN IMMEDIATE`` takes the database write lock up front, so
-        two workers can never claim the same row.
+        two workers can never claim the same row.  The claim carries a
+        lease of ``lease_s`` seconds that :meth:`heartbeat` extends.
         """
         now = time.time() if now is None else now
         conn = self.conn
@@ -192,8 +238,9 @@ class JobStore:
                 return None
             conn.execute(
                 "UPDATE jobs SET status = 'running', owner = ?, "
-                "attempt = attempt + 1, claimed_at = ? WHERE id = ?",
-                (worker_id, now, row["id"]),
+                "attempt = attempt + 1, claimed_at = ?, lease_expires = ? "
+                "WHERE id = ?",
+                (worker_id, now, now + self.lease_s, row["id"]),
             )
             conn.execute("COMMIT")
         except sqlite3.OperationalError:
@@ -206,24 +253,52 @@ class JobStore:
         assert claimed is not None
         return claimed
 
+    def heartbeat(
+        self, job_id: int, worker_id: str, *, now: float | None = None
+    ) -> bool:
+        """Extend the lease on a job this worker still owns.
+
+        Returns ``False`` when the lease was lost — the job was
+        reclaimed (and possibly re-claimed by another worker) or already
+        finished — in which case the worker should abandon it.
+        """
+        now = time.time() if now is None else now
+        with self.conn as conn:
+            cur = conn.execute(
+                "UPDATE jobs SET lease_expires = ? "
+                "WHERE id = ? AND status = 'running' AND owner = ?",
+                (now + self.lease_s, job_id, worker_id),
+            )
+        return cur.rowcount == 1
+
     def complete(
         self,
         job_id: int,
         result: dict,
         *,
         wall_s: float,
+        worker_id: str | None = None,
         now: float | None = None,
     ) -> bool:
         """Mark a running job done; returns False if it was not running
-        (e.g. it was reclaimed from under a stalled worker)."""
+        (e.g. its lease expired and it was reclaimed).  With
+        ``worker_id`` the write additionally requires current ownership,
+        so a worker that lost its lease cannot overwrite the reclaimed
+        job's fresh attempt."""
         now = time.time() if now is None else now
+        sql = (
+            "UPDATE jobs SET status = 'done', result = ?, wall_s = ?, "
+            "finished_at = ?, error = NULL "
+            "WHERE id = ? AND status = 'running'"
+        )
+        params: list[Any] = [
+            json.dumps(result, sort_keys=True), wall_s, now, job_id,
+        ]
+        if worker_id is not None:
+            sql += " AND owner = ?"
+            params.append(worker_id)
         with self.conn as conn:
-            cur = conn.execute(
-                "UPDATE jobs SET status = 'done', result = ?, wall_s = ?, "
-                "finished_at = ?, error = NULL "
-                "WHERE id = ? AND status = 'running'",
-                (json.dumps(result, sort_keys=True), wall_s, now, job_id),
-            )
+            cur = conn.execute(sql, params)
         return cur.rowcount == 1
 
     def fail(
@@ -232,17 +307,25 @@ class JobStore:
         error: str,
         *,
         retry_base_s: float = 1.0,
+        worker_id: str | None = None,
         now: float | None = None,
     ) -> str:
         """Record a failure: retry with exponential backoff, or mark
-        ``failed`` once attempts are exhausted.  Returns the new status."""
+        ``failed`` once attempts are exhausted.  Returns the new status
+        (``"stale"`` when ``worker_id`` no longer owns the job)."""
         now = time.time() if now is None else now
         with self.conn as conn:
             row = conn.execute(
-                "SELECT attempt, max_attempts FROM jobs WHERE id = ?", (job_id,)
+                "SELECT attempt, max_attempts, status, owner FROM jobs "
+                "WHERE id = ?",
+                (job_id,),
             ).fetchone()
             if row is None:
                 return "missing"
+            if worker_id is not None and (
+                row["status"] != "running" or row["owner"] != worker_id
+            ):
+                return "stale"
             if row["attempt"] >= row["max_attempts"]:
                 status, not_before = "failed", now
             else:
@@ -256,34 +339,23 @@ class JobStore:
         return status
 
     # -- recovery --------------------------------------------------------
-    def reclaim_dead(self, *, now: float | None = None) -> int:
-        """Reset ``running`` jobs whose owner process no longer exists.
+    def reclaim_expired(self, *, now: float | None = None) -> int:
+        """Reset ``running`` jobs whose lease has lapsed.
 
-        The owner id is ``<pid>:<seq>``; a SIGKILLed worker leaves its
-        rows running forever, and this is what lets the next ``lab run``
-        pick them back up.  The attempt already spent stays counted.
+        A SIGKILLed (or unplugged) worker stops heartbeating, its leases
+        expire, and this flips its rows back to ``pending`` — which is
+        what lets any surviving worker, or the next ``lab run``, pick
+        them up.  The attempt already spent stays counted.  Works for
+        owners on any host, since it never inspects pids.
         """
         now = time.time() if now is None else now
-        conn = self.conn
-        rows = conn.execute(
-            "SELECT id, owner FROM jobs WHERE status = 'running'"
-        ).fetchall()
-        reclaimed = 0
-        with conn:
-            for row in rows:
-                owner = row["owner"] or ""
-                try:
-                    pid = int(owner.split(":", 1)[0])
-                except ValueError:
-                    pid = -1
-                if pid <= 0 or not _pid_alive(pid):
-                    conn.execute(
-                        "UPDATE jobs SET status = 'pending', owner = NULL, "
-                        "not_before = ? WHERE id = ? AND status = 'running'",
-                        (now, row["id"]),
-                    )
-                    reclaimed += 1
-        return reclaimed
+        with self.conn as conn:
+            cur = conn.execute(
+                "UPDATE jobs SET status = 'pending', owner = NULL, "
+                "not_before = ? WHERE status = 'running' AND lease_expires <= ?",
+                (now, now),
+            )
+        return cur.rowcount
 
     def reset(
         self,

@@ -1,13 +1,24 @@
-"""Worker pool: claim jobs from the store, execute, write results back.
+"""Worker pool: claim jobs from a store backend, execute, report back.
 
 Each worker is one OS process running :func:`worker_loop`: claim a
 pending job (atomically, via the store), execute it under a wall-clock
 timeout, and either write the result row or record a failure — failures
 re-queue with exponential backoff until ``max_attempts`` is exhausted.
-The pool (:func:`run_pool`) first reclaims jobs orphaned by killed
-workers, then spawns N processes and joins them; every process opens its
-own SQLite connection and telemetry append stream, so there is no shared
+The pool (:func:`run_pool`) first reclaims jobs whose lease lapsed,
+then spawns N processes and joins them; every process opens its own
+store connection and telemetry append stream, so there is no shared
 in-memory state to lose.
+
+The store is any :class:`repro.lab.backends.JobStoreBackend` *target* —
+a local SQLite path or a ``lab serve`` URL — so the same pool drains a
+local file and a remote fleet queue identically (``repro-lms lab work
+--server http://host:8642``).  While a job executes, a side thread
+extends its claim lease via :meth:`~JobStoreBackend.heartbeat`; a
+worker SIGKILLed mid-job simply stops heartbeating and the job
+re-queues on lease expiry, claimable by any surviving worker on any
+host.  Completions are owner-checked, so a worker that lost its lease
+(e.g. it stalled past the lease without heartbeating) cannot duplicate
+the reclaimed job's result row.
 
 Experiments are looked up in :data:`EXPERIMENT_RUNNERS`:
 
@@ -29,9 +40,11 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import signal
+import socket
 import threading
 import time
 import traceback
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable
 
@@ -45,8 +58,8 @@ from ..ordering import get_ordering
 from ..quality import DEFAULT_RANK_PASSES, global_quality, patch_quality, vertex_quality
 from ..smoothing import laplacian_smooth
 from .artifacts import ArtifactCache
+from .backends import DEFAULT_LEASE_S, JobStoreBackend, open_backend
 from .grid import JobSpec
-from .store import JobStore
 from .telemetry import TelemetryWriter
 
 __all__ = [
@@ -220,8 +233,56 @@ def execute_job(spec: JobSpec, cache: ArtifactCache, *, timeout_s: float = 0) ->
 # ---------------------------------------------------------------------------
 # Worker loop and pool
 # ---------------------------------------------------------------------------
+@contextmanager
+def _lease_heartbeat(
+    store: JobStoreBackend, job_id: int, worker_id: str, interval_s: float
+):
+    """Extend the job's lease from a side thread while the body runs.
+
+    Yields a ``lost`` event that is set if the store reports the lease
+    gone (the job was reclaimed); the worker then abandons the job
+    without reporting.  The thread uses its own ``store`` (passed in by
+    the caller) because SQLite connections are not thread-safe.
+    Transient heartbeat errors are swallowed: if the server is briefly
+    unreachable the lease may lapse, and the owner-checked ``complete``
+    is what keeps that safe.
+    """
+    stop = threading.Event()
+    lost = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(interval_s):
+            try:
+                if not store.heartbeat(job_id, worker_id):
+                    lost.set()
+                    return
+            except Exception:
+                pass
+
+    thread = threading.Thread(target=beat, daemon=True)
+    thread.start()
+    try:
+        yield lost
+    finally:
+        stop.set()
+        thread.join(timeout=1.0)
+
+
+def _heartbeat_interval(store: JobStoreBackend, heartbeat_s: float | None) -> float:
+    """A third of the store's lease (several beats per lease period)."""
+    if heartbeat_s is not None:
+        return max(heartbeat_s, 0.02)
+    lease = getattr(store, "lease_s", None)
+    if lease is None:
+        try:
+            lease = store.status().get("lease_s")  # HTTP backend
+        except Exception:
+            lease = None
+    return max(float(lease or DEFAULT_LEASE_S) / 3.0, 0.02)
+
+
 def worker_loop(
-    db_path: str | Path,
+    store_target: str | Path,
     cache_dir: str | Path,
     telemetry_path: str | Path | None,
     worker_seq: int = 0,
@@ -231,18 +292,27 @@ def worker_loop(
     max_jobs: int | None = None,
     poll_s: float = 0.05,
     obs_spans: bool = False,
+    lease_s: float = DEFAULT_LEASE_S,
+    token: str | None = None,
+    heartbeat_s: float | None = None,
 ) -> int:
     """Claim-and-execute until the queue drains; returns jobs completed.
 
     Runs as the body of each pool process, and inline (in-process) for
-    ``--workers 1`` and for tests.  With ``obs_spans``, every job runs
-    under a fresh :func:`repro.obs.capture` tracer and its span tree and
-    metrics snapshot are appended to the telemetry stream as a
+    ``--workers 1`` and for tests.  ``store_target`` is a SQLite path or
+    a job-server URL; ``lease_s`` applies to the local backend (the
+    server owns lease policy for remote workers) and ``token``
+    authenticates against a served store.  With ``obs_spans``, every job
+    runs under a fresh :func:`repro.obs.capture` tracer and its span
+    tree and metrics snapshot are appended to the telemetry stream as a
     ``job_spans`` event (joinable to rows by ``job_id``; see
     ``repro-lms lab export --with-spans``).
     """
-    worker_id = f"{os.getpid()}:{worker_seq}"
-    store = JobStore(db_path)
+    worker_id = f"{socket.gethostname()}:{os.getpid()}:{worker_seq}"
+    store = open_backend(store_target, lease_s=lease_s, token=token)
+    # The heartbeat thread gets its own backend connection.
+    hb_store = open_backend(store_target, lease_s=lease_s, token=token)
+    beat_s = _heartbeat_interval(store, heartbeat_s)
     cache = ArtifactCache(cache_dir)
     tel = TelemetryWriter(telemetry_path, worker=worker_id)
     tel.emit("worker_started")
@@ -254,8 +324,12 @@ def worker_loop(
                 counts = store.counts()
                 if counts["pending"] == 0 and counts["running"] == 0:
                     break  # queue drained
-                # Jobs are either backing off or running elsewhere (and
-                # may yet fail and re-queue): wait for whichever is next.
+                # Jobs are either backing off, or running elsewhere (and
+                # may yet fail, re-queue, or die and leave an expired
+                # lease): reclaim lapsed leases, then wait for whichever
+                # is next.
+                if counts["running"] and store.reclaim_expired():
+                    continue
                 next_at = store.next_not_before()
                 delay = poll_s
                 if counts["pending"] and next_at is not None:
@@ -268,64 +342,81 @@ def worker_loop(
             start = time.perf_counter()
             spans: list | None = None
             metrics_snapshot: dict | None = None
-            try:
-                if obs_spans:
-                    with obs.capture() as tracer:
-                        result = execute_job(
-                            spec, cache, timeout_s=job_timeout_s
-                        )
-                    spans = tracer.export()
-                    metrics_snapshot = tracer.metrics.snapshot()
-                else:
-                    result = execute_job(spec, cache, timeout_s=job_timeout_s)
-            except JobTimeout as exc:
-                tel.emit("job_timeout", job_id=job.id, error=str(exc))
-                status = store.fail(job.id, str(exc), retry_base_s=retry_base_s)
-                tel.emit(
-                    "job_failed",
-                    job_id=job.id,
-                    error=str(exc),
-                    will_retry=status == "pending",
-                )
-            except Exception as exc:
-                error = "".join(
-                    traceback.format_exception_only(type(exc), exc)
-                ).strip()
-                status = store.fail(job.id, error, retry_base_s=retry_base_s)
-                tel.emit(
-                    "job_failed",
-                    job_id=job.id,
-                    error=error,
-                    will_retry=status == "pending",
-                )
-            else:
-                wall = time.perf_counter() - start
-                hits1, misses1 = cache.snapshot()
-                if store.complete(job.id, result, wall_s=wall):
-                    completed += 1
-                    tel.emit(
-                        "job_done",
-                        job_id=job.id,
-                        experiment=spec.experiment,
-                        wall_s=wall,
-                        cache_hits=hits1 - hits0,
-                        cache_misses=misses1 - misses0,
-                    )
+            with _lease_heartbeat(hb_store, job.id, worker_id, beat_s) as lost:
+                try:
                     if obs_spans:
+                        with obs.capture() as tracer:
+                            result = execute_job(
+                                spec, cache, timeout_s=job_timeout_s
+                            )
+                        spans = tracer.export()
+                        metrics_snapshot = tracer.metrics.snapshot()
+                    else:
+                        result = execute_job(spec, cache, timeout_s=job_timeout_s)
+                except JobTimeout as exc:
+                    tel.emit("job_timeout", job_id=job.id, error=str(exc))
+                    status = store.fail(
+                        job.id, str(exc),
+                        retry_base_s=retry_base_s, worker_id=worker_id,
+                    )
+                    tel.emit(
+                        "job_failed",
+                        job_id=job.id,
+                        error=str(exc),
+                        will_retry=status == "pending",
+                    )
+                except Exception as exc:
+                    error = "".join(
+                        traceback.format_exception_only(type(exc), exc)
+                    ).strip()
+                    status = store.fail(
+                        job.id, error,
+                        retry_base_s=retry_base_s, worker_id=worker_id,
+                    )
+                    tel.emit(
+                        "job_failed",
+                        job_id=job.id,
+                        error=error,
+                        will_retry=status == "pending",
+                    )
+                else:
+                    wall = time.perf_counter() - start
+                    hits1, misses1 = cache.snapshot()
+                    if lost.is_set():
+                        # The lease lapsed and the job was reclaimed:
+                        # someone else owns (or already re-ran) it, so
+                        # this result must not be reported.
+                        tel.emit("job_lease_lost", job_id=job.id)
+                    elif store.complete(
+                        job.id, result, wall_s=wall, worker_id=worker_id
+                    ):
+                        completed += 1
                         tel.emit(
-                            "job_spans",
+                            "job_done",
                             job_id=job.id,
-                            spans=spans,
-                            metrics=metrics_snapshot,
+                            experiment=spec.experiment,
+                            wall_s=wall,
+                            cache_hits=hits1 - hits0,
+                            cache_misses=misses1 - misses0,
                         )
+                        if obs_spans:
+                            tel.emit(
+                                "job_spans",
+                                job_id=job.id,
+                                spans=spans,
+                                metrics=metrics_snapshot,
+                            )
+                    else:
+                        tel.emit("job_lease_lost", job_id=job.id)
     finally:
         tel.emit("worker_exit", completed=completed)
         store.close()
+        hb_store.close()
     return completed
 
 
 def run_pool(
-    db_path: str | Path,
+    store_target: str | Path,
     cache_dir: str | Path,
     telemetry_path: str | Path | None,
     *,
@@ -334,39 +425,42 @@ def run_pool(
     retry_base_s: float = 0.5,
     max_jobs: int | None = None,
     obs_spans: bool = False,
+    lease_s: float = DEFAULT_LEASE_S,
+    token: str | None = None,
+    heartbeat_s: float | None = None,
 ) -> dict[str, int]:
-    """Reclaim orphans, run ``workers`` processes to drain the queue, and
-    return the final status counts."""
-    store = JobStore(db_path)
-    reclaimed = store.reclaim_dead()
+    """Reclaim lapsed leases, run ``workers`` processes to drain the
+    queue, and return the final status counts.
+
+    ``store_target`` is a SQLite path (``lab run``) or a job-server URL
+    (``lab work --server``); worker processes each open their own
+    backend connection, so the pool body is identical either way.
+    """
+    store = open_backend(store_target, lease_s=lease_s, token=token)
+    reclaimed = store.reclaim_expired()
     TelemetryWriter(telemetry_path).emit(
         "run_started", workers=workers, reclaimed=reclaimed
     )
     # SQLite connections must not cross a fork: close before spawning.
     store.close()
 
+    worker_kwargs = {
+        "job_timeout_s": job_timeout_s,
+        "retry_base_s": retry_base_s,
+        "max_jobs": max_jobs,
+        "obs_spans": obs_spans,
+        "lease_s": lease_s,
+        "token": token,
+        "heartbeat_s": heartbeat_s,
+    }
     if workers <= 1:
-        worker_loop(
-            db_path,
-            cache_dir,
-            telemetry_path,
-            0,
-            job_timeout_s=job_timeout_s,
-            retry_base_s=retry_base_s,
-            max_jobs=max_jobs,
-            obs_spans=obs_spans,
-        )
+        worker_loop(store_target, cache_dir, telemetry_path, 0, **worker_kwargs)
     else:
         procs = [
             mp.Process(
                 target=worker_loop,
-                args=(db_path, cache_dir, telemetry_path, seq),
-                kwargs={
-                    "job_timeout_s": job_timeout_s,
-                    "retry_base_s": retry_base_s,
-                    "max_jobs": max_jobs,
-                    "obs_spans": obs_spans,
-                },
+                args=(store_target, cache_dir, telemetry_path, seq),
+                kwargs=worker_kwargs,
             )
             for seq in range(workers)
         ]

@@ -1,0 +1,218 @@
+"""Backend conformance: one suite, every ``JobStoreBackend``.
+
+The same contract tests run against the local SQLite backend and the
+HTTP backend (a live in-process :class:`LabServer` fronting its own
+SQLite file), so any wire-schema drift between client and server fails
+here rather than in a fleet.
+
+Fake ``now`` timestamps are placed in the *future* (wall clock + 1h):
+the server also reclaims lazily against real time, so a small fake
+timestamp would make a freshly claimed job look long-expired.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.lab import (
+    DEFAULT_LEASE_S,
+    HttpJobStore,
+    JobStore,
+    LabServer,
+    UnknownNameError,
+    open_backend,
+)
+
+TOKEN = "conformance-secret"
+
+
+@pytest.fixture(params=["sqlite", "http"])
+def backend(request, tmp_path):
+    if request.param == "sqlite":
+        store = JobStore(tmp_path / "lab.db")
+        yield store
+        store.close()
+    else:
+        server = LabServer(tmp_path / "lab.db", port=0, token=TOKEN)
+        server.start_background()
+        store = HttpJobStore(server.url, token=TOKEN)
+        yield store
+        store.close()
+        server.shutdown()
+
+
+@pytest.fixture
+def base():
+    """Future timestamp base for deterministic lease arithmetic."""
+    return time.time() + 3600.0
+
+
+def seed(backend, n=3, **kwargs):
+    specs = [(f"job-{i}", {"experiment": "pipeline", "i": i}) for i in range(n)]
+    return backend.create_run({"grid": True}, specs, **kwargs)
+
+
+class TestRuns:
+    def test_ping(self, backend):
+        assert backend.ping() is True
+
+    def test_create_run_counts_one_row_per_spec(self, backend):
+        run_id, inserted = seed(backend, 3)
+        assert inserted == 3
+        counts = backend.counts(run_id)
+        assert counts["pending"] == 3
+        assert counts["running"] == counts["done"] == counts["failed"] == 0
+
+    def test_duplicate_keys_within_a_run_are_ignored(self, backend):
+        specs = [("same", {"a": 1}), ("same", {"a": 1}), ("other", {"a": 2})]
+        _, inserted = backend.create_run({}, specs)
+        assert inserted == 2
+
+    def test_run_provenance_round_trips(self, backend):
+        run_id, _ = backend.create_run({"domains": ["ocean"]}, [("k", {})])
+        assert backend.latest_run_id() == run_id
+        assert backend.run_grid(run_id) == {"domains": ["ocean"]}
+        assert backend.run_grid(run_id + 999) is None
+
+
+class TestClaimReport:
+    def test_claim_complete_results(self, backend):
+        run_id, _ = seed(backend, 1)
+        job = backend.claim("w1")
+        assert job is not None
+        assert job.status == "running"
+        assert job.owner == "w1"
+        assert job.attempt == 1
+        assert backend.complete(job.id, {"score": 1.5}, wall_s=0.25)
+        rows = backend.results(run_id)
+        assert len(rows) == 1
+        assert rows[0]["score"] == 1.5
+        assert rows[0]["i"] == 0  # spec fields flatten into the row
+
+    def test_claims_are_disjoint_and_finite(self, backend):
+        seed(backend, 2)
+        a = backend.claim("w1")
+        b = backend.claim("w2")
+        assert a.id != b.id
+        assert backend.claim("w3") is None
+
+    def test_complete_is_single_shot(self, backend):
+        seed(backend, 1)
+        job = backend.claim("w1")
+        assert backend.complete(job.id, {}, wall_s=0.0)
+        assert not backend.complete(job.id, {}, wall_s=0.0)
+        assert len(backend.results()) == 1
+
+    def test_fail_requeues_with_backoff_then_exhausts(self, backend, base):
+        seed(backend, 1, max_attempts=2)
+        job = backend.claim("w1", now=base)
+        assert backend.fail(job.id, "e1", retry_base_s=60.0, now=base) == "pending"
+        # Backing off: counted pending but not claimable.
+        assert backend.counts()["pending"] == 1
+        assert backend.claim("w1", now=base) is None
+        assert backend.next_not_before() > base
+        job = backend.claim("w1", now=base + 1e6)
+        assert job.attempt == 2
+        assert backend.fail(job.id, "e2", now=base + 1e6) == "failed"
+        assert backend.counts()["failed"] == 1
+
+    def test_fail_on_a_missing_job_reports_missing(self, backend):
+        seed(backend, 1)
+        assert backend.fail(99999, "boom") == "missing"
+
+
+class TestLeases:
+    def test_heartbeat_extends_the_lease(self, backend, base):
+        seed(backend, 1)
+        job = backend.claim("w1", now=base)
+        assert backend.heartbeat(job.id, "w1", now=base + 10.0)
+        # The original lease would have lapsed; the heartbeat's has not.
+        assert backend.reclaim_expired(now=base + DEFAULT_LEASE_S + 5.0) == 0
+        assert (
+            backend.reclaim_expired(now=base + 10.0 + DEFAULT_LEASE_S + 1.0)
+            == 1
+        )
+        assert backend.get(job.id).status == "pending"
+
+    def test_heartbeat_from_a_non_owner_is_rejected(self, backend, base):
+        seed(backend, 1)
+        job = backend.claim("w1", now=base)
+        assert not backend.heartbeat(job.id, "w2", now=base + 1.0)
+
+    def test_reclaim_keeps_fresh_leases(self, backend, base):
+        seed(backend, 2)
+        stale = backend.claim("w1", now=base)
+        fresh = backend.claim("w2", now=base + DEFAULT_LEASE_S - 1.0)
+        assert backend.reclaim_expired(now=base + DEFAULT_LEASE_S + 0.5) == 1
+        assert backend.get(stale.id).status == "pending"
+        assert backend.get(fresh.id).status == "running"
+
+    def test_stale_owner_cannot_duplicate_a_result_row(self, backend, base):
+        seed(backend, 1)
+        job = backend.claim("w1", now=base)
+        backend.reclaim_expired(now=base + DEFAULT_LEASE_S + 1.0)
+        again = backend.claim("w2", now=base + DEFAULT_LEASE_S + 2.0)
+        assert again.id == job.id and again.attempt == 2
+        assert not backend.complete(
+            job.id, {"late": True}, wall_s=9.0, worker_id="w1"
+        )
+        assert backend.complete(
+            job.id, {"late": False}, wall_s=0.1, worker_id="w2"
+        )
+        rows = backend.results()
+        assert len(rows) == 1 and rows[0]["late"] is False
+
+    def test_stale_owner_fail_is_ignored(self, backend, base):
+        seed(backend, 1)
+        job = backend.claim("w1", now=base)
+        backend.reclaim_expired(now=base + DEFAULT_LEASE_S + 1.0)
+        backend.claim("w2", now=base + DEFAULT_LEASE_S + 2.0)
+        assert backend.fail(job.id, "late boom", worker_id="w1") == "stale"
+        assert backend.get(job.id).status == "running"
+
+
+class TestInspection:
+    def test_jobs_and_get_agree(self, backend):
+        run_id, _ = seed(backend, 2)
+        jobs = backend.jobs(run_id)
+        assert [j.key for j in jobs] == ["job-0", "job-1"]
+        first = backend.get(jobs[0].id)
+        assert first.key == jobs[0].key
+        assert first.spec == {"experiment": "pipeline", "i": 0}
+        assert backend.get(99999) is None
+
+    def test_reset_restores_attempt_budget(self, backend):
+        seed(backend, 1, max_attempts=1)
+        job = backend.claim("w1")
+        assert backend.fail(job.id, "boom") == "failed"
+        assert backend.reset() == 1
+        job = backend.claim("w1")
+        assert job.attempt == 1 and job.status == "running"
+
+
+class TestOpenBackend:
+    def test_paths_and_sqlite_scheme_open_the_local_store(self, tmp_path):
+        for target in (
+            tmp_path / "a.db",
+            str(tmp_path / "b.db"),
+            f"sqlite://{tmp_path / 'c.db'}",
+        ):
+            store = open_backend(target)
+            assert isinstance(store, JobStore)
+            assert store.ping()  # touch the file into existence
+            store.close()
+        assert Path(tmp_path / "c.db").exists()  # scheme prefix stripped
+
+    def test_http_urls_open_the_client_backend(self):
+        store = open_backend("http://127.0.0.1:8642", token="t")
+        assert isinstance(store, HttpJobStore)
+        assert store.token == "t"
+        assert isinstance(open_backend("https://example.org"), HttpJobStore)
+
+    def test_unknown_scheme_lists_valid_backends(self):
+        with pytest.raises(UnknownNameError) as excinfo:
+            open_backend("ftp://somewhere/lab.db")
+        message = str(excinfo.value)
+        assert "unknown store backend 'ftp'" in message
+        assert "sqlite" in message and "http" in message

@@ -1,0 +1,155 @@
+"""Distributed end-to-end: ``lab serve`` + remote workers == local run.
+
+The acceptance scenario for the distributed lab: a served multi-axis
+grid drained by two worker *processes* over HTTP — one SIGKILLed
+mid-job — must export byte-identically (under ``--drop-timing``) to the
+same grid run against a local SQLite store, with no duplicate rows.
+"""
+
+import multiprocessing as mp
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.lab import (
+    EXPERIMENT_RUNNERS,
+    HttpJobStore,
+    JobStore,
+    LabServer,
+    worker_loop,
+)
+
+pytestmark = pytest.mark.slow
+
+TOKEN = "fleet-secret"
+
+GRID_ARGS = [
+    "--domains", "ocean", "--orderings", "ori,rdr",
+    "--experiments", "smooth", "--vertices", "150,200",
+    "--max-iterations", "2",
+]
+
+
+def start_workers(ctx, url, tmp_path, n, **kwargs):
+    procs = [
+        ctx.Process(
+            target=worker_loop,
+            args=(url, tmp_path / f"cache-{seq}", None, seq),
+            kwargs=kwargs,
+        )
+        for seq in range(n)
+    ]
+    for proc in procs:
+        proc.start()
+    return procs
+
+
+class TestServeAndWork:
+    def test_two_remote_workers_match_the_local_run_byte_for_byte(
+        self, tmp_path
+    ):
+        # Reference: the same grid against a local SQLite store.
+        local_db = tmp_path / "local.db"
+        assert main(["lab", "init", "--db", str(local_db), *GRID_ARGS]) == 0
+        assert main(["lab", "run", "--db", str(local_db)]) == 0
+        local_out = tmp_path / "local.json"
+        assert main(["lab", "export", "--db", str(local_db),
+                     str(local_out), "--drop-timing"]) == 0
+
+        # Distributed: serve a fresh store, init over HTTP, drain with
+        # two worker processes (each its own cache and connection).
+        server = LabServer(
+            tmp_path / "remote.db", port=0, token=TOKEN
+        ).start_background()
+        try:
+            assert main(["lab", "init", "--server", server.url,
+                         "--token", TOKEN, *GRID_ARGS]) == 0
+            procs = start_workers(
+                mp.get_context("spawn"), server.url, tmp_path, 2, token=TOKEN
+            )
+            for proc in procs:
+                proc.join(timeout=120)
+                assert proc.exitcode == 0
+            remote_out = tmp_path / "remote.json"
+            assert main(["lab", "export", "--server", server.url,
+                         "--token", TOKEN, str(remote_out),
+                         "--drop-timing"]) == 0
+            counts = HttpJobStore(server.url, token=TOKEN).counts()
+            assert counts == {"pending": 0, "running": 0,
+                              "done": 4, "failed": 0}
+        finally:
+            server.shutdown()
+
+        assert local_out.read_bytes() == remote_out.read_bytes()
+
+    def test_sigkilled_remote_worker_recovers_via_lease_expiry(
+        self, tmp_path, monkeypatch
+    ):
+        def slow_smooth(spec, cache):
+            time.sleep(0.25)
+            return {"ok": True, "seed": spec.seed}
+
+        monkeypatch.setitem(EXPERIMENT_RUNNERS, "slow", slow_smooth)
+        server = LabServer(
+            tmp_path / "fleet.db", port=0, lease_s=1.0
+        ).start_background()
+        try:
+            store = HttpJobStore(server.url)
+            from repro.lab import JobSpec
+
+            specs = [
+                JobSpec(experiment="slow", domain="ocean", ordering="ori",
+                        seed=s)
+                for s in range(4)
+            ]
+            store.create_run({}, [(s.key(), s.as_dict()) for s in specs])
+
+            # Worker A (forked so the monkeypatched runner carries over)
+            # is SIGKILLed mid-job: no heartbeats, no cleanup.
+            ctx = mp.get_context("fork")
+            (victim,) = start_workers(ctx, server.url, tmp_path, 1)
+            time.sleep(0.4)
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join()
+            counts = store.counts()
+            assert counts["done"] < 4  # it really was interrupted
+            interrupted = counts["running"]
+
+            # Worker B notices the lapsed lease (via reclaim) and
+            # finishes the whole grid.
+            (survivor,) = start_workers(ctx, server.url, tmp_path, 1)
+            survivor.join(timeout=60)
+            assert survivor.exitcode == 0
+
+            assert store.counts() == {"pending": 0, "running": 0,
+                                      "done": 4, "failed": 0}
+            rows = store.results()
+            assert len(rows) == 4
+            assert {r["seed"] for r in rows} == {0, 1, 2, 3}  # no dups
+            if interrupted:
+                # The orphan's first attempt stays on the books.
+                assert max(r["attempt"] for r in rows) == 2
+        finally:
+            server.shutdown()
+
+    def test_lab_work_cli_end_to_end(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # lab work writes host-local files
+        server = LabServer(
+            tmp_path / "lab.db", port=0, token=TOKEN
+        ).start_background()
+        try:
+            assert main(["lab", "init", "--server", server.url,
+                         "--token", TOKEN, "--domains", "ocean",
+                         "--orderings", "rdr", "--experiments", "smooth",
+                         "--vertices", "150", "--max-iterations", "2"]) == 0
+            rc = main(["lab", "work", "--server", server.url,
+                       "--token", TOKEN])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "done 1, failed 0" in out
+            assert (tmp_path / "lab-work.telemetry.jsonl").exists()
+        finally:
+            server.shutdown()

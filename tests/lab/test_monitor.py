@@ -1,0 +1,94 @@
+"""The ``lab status --watch`` view, driven by fake clocks and queues."""
+
+import io
+
+from repro.lab import format_watch_line, watch_status
+
+
+class TestFormatWatchLine:
+    def test_placeholders_before_any_progress(self):
+        line = format_watch_line(
+            {"pending": 3, "running": 1, "done": 0, "failed": 0}, None, None
+        )
+        assert line == "0/4 done | 1 running | 3 pending | 0 failed | - rows/s | ETA -"
+
+    def test_rate_and_eta_formatting(self):
+        line = format_watch_line(
+            {"pending": 10, "running": 2, "done": 8, "failed": 0}, 0.5, 83.0
+        )
+        assert "0.50 rows/s" in line
+        assert "ETA 1:23" in line
+
+
+class FakeQueue:
+    """Scripted counts with a lock-stepped clock (1s per refresh)."""
+
+    def __init__(self, frames):
+        self.frames = list(frames)
+        self.t = 0.0
+        self.sleeps = []
+
+    def fetch(self):
+        frame = self.frames.pop(0) if len(self.frames) > 1 else self.frames[0]
+        return dict(frame)
+
+    def clock(self):
+        return self.t
+
+    def sleep(self, s):
+        self.sleeps.append(s)
+        self.t += s
+
+
+def run_watch(frames, **kwargs):
+    queue = FakeQueue(frames)
+    out = io.StringIO()
+    final = watch_status(
+        queue.fetch,
+        interval_s=1.0,
+        out=out,
+        clock=queue.clock,
+        sleep=queue.sleep,
+        **kwargs,
+    )
+    return final, out.getvalue().splitlines(), queue
+
+
+class TestWatchStatus:
+    def test_stops_when_the_queue_drains(self):
+        frames = [
+            {"pending": 2, "running": 1, "done": 1, "failed": 0},
+            {"pending": 0, "running": 1, "done": 3, "failed": 0},
+            {"pending": 0, "running": 0, "done": 4, "failed": 0},
+        ]
+        final, lines, queue = run_watch(frames)
+        assert final == frames[-1]
+        assert len(lines) == 3
+        assert len(queue.sleeps) == 2  # no sleep after the final frame
+
+    def test_rate_is_finished_jobs_per_second(self):
+        frames = [
+            {"pending": 2, "running": 1, "done": 1, "failed": 0},
+            {"pending": 0, "running": 1, "done": 3, "failed": 0},
+            {"pending": 0, "running": 0, "done": 4, "failed": 0},
+        ]
+        _, lines, _ = run_watch(frames)
+        assert "- rows/s" in lines[0]  # one sample: no slope yet
+        assert "2.00 rows/s" in lines[1]  # 1 -> 3 finished over 1s
+        # 3 finished over 2s from the first sample.
+        assert "1.50 rows/s" in lines[2]
+
+    def test_failed_jobs_count_as_finished_for_the_rate(self):
+        frames = [
+            {"pending": 1, "running": 1, "done": 0, "failed": 0},
+            {"pending": 0, "running": 1, "done": 0, "failed": 1},
+            {"pending": 0, "running": 0, "done": 1, "failed": 1},
+        ]
+        _, lines, _ = run_watch(frames)
+        assert "1.00 rows/s" in lines[1]
+
+    def test_max_refreshes_bounds_an_idle_watch(self):
+        frames = [{"pending": 5, "running": 0, "done": 0, "failed": 0}]
+        final, lines, _ = run_watch(frames, max_refreshes=3)
+        assert len(lines) == 3
+        assert final["pending"] == 5

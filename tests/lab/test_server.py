@@ -1,0 +1,139 @@
+"""Server behaviours the backend contract doesn't cover: HTTP status
+codes, bearer-token auth, request metrics and client transport errors.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.lab import (
+    HttpJobStore,
+    LabServer,
+    PROTOCOL_VERSION,
+    StoreConnectionError,
+)
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = LabServer(tmp_path / "lab.db", port=0).start_background()
+    yield srv
+    srv.shutdown()
+
+
+@pytest.fixture
+def auth_server(tmp_path):
+    srv = LabServer(
+        tmp_path / "lab.db", port=0, token="hunter2"
+    ).start_background()
+    yield srv
+    srv.shutdown()
+
+
+def raw_request(url, body=None):
+    """Status code + decoded JSON, even for error responses."""
+    data = None if body is None else json.dumps(body).encode()
+    try:
+        with urllib.request.urlopen(
+            urllib.request.Request(url, data=data), timeout=5
+        ) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestHttpErrors:
+    def test_unknown_endpoint_is_404(self, server):
+        code, payload = raw_request(f"{server.url}/api/frobnicate")
+        assert code == 404
+        assert "unknown endpoint" in payload["error"]
+
+    def test_path_outside_api_is_404(self, server):
+        code, _ = raw_request(f"{server.url}/metrics")
+        assert code == 404
+
+    def test_invalid_json_body_is_400(self, server):
+        request = urllib.request.Request(
+            f"{server.url}/api/claim", data=b"not json{"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 400
+
+    def test_missing_field_is_400(self, server):
+        code, payload = raw_request(f"{server.url}/api/claim", body={})
+        assert code == 400
+        assert "worker_id" in payload["error"]
+
+    def test_non_integer_query_param_is_400(self, server):
+        code, payload = raw_request(f"{server.url}/api/status?run=abc")
+        assert code == 400
+        assert "must be an integer" in payload["error"]
+
+
+class TestAuth:
+    def test_ping_is_exempt_from_auth(self, auth_server):
+        code, payload = raw_request(f"{auth_server.url}/api/ping")
+        assert code == 200
+        assert payload["protocol"] == PROTOCOL_VERSION
+
+    def test_missing_token_is_401(self, auth_server):
+        code, payload = raw_request(f"{auth_server.url}/api/status")
+        assert code == 401
+        assert "bearer token" in payload["error"]
+
+    def test_wrong_token_raises_store_error_without_retry(self, auth_server):
+        store = HttpJobStore(auth_server.url, token="wrong", retries=3)
+        with pytest.raises(StoreConnectionError, match="401"):
+            store.counts()
+
+    def test_right_token_passes(self, auth_server):
+        store = HttpJobStore(auth_server.url, token="hunter2")
+        assert store.counts()["pending"] == 0
+
+
+class TestMetrics:
+    def test_requests_are_counted_and_timed(self, server):
+        store = HttpJobStore(server.url)
+        store.create_run({}, [("k", {"experiment": "smooth"})])
+        store.claim("w1")
+        metrics = store.status()["metrics"]
+        counters = metrics["counters"]
+        assert counters["lab.server.requests.create_run"] == 1
+        assert counters["lab.server.requests.claim"] == 1
+        assert metrics["histograms"]["lab.server.latency_ms"]["total"] >= 2
+
+    def test_errors_are_counted(self, server):
+        raw_request(f"{server.url}/api/frobnicate")
+        metrics = HttpJobStore(server.url).status()["metrics"]
+        assert metrics["counters"]["lab.server.errors"] >= 1
+
+
+class TestClientTransport:
+    def test_unreachable_server_raises_after_retries(self):
+        store = HttpJobStore(
+            "http://127.0.0.1:9", retries=1, backoff_s=0.01, timeout_s=0.2
+        )
+        with pytest.raises(StoreConnectionError, match="unreachable"):
+            store.ping()
+
+    def test_protocol_mismatch_is_rejected(self, server, monkeypatch):
+        import repro.lab.server as srv_mod
+
+        # Make only the *server* speak a future protocol; the client
+        # must refuse rather than soldier on against an unknown wire.
+        monkeypatch.setitem(
+            srv_mod._GET_ROUTES,
+            "ping",
+            lambda lab, query: {"ok": True, "protocol": PROTOCOL_VERSION + 1},
+        )
+        store = HttpJobStore(server.url)
+        with pytest.raises(StoreConnectionError, match="protocol"):
+            store.ping()
+
+    def test_status_payload_reports_lease_and_uptime(self, server):
+        status = HttpJobStore(server.url).status()
+        assert status["lease_s"] == server.store.lease_s
+        assert status["uptime_s"] >= 0

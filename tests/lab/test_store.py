@@ -1,4 +1,4 @@
-"""Job-store semantics: atomic claims, retry/backoff, recovery."""
+"""Job-store semantics: atomic claims, retry/backoff, lease recovery."""
 
 import os
 import time
@@ -114,20 +114,87 @@ class TestRecovery:
         assert job.attempt == 1  # budget restored
         assert job.status == "running"
 
-    def test_reclaim_dead_requeues_orphans(self, store):
+    def test_reclaim_requeues_only_expired_leases(self, store):
         seed_jobs(store, 2)
-        dead = store.claim("999999999:0")  # no such pid
-        alive = store.claim(f"{os.getpid()}:0")
-        assert store.reclaim_dead() == 1
-        counts = store.counts()
-        assert counts["pending"] == 1 and counts["running"] == 1
-        requeued = store.get(dead.id)
-        assert requeued.status == "pending"
+        dead = store.claim("hostA:1:0", now=1000.0)
+        alive = store.claim("hostB:2:0", now=1000.0 + store.lease_s - 1.0)
+        # Just before hostA's lease lapses: nothing to reclaim.
+        assert store.reclaim_expired(now=1000.0 + store.lease_s - 0.5) == 0
+        # After it lapses: only the silent owner's job re-queues.
+        assert store.reclaim_expired(now=1000.0 + store.lease_s + 0.5) == 1
+        assert store.get(dead.id).status == "pending"
         assert store.get(alive.id).status == "running"
 
     def test_reclaimed_attempt_stays_counted(self, store):
         seed_jobs(store, 1)
-        store.claim("999999999:0")
-        store.reclaim_dead()
+        store.claim("hostA:1:0", now=0.0)
+        store.reclaim_expired(now=store.lease_s + 1.0)
         job = store.claim("w1")
         assert job.attempt == 2
+
+    def test_remote_owner_with_live_local_pid_is_reclaimed(self, store):
+        """Regression: reclaim must not probe pids.
+
+        The pre-lease store parsed the owner id as a local pid and
+        kept any job whose pid existed on *this* host.  An owner string
+        carrying the pid of a live local process — here our own pid,
+        standing in for a dead worker on another machine that happened
+        to share it — must still be reclaimed once its lease lapses.
+        """
+        seed_jobs(store, 1)
+        remote = store.claim(f"other-host:{os.getpid()}:0", now=50.0)
+        assert store.reclaim_expired(now=50.0 + store.lease_s + 1.0) == 1
+        assert store.get(remote.id).status == "pending"
+
+    def test_remote_owner_heartbeating_is_not_reclaimed(self, store):
+        """The dual failure of pid probing: a live *remote* worker whose
+        pid does not exist locally used to be reclaimed out from under
+        itself.  Heartbeats keep its lease fresh regardless of host."""
+        seed_jobs(store, 1)
+        job = store.claim("other-host:999999999:0", now=50.0)
+        assert store.heartbeat(job.id, "other-host:999999999:0", now=60.0)
+        # Lease now runs from the heartbeat, not the claim.
+        assert store.reclaim_expired(now=50.0 + store.lease_s + 1.0) == 0
+        assert store.get(job.id).status == "running"
+
+
+class TestLeases:
+    def test_heartbeat_extends_the_lease(self, store):
+        seed_jobs(store, 1)
+        job = store.claim("w1", now=100.0)
+        for t in (110.0, 120.0, 130.0):
+            assert store.heartbeat(job.id, "w1", now=t)
+        assert store.reclaim_expired(now=130.0 + store.lease_s - 1.0) == 0
+        assert store.reclaim_expired(now=130.0 + store.lease_s + 1.0) == 1
+
+    def test_heartbeat_reports_lost_lease(self, store):
+        seed_jobs(store, 1)
+        job = store.claim("w1", now=100.0)
+        store.reclaim_expired(now=100.0 + store.lease_s + 1.0)
+        assert not store.heartbeat(job.id, "w1")
+        # ... including when another worker has since re-claimed it.
+        store.claim("w2")
+        assert not store.heartbeat(job.id, "w1")
+
+    def test_stale_owner_cannot_complete_a_reclaimed_job(self, store):
+        """No duplicate rows after a lease lapse: the original worker's
+        late completion bounces off the owner check."""
+        seed_jobs(store, 1)
+        job = store.claim("w1", now=100.0)
+        store.reclaim_expired(now=100.0 + store.lease_s + 1.0)
+        fresh = store.claim("w2")
+        assert fresh.id == job.id
+        assert not store.complete(job.id, {"late": True}, wall_s=1.0,
+                                  worker_id="w1")
+        assert store.complete(job.id, {"late": False}, wall_s=1.0,
+                              worker_id="w2")
+        rows = store.results()
+        assert len(rows) == 1 and rows[0]["late"] is False
+
+    def test_stale_owner_fail_is_ignored(self, store):
+        seed_jobs(store, 1)
+        job = store.claim("w1", now=100.0)
+        store.reclaim_expired(now=100.0 + store.lease_s + 1.0)
+        store.claim("w2")
+        assert store.fail(job.id, "late boom", worker_id="w1") == "stale"
+        assert store.get(job.id).status == "running"

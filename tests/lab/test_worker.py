@@ -218,11 +218,13 @@ class TestRunPool:
         store.close()
 
         # Fork (so the monkeypatched registry carries over) and SIGKILL
-        # the worker while it is mid-job.
+        # the worker while it is mid-job.  Short lease so the orphaned
+        # claim lapses quickly once the heartbeats stop.
         ctx = mp.get_context("fork")
         proc = ctx.Process(
             target=worker_loop,
             args=(tmp_path / "lab.db", tmp_path / "cache", None),
+            kwargs={"lease_s": 1.0},
         )
         proc.start()
         time.sleep(0.4)
@@ -235,8 +237,11 @@ class TestRunPool:
         interrupted_running = counts["running"]
         store.close()
 
-        # Same command again: reclaims the orphan and finishes the grid.
-        counts = run_pool(tmp_path / "lab.db", tmp_path / "cache", None)
+        # Same command again: waits out the lease, reclaims the orphan
+        # and finishes the grid.
+        counts = run_pool(
+            tmp_path / "lab.db", tmp_path / "cache", None, lease_s=1.0
+        )
         assert counts == {"pending": 0, "running": 0, "done": 4, "failed": 0}
         store = JobStore(tmp_path / "lab.db")
         rows = store.results()

@@ -384,3 +384,50 @@ class TestLab:
         store.close()
         assert main(["lab", "reset", "--db", str(db)]) == 0
         assert "re-queued 1" in capsys.readouterr().out
+
+
+class TestLabDistributedCLI:
+    def test_bad_server_url_exits_2_listing_valid_forms(self, capsys):
+        rc = main(["lab", "status", "--server", "ftp://somewhere:1"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown server URL 'ftp://somewhere:1'" in err
+        assert "http://<host>:<port>" in err and err.count("\n") == 1
+
+    def test_work_rejects_a_pathlike_server_target(self, capsys):
+        rc = main(["lab", "work", "--server", "lab.db"])
+        assert rc == 2
+        assert "unknown server URL" in capsys.readouterr().err
+
+    def test_unreachable_server_exits_2_with_one_line(self, capsys):
+        rc = main(["lab", "status", "--server", "http://127.0.0.1:9"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: job server unreachable")
+        assert err.count("\n") == 1
+
+    def test_status_watch_local_store(self, tmp_path, capsys):
+        from repro.lab import JobStore
+
+        db = tmp_path / "lab.db"
+        store = JobStore(db)
+        store.create_run({}, [("k", {"experiment": "smooth"})])
+        job = store.claim("w")
+        store.complete(job.id, {"ok": True}, wall_s=0.1)
+        store.close()
+        rc = main(["lab", "status", "--db", str(db), "--watch"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "watching" in out
+        assert "1/1 done" in out
+
+    def test_status_watch_against_a_live_server(self, tmp_path, capsys):
+        from repro.lab import LabServer
+
+        server = LabServer(tmp_path / "lab.db", port=0).start_background()
+        try:
+            rc = main(["lab", "status", "--server", server.url, "--watch"])
+            assert rc == 0
+            assert "0/0 done" in capsys.readouterr().out
+        finally:
+            server.shutdown()
