@@ -152,12 +152,16 @@ class JobStoreBackend(ABC):
         """``{status: count}`` over all four statuses."""
 
     @abstractmethod
-    def pending_runnable(self, *, now: float | None = None) -> int:
-        """Pending jobs whose backoff has elapsed (claimable now)."""
+    def pending_runnable(
+        self, run_id: int | None = None, *, now: float | None = None
+    ) -> int:
+        """Pending jobs whose backoff has elapsed (claimable now),
+        optionally restricted to one run."""
 
     @abstractmethod
-    def next_not_before(self) -> float | None:
-        """Earliest ``not_before`` among pending jobs (backoff waits)."""
+    def next_not_before(self, run_id: int | None = None) -> float | None:
+        """Earliest ``not_before`` among pending jobs (backoff waits),
+        optionally restricted to one run."""
 
     @abstractmethod
     def results(self, run_id: int | None = None) -> list[dict]:

@@ -12,10 +12,14 @@ exponential backoff on connection errors, timeouts and 5xx responses
 (4xx responses are protocol errors and raise immediately — retrying a
 rejected request cannot help).  When retries are exhausted the call
 raises :class:`StoreConnectionError`, which the CLI turns into a
-one-line message and exit status 2.  Claims and completions are safe to
-retry because the server's store is idempotent where it matters: a
-retried ``complete`` whose first attempt actually landed is rejected by
-the owner check rather than duplicating a row.
+one-line message and exit status 2.  Retrying mutations is safe because
+every POST carries a client-generated idempotency key (``idem``), held
+constant across the retries of one logical call: if the first attempt
+landed server-side but its response was lost, the retry replays the
+recorded response instead of re-executing — so a retried ``claim``
+cannot strand a second job under this worker, and a retried
+``complete`` whose first attempt landed still reports success rather
+than tripping the owner check and miscounting the job as lease-lost.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ import json
 import time
 import urllib.error
 import urllib.request
+import uuid
 from typing import Any, Iterable
 from urllib.parse import urlencode
 
@@ -67,6 +72,9 @@ class HttpJobStore(JobStoreBackend):
         """One endpoint call with bounded retry.
 
         ``body`` selects POST (mutations), ``query`` GET (inspection).
+        POST bodies get a fresh idempotency key that stays fixed across
+        the retries of this one call, so a mutation whose response was
+        lost in transit is replayed — not re-executed — by the server.
         """
         url = f"{self.url}/api/{endpoint}"
         if query:
@@ -75,9 +83,9 @@ class HttpJobStore(JobStoreBackend):
                 url += "?" + urlencode(params)
         data = None
         if body is not None:
-            data = json.dumps(
-                {k: v for k, v in body.items() if v is not None}
-            ).encode()
+            payload = {k: v for k, v in body.items() if v is not None}
+            payload["idem"] = uuid.uuid4().hex
+            data = json.dumps(payload).encode()
         headers = {"Content-Type": "application/json"}
         if self.token is not None:
             headers["Authorization"] = f"Bearer {self.token}"
@@ -239,11 +247,13 @@ class HttpJobStore(JobStoreBackend):
         """The server's full status payload (counts, queue, metrics)."""
         return self._request("status", query={"run": run_id})
 
-    def pending_runnable(self, *, now: float | None = None) -> int:
-        return int(self.status().get("pending_runnable", 0))
+    def pending_runnable(
+        self, run_id: int | None = None, *, now: float | None = None
+    ) -> int:
+        return int(self.status(run_id).get("pending_runnable", 0))
 
-    def next_not_before(self) -> float | None:
-        value = self.status().get("next_not_before")
+    def next_not_before(self, run_id: int | None = None) -> float | None:
+        value = self.status(run_id).get("next_not_before")
         return float(value) if value is not None else None
 
     def results(self, run_id: int | None = None) -> list[dict]:

@@ -30,10 +30,16 @@ grid / latest   ``?run=N`` / —                         run provenance
 
 ``Job`` values travel as :meth:`repro.lab.store.Job.as_wire` dicts, and
 the optional ``now`` timestamps are the same determinism hooks the
-backend contract exposes for tests.  Authentication is a shared bearer
-token (``Authorization: Bearer <token>``) checked on every endpoint
-except ``ping``; run the server without a token only on trusted
-networks.  Every request is counted and timed into a
+backend contract exposes for tests.  Every POST body may carry an
+``idem`` string — a client-generated idempotency key: the server
+remembers the response it sent for each key (for
+:data:`IDEMPOTENCY_TTL_S`), and a request replaying a seen key gets the
+recorded response back without re-executing.  This is what makes client
+retries of non-idempotent mutations (``claim``, ``complete``,
+``create_run``) safe when a response is lost in transit.
+Authentication is a shared bearer token (``Authorization: Bearer
+<token>``, compared in constant time) checked on every endpoint except
+``ping``; run the server without a token only on trusted networks.  Every request is counted and timed into a
 :class:`repro.obs.MetricsRegistry` (``lab.server.requests.<endpoint>``
 counters, a ``lab.server.latency_ms`` histogram) surfaced under
 ``metrics`` in the ``status`` response.
@@ -45,6 +51,7 @@ jobs re-queue without any worker-side cooperation.
 
 from __future__ import annotations
 
+import hmac
 import json
 import threading
 import time
@@ -65,6 +72,11 @@ PROTOCOL_VERSION = 1
 
 #: Millisecond latency buckets for the request histogram (sub-ms to 4s).
 _LATENCY_EDGES_MS = (0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
+
+#: How long a recorded idempotency-key response stays replayable.  Must
+#: comfortably exceed a client's whole retry window (default: 4 attempts
+#: x 10 s timeout plus backoff, well under a minute).
+IDEMPOTENCY_TTL_S = 600.0
 
 
 class _ApiError(Exception):
@@ -100,6 +112,8 @@ class LabServer:
         self._lock = threading.Lock()
         self._reclaim_every = max(lease_s / 2.0, 0.25)
         self._next_reclaim = 0.0
+        # idem key -> (recorded_at, response); replayed on client retry.
+        self._idem_cache: dict[str, tuple[float, dict]] = {}
         handler = type("_BoundLabHandler", (_LabHandler,), {"lab": self})
         self.httpd = ThreadingHTTPServer((host, port), handler)
         self.httpd.daemon_threads = True
@@ -138,6 +152,23 @@ class LabServer:
             self._thread = None
         with self._lock:
             self.store.close()
+
+    # -- idempotency replay (called under self._lock) --------------------
+    def _idem_get(self, key: str) -> dict | None:
+        entry = self._idem_cache.get(key)
+        if entry is None:
+            return None
+        recorded_at, response = entry
+        if time.time() - recorded_at > IDEMPOTENCY_TTL_S:
+            del self._idem_cache[key]
+            return None
+        return response
+
+    def _idem_put(self, key: str, response: dict) -> None:
+        # Entries land in time order, so FIFO eviction drops the oldest.
+        while len(self._idem_cache) >= 4096:
+            del self._idem_cache[next(iter(self._idem_cache))]
+        self._idem_cache[key] = (time.time(), response)
 
     # -- endpoint implementations (called under self._lock) -------------
     def _maybe_reclaim(self, now: float | None) -> None:
@@ -214,8 +245,8 @@ class LabServer:
         self._maybe_reclaim(None)
         return {
             "counts": self.store.counts(run_id),
-            "pending_runnable": self.store.pending_runnable(),
-            "next_not_before": self.store.next_not_before(),
+            "pending_runnable": self.store.pending_runnable(run_id),
+            "next_not_before": self.store.next_not_before(run_id),
             "latest_run": self.store.latest_run_id(),
             "lease_s": self.store.lease_s,
             "uptime_s": time.time() - self.started_at,
@@ -306,9 +337,13 @@ class _LabHandler(BaseHTTPRequestHandler):
         if self.lab.token is None or endpoint == "ping":
             return True
         header = self.headers.get("Authorization", "")
-        return header == f"Bearer {self.lab.token}"
+        # Constant-time compare: a plain == would leak how much of the
+        # token matched through response timing.
+        return hmac.compare_digest(
+            header.encode(), f"Bearer {self.lab.token}".encode()
+        )
 
-    def _dispatch(self, routes: dict, payload_reader) -> None:
+    def _dispatch(self, routes: dict, payload_reader, *, mutating: bool) -> None:
         parsed = urlparse(self.path)
         name = parsed.path.removeprefix("/api/")
         route = routes.get(name) if parsed.path.startswith("/api/") else None
@@ -325,8 +360,17 @@ class _LabHandler(BaseHTTPRequestHandler):
         start = time.perf_counter()
         try:
             payload = payload_reader(parsed)
+            idem = payload.pop("idem", None) if mutating else None
+            if idem is not None and not isinstance(idem, str):
+                raise _ApiError(400, "field 'idem' must be a string")
             with lab._lock:
-                response = route(lab, payload)
+                response = lab._idem_get(idem) if idem else None
+                if response is not None:
+                    lab.metrics.counter("lab.server.idem_replays").add()
+                else:
+                    response = route(lab, payload)
+                    if idem:
+                        lab._idem_put(idem, response)
         except _ApiError as exc:
             lab.metrics.counter("lab.server.errors").add()
             self._send_json(exc.code, {"error": str(exc)})
@@ -352,7 +396,9 @@ class _LabHandler(BaseHTTPRequestHandler):
         return body
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        self._dispatch(_POST_ROUTES, self._read_body)
+        self._dispatch(_POST_ROUTES, self._read_body, mutating=True)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        self._dispatch(_GET_ROUTES, lambda parsed: parse_qs(parsed.query))
+        self._dispatch(
+            _GET_ROUTES, lambda parsed: parse_qs(parsed.query), mutating=False
+        )

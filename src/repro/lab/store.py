@@ -399,20 +399,28 @@ class JobStore(JobStoreBackend):
             out[row["status"]] = row["n"]
         return out
 
-    def pending_runnable(self, *, now: float | None = None) -> int:
+    def pending_runnable(
+        self, run_id: int | None = None, *, now: float | None = None
+    ) -> int:
         now = time.time() if now is None else now
-        row = self.conn.execute(
+        sql = (
             "SELECT COUNT(*) AS n FROM jobs "
-            "WHERE status = 'pending' AND not_before <= ?",
-            (now,),
-        ).fetchone()
-        return int(row["n"])
+            "WHERE status = 'pending' AND not_before <= ?"
+        )
+        params: list[Any] = [now]
+        if run_id is not None:
+            sql += " AND run_id = ?"
+            params.append(run_id)
+        return int(self.conn.execute(sql, params).fetchone()["n"])
 
-    def next_not_before(self) -> float | None:
+    def next_not_before(self, run_id: int | None = None) -> float | None:
         """Earliest ``not_before`` among pending jobs (for backoff waits)."""
-        row = self.conn.execute(
-            "SELECT MIN(not_before) AS m FROM jobs WHERE status = 'pending'"
-        ).fetchone()
+        sql = "SELECT MIN(not_before) AS m FROM jobs WHERE status = 'pending'"
+        params: tuple = ()
+        if run_id is not None:
+            sql += " AND run_id = ?"
+            params = (run_id,)
+        row = self.conn.execute(sql, params).fetchone()
         return float(row["m"]) if row["m"] is not None else None
 
     def results(self, run_id: int | None = None) -> list[dict]:

@@ -235,29 +235,65 @@ def execute_job(spec: JobSpec, cache: ArtifactCache, *, timeout_s: float = 0) ->
 # ---------------------------------------------------------------------------
 @contextmanager
 def _lease_heartbeat(
-    store: JobStoreBackend, job_id: int, worker_id: str, interval_s: float
+    make_store: Callable[[], JobStoreBackend],
+    job_id: int,
+    worker_id: str,
+    interval_s: float,
+    on_error: Callable[[str, int], None] | None = None,
 ):
     """Extend the job's lease from a side thread while the body runs.
 
     Yields a ``lost`` event that is set if the store reports the lease
     gone (the job was reclaimed); the worker then abandons the job
-    without reporting.  The thread uses its own ``store`` (passed in by
-    the caller) because SQLite connections are not thread-safe.
-    Transient heartbeat errors are swallowed: if the server is briefly
-    unreachable the lease may lapse, and the owner-checked ``complete``
-    is what keeps that safe.
+    without reporting.  The thread opens its own backend via
+    ``make_store`` and closes it before exiting, because SQLite
+    connections are bound to the thread that creates them — a shared
+    connection would work for the first job's heartbeat thread and then
+    raise from every later one.  Transient heartbeat errors don't kill
+    the thread (if the server is briefly unreachable the lease may
+    lapse, and the owner-checked ``complete`` is what keeps that safe),
+    but they are reported through ``on_error(message, consecutive)`` so
+    a persistently failing heartbeat is visible in telemetry.
     """
     stop = threading.Event()
     lost = threading.Event()
 
-    def beat() -> None:
-        while not stop.wait(interval_s):
+    def report(exc: Exception, consecutive: int) -> None:
+        if on_error is None:
+            return
+        # First failure immediately, then every 10th while it persists.
+        if consecutive == 1 or consecutive % 10 == 0:
             try:
-                if not store.heartbeat(job_id, worker_id):
-                    lost.set()
-                    return
+                on_error(
+                    "".join(
+                        traceback.format_exception_only(type(exc), exc)
+                    ).strip(),
+                    consecutive,
+                )
             except Exception:
                 pass
+
+    def beat() -> None:
+        store: JobStoreBackend | None = None
+        failures = 0
+        try:
+            while not stop.wait(interval_s):
+                try:
+                    if store is None:
+                        store = make_store()
+                    if not store.heartbeat(job_id, worker_id):
+                        lost.set()
+                        return
+                    failures = 0
+                except Exception as exc:
+                    failures += 1
+                    report(exc, failures)
+        finally:
+            if store is not None:
+                try:
+                    store.close()
+                except Exception:
+                    pass
 
     thread = threading.Thread(target=beat, daemon=True)
     thread.start()
@@ -310,8 +346,14 @@ def worker_loop(
     """
     worker_id = f"{socket.gethostname()}:{os.getpid()}:{worker_seq}"
     store = open_backend(store_target, lease_s=lease_s, token=token)
-    # The heartbeat thread gets its own backend connection.
-    hb_store = open_backend(store_target, lease_s=lease_s, token=token)
+
+    # Each job's heartbeat thread opens (and closes) its own backend:
+    # SQLite connections are usable only from their creating thread, so
+    # a connection shared across the per-job heartbeat threads would
+    # fail from the second job onward.
+    def hb_factory() -> JobStoreBackend:
+        return open_backend(store_target, lease_s=lease_s, token=token)
+
     beat_s = _heartbeat_interval(store, heartbeat_s)
     cache = ArtifactCache(cache_dir)
     tel = TelemetryWriter(telemetry_path, worker=worker_id)
@@ -342,7 +384,18 @@ def worker_loop(
             start = time.perf_counter()
             spans: list | None = None
             metrics_snapshot: dict | None = None
-            with _lease_heartbeat(hb_store, job.id, worker_id, beat_s) as lost:
+
+            def hb_error(message: str, consecutive: int, *, _job_id=job.id):
+                tel.emit(
+                    "heartbeat_error",
+                    job_id=_job_id,
+                    error=message,
+                    consecutive=consecutive,
+                )
+
+            with _lease_heartbeat(
+                hb_factory, job.id, worker_id, beat_s, on_error=hb_error
+            ) as lost:
                 try:
                     if obs_spans:
                         with obs.capture() as tracer:
@@ -411,7 +464,6 @@ def worker_loop(
     finally:
         tel.emit("worker_exit", completed=completed)
         store.close()
-        hb_store.close()
     return completed
 
 

@@ -111,6 +111,98 @@ class TestMetrics:
         assert metrics["counters"]["lab.server.errors"] >= 1
 
 
+class TestIdempotency:
+    """A mutation whose response was lost must replay, not re-execute."""
+
+    def seed(self, server, n=2):
+        store = HttpJobStore(server.url)
+        store.create_run(
+            {},
+            [(f"k{i}", {"experiment": "smooth", "seed": i}) for i in range(n)],
+        )
+        return store
+
+    def test_same_idem_key_replays_the_recorded_response(self, server):
+        self.seed(server)
+        body = {"worker_id": "w1", "idem": "claim-abc"}
+        _, first = raw_request(f"{server.url}/api/claim", body=body)
+        _, second = raw_request(f"{server.url}/api/claim", body=body)
+        assert second == first  # same job, not a second claim
+        assert server.store.counts()["running"] == 1
+        metrics = HttpJobStore(server.url).status()["metrics"]
+        assert metrics["counters"]["lab.server.idem_replays"] == 1
+
+    def test_non_string_idem_is_400(self, server):
+        code, payload = raw_request(
+            f"{server.url}/api/claim", body={"worker_id": "w", "idem": 7}
+        )
+        assert code == 400
+        assert "idem" in payload["error"]
+
+    def test_retried_claim_after_lost_response_strands_nothing(
+        self, server, monkeypatch
+    ):
+        self.seed(server)
+        self._drop_first_response(monkeypatch, "/api/claim")
+        store = HttpJobStore(server.url, backoff_s=0.01)
+        job = store.claim("w1")
+        assert job is not None
+        counts = store.counts()
+        assert counts["running"] == 1 and counts["pending"] == 1
+
+    def test_retried_complete_after_lost_response_reports_success(
+        self, server, monkeypatch
+    ):
+        store = self.seed(server)
+        job = store.claim("w1")
+        self._drop_first_response(monkeypatch, "/api/complete")
+        retrying = HttpJobStore(server.url, backoff_s=0.01)
+        # Pre-fix this returned False (owner check saw the job already
+        # done) and the worker logged job_lease_lost for a finished job.
+        assert retrying.complete(
+            job.id, {"ok": True}, wall_s=0.1, worker_id="w1"
+        )
+        assert store.counts()["done"] == 1
+
+    @staticmethod
+    def _drop_first_response(monkeypatch, path):
+        """Let the first request to ``path`` execute server-side, then
+        raise as if its response never came back."""
+        real = urllib.request.urlopen
+        dropped = []
+
+        def flaky(request, timeout=None):
+            response = real(request, timeout=timeout)
+            if path in request.full_url and not dropped:
+                dropped.append(True)
+                response.read()
+                raise TimeoutError("response lost in transit")
+            return response
+
+        monkeypatch.setattr(urllib.request, "urlopen", flaky)
+
+
+class TestPerRunStatus:
+    def test_status_queue_fields_respect_the_run_filter(self, server):
+        store = HttpJobStore(server.url)
+        run1, _ = store.create_run(
+            {}, [("a", {"experiment": "smooth", "seed": 0})]
+        )
+        run2, _ = store.create_run(
+            {},
+            [(f"b{i}", {"experiment": "smooth", "seed": i}) for i in range(3)],
+        )
+        job = store.claim("w1")
+        assert job.run_id == run1
+        store.complete(job.id, {}, wall_s=0.0, worker_id="w1")
+
+        assert store.status(run1)["pending_runnable"] == 0
+        assert store.status(run1)["next_not_before"] is None
+        assert store.status(run2)["pending_runnable"] == 3
+        assert store.status(run2)["next_not_before"] is not None
+        assert store.status()["pending_runnable"] == 3
+
+
 class TestClientTransport:
     def test_unreachable_server_raises_after_retries(self):
         store = HttpJobStore(

@@ -19,6 +19,7 @@ from repro.lab import (
     JobSpec,
     JobStore,
     execute_job,
+    read_events,
     run_pool,
     summarize,
     worker_loop,
@@ -161,6 +162,87 @@ class TestWorkerLoop:
         assert len(rows) == 1 and rows[0]["ok"] is True
         assert rows[0]["attempt"] == 2
         store.close()
+
+
+class TestLeaseHeartbeat:
+    """Regression: heartbeat threads must not share one SQLite
+    connection — connections are bound to their creating thread, so a
+    shared store works for the first job's thread and then raises
+    (silently, pre-fix) from every later one, letting leases lapse."""
+
+    def _seed_jobs(self, db, n):
+        store = JobStore(db, lease_s=0.4)
+        specs = [
+            JobSpec(experiment="smooth", domain="ocean", ordering="ori",
+                    seed=s)
+            for s in range(n)
+        ]
+        store.create_run({}, [(s.key(), s.as_dict()) for s in specs])
+        return store
+
+    def test_second_jobs_heartbeats_still_extend_the_lease(self, tmp_path):
+        from repro.lab.worker import _lease_heartbeat
+
+        db = tmp_path / "lab.db"
+        store = self._seed_jobs(db, 2)
+        errors = []
+        for _ in range(2):  # two jobs → two distinct heartbeat threads
+            job = store.claim("w")
+            with _lease_heartbeat(
+                lambda: JobStore(db, lease_s=0.4), job.id, "w", 0.05,
+                on_error=lambda msg, n: errors.append(msg),
+            ) as lost:
+                # Outlive the lease: only working heartbeats keep it.
+                time.sleep(0.6)
+                assert store.reclaim_expired() == 0
+            assert not lost.is_set()
+            assert store.complete(job.id, {}, wall_s=0.0, worker_id="w")
+        assert errors == []
+        store.close()
+
+    def test_worker_loop_survives_heartbeats_across_jobs(
+        self, tmp_path, monkeypatch
+    ):
+        """Pre-fix, the second job's heartbeats raised cross-thread
+        ProgrammingError and worker_loop's own close() re-raised it."""
+        monkeypatch.setitem(
+            EXPERIMENT_RUNNERS, "nap",
+            lambda spec, cache: time.sleep(0.15) or {"ok": True},
+        )
+        store = JobStore(tmp_path / "lab.db")
+        specs = [
+            JobSpec(experiment="nap", domain="ocean", ordering="ori", seed=s)
+            for s in range(2)
+        ]
+        store.create_run({}, [(s.key(), s.as_dict()) for s in specs])
+        store.close()
+        done = worker_loop(
+            tmp_path / "lab.db", tmp_path / "cache", tmp_path / "t.jsonl",
+            lease_s=0.4, heartbeat_s=0.05,
+        )
+        assert done == 2
+        events = [e["event"] for e in read_events(tmp_path / "t.jsonl")]
+        assert "heartbeat_error" not in events
+        assert events.count("job_done") == 2
+
+    def test_heartbeat_errors_are_reported_not_swallowed(self, tmp_path):
+        from repro.lab.worker import _lease_heartbeat
+
+        class Broken:
+            def heartbeat(self, job_id, worker_id):
+                raise RuntimeError("store down")
+
+            def close(self):
+                pass
+
+        errors = []
+        with _lease_heartbeat(
+            Broken, 1, "w", 0.02,
+            on_error=lambda msg, n: errors.append((msg, n)),
+        ):
+            time.sleep(0.3)
+        assert errors  # first failure is reported immediately
+        assert all("store down" in msg for msg, _ in errors)
 
 
 class TestRunPool:
