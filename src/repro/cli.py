@@ -380,6 +380,38 @@ def _build_lab_parser(sub) -> None:
                     help="join job_spans telemetry (from `lab run --obs`) "
                          "into the rows by job_id")
 
+    ch = lab_sub.add_parser(
+        "chaos",
+        help="fault-inject a live server run and check lab invariants",
+    )
+    ch.add_argument("--seed", type=int, default=0,
+                    help="fault-plan seed; same seed => same fault log "
+                         "and byte-identical exports (default: 0)")
+    ch.add_argument("--workdir", default=None,
+                    help="working directory for stores, cache, fault log "
+                         "and exports (default: a fresh temp directory)")
+    ch.add_argument("--workers", type=int, default=2,
+                    help="worker incarnations; all but the last get a "
+                         "kill rule (default: 2)")
+    ch.add_argument("--kill-after", type=int, default=1,
+                    help="jobs a doomed worker completes before its kill "
+                         "(default: 1)")
+    ch.add_argument("--lease", type=float, default=2.0,
+                    help="claim-lease seconds for the chaos server; small "
+                         "so killed jobs re-queue quickly (default: 2)")
+    ch.add_argument("--max-attempts", type=int, default=8,
+                    help="attempt budget per job under chaos (default: 8)")
+    ch.add_argument("--report", default=None,
+                    help="also write the full JSON report to this path")
+    ch.add_argument("--experiments", type=_comma_list(str),
+                    default=("smooth",),
+                    help="comma list (default: smooth — fast, no memsim)")
+    ch.add_argument("--domains", type=_comma_list(str), default=("ocean",))
+    ch.add_argument("--orderings", type=_comma_list(str),
+                    default=("ori", "rdr"))
+    ch.add_argument("--vertices", type=_comma_list(int), default=(150, 200))
+    ch.add_argument("--max-iterations", type=int, default=2)
+
 
 def _cmd_generate(args) -> int:
     mesh = generate_domain_mesh(
@@ -660,6 +692,44 @@ def _cmd_lab(args) -> int:
         print(format_summary(summarize(Path(args.telemetry))))
         return 0 if counts["failed"] == 0 and counts["pending"] == 0 else 1
 
+    if args.lab_command == "chaos":
+        import tempfile
+
+        from .lab import run_chaos
+
+        grid = ExperimentGrid(
+            experiments=args.experiments,
+            domains=args.domains,
+            orderings=args.orderings,
+            vertices=args.vertices,
+            max_iterations=args.max_iterations,
+        ).validate()
+        workdir = args.workdir or tempfile.mkdtemp(prefix="repro-lab-chaos-")
+        report = run_chaos(
+            grid,
+            seed=args.seed,
+            workdir=workdir,
+            workers=args.workers,
+            kill_after=args.kill_after,
+            lease_s=args.lease,
+            max_attempts=args.max_attempts,
+            report_path=args.report,
+        )
+        counts = ", ".join(
+            f"{kind} x{n}" for kind, n in sorted(report["fault_counts"].items())
+        )
+        print(
+            f"chaos seed {report['seed']}: {report['jobs']} jobs, "
+            f"{report['worker_incarnations']} worker incarnation(s), "
+            f"faults: {counts or 'none'}"
+        )
+        for name, ok in report["checks"].items():
+            print(f"  {'ok  ' if ok else 'FAIL'} {name}")
+        for violation in report["violations"]:
+            print(f"  !! {violation}")
+        print(f"fault log + exports in {report['workdir']}")
+        return 0 if report["ok"] else 1
+
     db, cache_dir, telemetry = _lab_paths(args)
 
     if args.lab_command == "init":
@@ -774,11 +844,12 @@ def _cmd_lab(args) -> int:
         if args.drop_timing:
             # wall_s and attempt are run history, not results: dropping
             # them makes exports byte-identical across reruns, retries
-            # and local-vs-distributed execution of the same grid.
-            rows = [
-                {k: v for k, v in row.items() if k not in ("wall_s", "attempt")}
-                for row in rows
-            ]
+            # and local-vs-distributed execution of the same grid.  The
+            # chaos harness leans on the same filter for its reference
+            # comparison, so they must stay one implementation.
+            from .lab import drop_timing_rows
+
+            rows = drop_timing_rows(rows)
         if args.with_spans:
             from .lab.telemetry import read_events
 

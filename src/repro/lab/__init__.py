@@ -20,7 +20,12 @@ and distributable — experiment service:
   aggregator) and :mod:`~repro.lab.monitor` (the live ``status
   --watch`` view).
 
-CLI surface: ``repro-lms lab init|run|serve|work|status|reset|export``.
+CLI surface: ``repro-lms lab
+init|run|serve|work|status|reset|export|chaos``.  The
+:mod:`~repro.lab.faults` module is the chaos harness behind ``lab
+chaos``: deterministic seeded fault injection (:class:`FaultPlan`)
+plus the exactly-once/lease/replay invariant checker
+(:func:`check_invariants`).
 """
 
 from .artifacts import ArtifactCache, cache_key
@@ -30,10 +35,20 @@ from .backends import (
     STORE_BACKENDS,
     open_backend,
 )
+from .faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultRule,
+    InvariantReport,
+    WorkerKilled,
+    check_invariants,
+    drop_timing_rows,
+    run_chaos,
+)
 from .grid import ExperimentGrid, JobSpec, UnknownNameError, validate_names
 from .http_store import HttpJobStore, StoreConnectionError
 from .monitor import format_watch_line, watch_status
-from .server import LabServer, PROTOCOL_VERSION
+from .server import IdempotencyCache, LabServer, PROTOCOL_VERSION
 from .store import Job, JobStore, STATUSES
 from .telemetry import TelemetryWriter, format_summary, read_events, summarize
 from .worker import (
@@ -49,7 +64,12 @@ __all__ = [
     "DEFAULT_LEASE_S",
     "EXPERIMENT_RUNNERS",
     "ExperimentGrid",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultRule",
     "HttpJobStore",
+    "IdempotencyCache",
+    "InvariantReport",
     "Job",
     "JobSpec",
     "JobStore",
@@ -62,12 +82,16 @@ __all__ = [
     "StoreConnectionError",
     "TelemetryWriter",
     "UnknownNameError",
+    "WorkerKilled",
     "cache_key",
+    "check_invariants",
+    "drop_timing_rows",
     "execute_job",
     "format_summary",
     "format_watch_line",
     "open_backend",
     "read_events",
+    "run_chaos",
     "run_pool",
     "summarize",
     "validate_names",

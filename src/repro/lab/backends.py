@@ -29,11 +29,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..config import UnknownNameError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .faults import FaultPlan
     from .store import Job
 
 __all__ = [
@@ -199,25 +200,35 @@ def open_backend(
     token: str | None = None,
     timeout_s: float = 10.0,
     retries: int = 3,
+    backoff_s: float = 0.2,
+    clock: Callable[[], float] | None = None,
+    faults: "FaultPlan | None" = None,
 ) -> JobStoreBackend:
     """Open the job-store backend a *target* names.
 
     ``target`` is a SQLite path (``lab.db`` / ``sqlite:///runs/lab.db``)
-    or a job-server URL (``http://host:8642``).  ``lease_s`` applies to
-    the SQLite backend (the HTTP server owns lease policy for its
-    clients); ``token``/``timeout_s``/``retries`` apply to HTTP.
+    or a job-server URL (``http://host:8642``).  ``lease_s``/``clock``
+    apply to the SQLite backend (the HTTP server owns lease policy and
+    time for its clients); ``token``/``timeout_s``/``retries``/
+    ``faults`` apply to HTTP — the chaos harness threads a
+    :class:`repro.lab.faults.FaultPlan` here to perturb the transport.
     """
     from .http_store import HttpJobStore
     from .store import JobStore
 
     if isinstance(target, Path):
-        return JobStore(target, lease_s=lease_s)
+        return JobStore(target, lease_s=lease_s, clock=clock)
     scheme, rest = _split_target(str(target))
     if scheme is None or scheme == "sqlite":
-        return JobStore(rest, lease_s=lease_s)
+        return JobStore(rest, lease_s=lease_s, clock=clock)
     if scheme in ("http", "https"):
         return HttpJobStore(
-            rest, token=token, timeout_s=timeout_s, retries=retries
+            rest,
+            token=token,
+            timeout_s=timeout_s,
+            retries=retries,
+            backoff_s=backoff_s,
+            faults=faults,
         )
     raise UnknownNameError("store backend", scheme, list(STORE_BACKENDS))
 

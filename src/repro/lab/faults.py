@@ -1,0 +1,704 @@
+"""Deterministic chaos harness: seeded fault injection + invariants.
+
+The distributed lab's correctness story — exactly-once results under
+crashes, lost responses and retries — was previously pinned by a few
+hand-written regressions.  This module turns that into a systematic,
+*deterministic* fault-injection layer:
+
+* :class:`FaultRule` / :class:`FaultPlan` — a declarative schedule of
+  faults (``drop_response``, ``delay``, ``http_5xx_burst``,
+  ``truncate_body``, ``duplicate_request``, ``clock_skew``,
+  ``kill_worker_after_n_jobs``) built from a seed.  All randomness
+  happens at *plan-build* time (:meth:`FaultPlan.standard` samples
+  target job ids and burst windows with ``random.Random(seed)``);
+  runtime decisions are keyed by job id or by per-rule occurrence
+  counters, never by wall clock or a live RNG, so two runs of the same
+  plan fire the same faults in the same order and produce identical
+  fault logs (log entries deliberately carry no timestamps).
+
+* Three injection seams, all opt-in via a ``faults=`` parameter:
+  the :class:`~repro.lab.http_store.HttpJobStore` transport
+  (:meth:`FaultPlan.before_send` / :meth:`FaultPlan.after_receive` —
+  delays, duplicated sends, dropped/truncated responses *after* the
+  server executed), a server middleware hook in
+  :class:`~repro.lab.server.LabServer` (:meth:`FaultPlan.server_request`
+  — 5xx bursts before any execution or idempotency recording), and the
+  worker loop (:meth:`FaultPlan.job_executed` — raising
+  :class:`WorkerKilled` between a job's execution and its report, the
+  in-process stand-in for SIGKILL).
+
+* :func:`check_invariants` — the trust layer: after a run, every job is
+  done exactly once, result rows are unique and match the done set,
+  attempts stayed within budget, leases are reclaimed or held, and the
+  server's idempotency-replay counter equals exactly the number of
+  injected response losses and duplicate sends on mutating endpoints.
+
+* :func:`run_chaos` — the end-to-end harness behind ``repro-lms lab
+  chaos``: run a grid fault-free against a local store, re-run it
+  through a live :class:`LabServer` under a standard fault plan with
+  sequentially respawned workers, then check invariants and compare the
+  two ``--drop-timing`` exports byte for byte.
+
+Determinism requires the chaos run's discipline, which
+:func:`run_chaos` enforces: one worker incarnation at a time (claims
+are then fully ordered), fault-free heartbeat backends (a SIGKILL
+stops a whole process; it does not garble heartbeats), and rules that
+only target the deterministic prefix of the request stream (content-
+keyed job rules, small early occurrence windows) — never the
+timing-dependent tail of idle polls and heartbeats.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+import urllib.error
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..obs import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .backends import JobStoreBackend
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultRule",
+    "InvariantReport",
+    "MUTATING_ENDPOINTS",
+    "WorkerKilled",
+    "check_invariants",
+    "drop_timing_rows",
+    "export_bytes",
+    "run_chaos",
+]
+
+#: Every fault kind a :class:`FaultRule` may carry.
+FAULT_KINDS = (
+    "drop_response",
+    "delay",
+    "http_5xx_burst",
+    "truncate_body",
+    "duplicate_request",
+    "clock_skew",
+    "kill_worker_after_n_jobs",
+)
+
+#: POST endpoints that carry an idempotency key.  A response loss or a
+#: duplicated send on one of these produces exactly one server-side
+#: idempotency replay — the accounting :func:`check_invariants` checks.
+MUTATING_ENDPOINTS = (
+    "claim",
+    "heartbeat",
+    "complete",
+    "fail",
+    "create_run",
+    "reclaim",
+    "reset",
+)
+
+#: Fault kinds evaluated client-side before a request is sent.
+_PRE_SEND_KINDS = ("delay", "duplicate_request", "clock_skew")
+
+#: Fault kinds evaluated client-side after a response was received
+#: (i.e. after the server executed and recorded the response).
+_POST_RECEIVE_KINDS = ("drop_response", "truncate_body")
+
+
+class WorkerKilled(BaseException):
+    """A worker was chaos-killed between executing a job and reporting
+    it.  Deliberately a ``BaseException``: it must escape the worker
+    loop's ``except Exception`` failure handling the way a real SIGKILL
+    escapes everything, leaving the job running under a live lease."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One declarative fault.
+
+    A rule targets requests either by content (``jobs`` — job ids
+    matched against the request body or the claim reply) or by position
+    (``at`` — 1-based occurrence indices of matching requests, counted
+    per rule).  ``endpoint`` restricts matching to one API endpoint
+    (``None`` matches all — use only with ``jobs`` targeting, since
+    occurrence counters over *all* endpoints include timing-dependent
+    polls).  Content-targeted rules fire once per job; occurrence-
+    targeted rules fire once per listed index.
+
+    Kind-specific fields: ``count`` is the burst length for
+    ``http_5xx_burst`` and the pre-kill job budget for
+    ``kill_worker_after_n_jobs`` (the worker's ``count + 1``-th executed
+    job dies unreported); ``delay_s`` for ``delay``; ``skew_s`` for
+    ``clock_skew``; ``worker_seq`` for kills.
+    """
+
+    kind: str
+    endpoint: str | None = None
+    jobs: tuple[int, ...] = ()
+    at: tuple[int, ...] = ()
+    count: int = 1
+    delay_s: float = 0.0
+    skew_s: float = 0.0
+    worker_seq: int = 0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"valid kinds: {', '.join(FAULT_KINDS)}"
+            )
+
+
+@dataclass
+class TransportActions:
+    """What :meth:`FaultPlan.before_send` asks the transport to do."""
+
+    delay_s: float = 0.0
+    duplicate: bool = False
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of faults plus its fire log.
+
+    Thread-safe: the transport seams run in worker threads while
+    :meth:`server_request` runs in server handler threads.  ``log`` is
+    the ordered list of fired faults (no timestamps — it is part of the
+    determinism contract), and ``metrics`` counts fires per kind under
+    ``lab.faults.<kind>``.
+    """
+
+    def __init__(self, seed: int = 0, rules: tuple[FaultRule, ...] = ()):
+        self.seed = int(seed)
+        self.rules = tuple(rules)
+        self.metrics = MetricsRegistry()
+        self.log: list[dict] = []
+        self._lock = threading.RLock()
+        self._skew = 0.0
+        self._seq = 0
+        self._occurrences = [0] * len(self.rules)
+        self._fired: set[tuple[int, tuple]] = set()
+        self._worker_jobs: dict[int, int] = {}
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def standard(
+        cls,
+        seed: int,
+        n_jobs: int,
+        *,
+        workers: int = 2,
+        kill_after: int = 1,
+    ) -> "FaultPlan":
+        """The ``lab chaos`` schedule: sample (with ``seed``) dropped
+        ``complete`` responses for about a third of the jobs, one
+        dropped ``claim`` response, one truncated body, one duplicated
+        send, small delays, a forward clock skew, an early 5xx burst on
+        ``claim``, and one kill per worker but the last.
+
+        Job ids are assumed ``1..n_jobs`` — what a fresh store assigns
+        to a freshly created run, in spec order.
+        """
+        if n_jobs < 1:
+            raise ValueError("standard plan needs at least one job")
+        rng = random.Random(seed)
+        job_ids = list(range(1, n_jobs + 1))
+
+        def sample(n: int) -> tuple[int, ...]:
+            return tuple(sorted(rng.sample(job_ids, min(n, n_jobs))))
+
+        rules = [
+            FaultRule(
+                "drop_response", endpoint="complete",
+                jobs=sample(max(1, n_jobs // 3)),
+            ),
+            FaultRule("drop_response", endpoint="claim", at=(1,)),
+            FaultRule(
+                "truncate_body", endpoint="complete",
+                jobs=(rng.choice(job_ids),),
+            ),
+            FaultRule(
+                "duplicate_request", endpoint="complete",
+                jobs=(rng.choice(job_ids),),
+            ),
+            FaultRule(
+                "delay", endpoint="complete",
+                jobs=sample(max(1, n_jobs // 4)), delay_s=0.02,
+            ),
+            # Forward skew, small enough that live leases survive it
+            # (well under lease_s minus the heartbeat interval).
+            FaultRule(
+                "clock_skew", endpoint="complete",
+                jobs=(rng.choice(job_ids),), skew_s=0.5,
+            ),
+            # Early burst: occurrences 2..3 of claim are within the
+            # deterministic prefix of any run with >= 2 jobs.
+            FaultRule(
+                "http_5xx_burst", endpoint="claim",
+                at=(rng.randint(2, 3),), count=2,
+            ),
+        ]
+        for seq in range(max(1, workers - 1)):
+            rules.append(
+                FaultRule(
+                    "kill_worker_after_n_jobs",
+                    worker_seq=seq,
+                    count=kill_after,
+                )
+            )
+        return cls(seed=seed, rules=tuple(rules))
+
+    # -- bookkeeping -----------------------------------------------------
+    def clock(self) -> float:
+        """Wall time plus the accumulated injected skew — hand this to
+        the server/store as their ``clock``."""
+        with self._lock:
+            return time.time() + self._skew
+
+    def fault_counts(self) -> dict[str, int]:
+        """``{kind: fires}`` over the log."""
+        counts: dict[str, int] = {}
+        with self._lock:
+            for entry in self.log:
+                counts[entry["kind"]] = counts.get(entry["kind"], 0) + 1
+        return counts
+
+    def expected_idem_replays(self) -> int:
+        """How many server idempotency replays this plan's fires must
+        have caused: one per response loss (drop/truncate) and one per
+        duplicated send, on mutating endpoints only.  Injected 5xx hit
+        before idempotency recording, so bursts never add replays."""
+        with self._lock:
+            return sum(
+                1
+                for entry in self.log
+                if entry["kind"]
+                in ("drop_response", "truncate_body", "duplicate_request")
+                and entry.get("endpoint") in MUTATING_ENDPOINTS
+            )
+
+    def _record(self, idx: int, rule: FaultRule, key: tuple, **fields) -> None:
+        """Append a fire to the log (caller holds the lock)."""
+        self._fired.add((idx, key))
+        self._seq += 1
+        entry = {"seq": self._seq, "kind": rule.kind}
+        entry.update({k: v for k, v in fields.items() if v is not None})
+        self.log.append(entry)
+        self.metrics.counter(f"lab.faults.{rule.kind}").add()
+
+    def _match(
+        self,
+        idx: int,
+        rule: FaultRule,
+        endpoint: str,
+        job_id: int | None,
+        attempt: int,
+    ) -> tuple | None:
+        """The fire key if ``rule`` matches this request, else ``None``.
+
+        Occurrence counters tick only on first attempts, so client
+        retries (whose count depends on prior faults) never shift which
+        logical call an ``at`` index names.
+        """
+        if rule.endpoint is not None and rule.endpoint != endpoint:
+            return None
+        if rule.jobs:
+            if job_id is None or job_id not in rule.jobs:
+                return None
+            key = ("job", job_id)
+            return None if (idx, key) in self._fired else key
+        if rule.at:
+            if attempt != 1:
+                return None
+            self._occurrences[idx] += 1
+            occurrence = self._occurrences[idx]
+            if occurrence not in rule.at:
+                return None
+            return ("occurrence", occurrence)
+        return None
+
+    # -- client transport seam (HttpJobStore._request) -------------------
+    def before_send(
+        self, endpoint: str, body: dict | None, attempt: int
+    ) -> TransportActions | None:
+        """Pre-send faults for one request: delay, duplicate, skew."""
+        actions = TransportActions()
+        job_id = body.get("job_id") if body else None
+        with self._lock:
+            for idx, rule in enumerate(self.rules):
+                if rule.kind not in _PRE_SEND_KINDS:
+                    continue
+                key = self._match(idx, rule, endpoint, job_id, attempt)
+                if key is None:
+                    continue
+                if rule.kind == "delay":
+                    actions.delay_s += rule.delay_s
+                    self._record(
+                        idx, rule, key,
+                        endpoint=endpoint, job_id=job_id, delay_s=rule.delay_s,
+                    )
+                elif rule.kind == "duplicate_request":
+                    actions.duplicate = True
+                    self._record(
+                        idx, rule, key, endpoint=endpoint, job_id=job_id
+                    )
+                else:  # clock_skew
+                    self._skew += rule.skew_s
+                    self._record(
+                        idx, rule, key,
+                        endpoint=endpoint, job_id=job_id, skew_s=rule.skew_s,
+                    )
+        if actions.delay_s or actions.duplicate:
+            return actions
+        return None
+
+    def after_receive(
+        self, endpoint: str, body: dict | None, reply: dict, attempt: int
+    ) -> None:
+        """Post-receive faults: the server executed and recorded its
+        response, but the client never sees it.  Raises the same
+        exception types a real lost/garbled response produces, so the
+        transport's retry path is exercised unmodified."""
+        job_id = body.get("job_id") if body else None
+        if job_id is None and isinstance(reply, dict):
+            job = reply.get("job")
+            if isinstance(job, dict):
+                job_id = job.get("id")
+        with self._lock:
+            for idx, rule in enumerate(self.rules):
+                if rule.kind not in _POST_RECEIVE_KINDS:
+                    continue
+                key = self._match(idx, rule, endpoint, job_id, attempt)
+                if key is None:
+                    continue
+                self._record(idx, rule, key, endpoint=endpoint, job_id=job_id)
+                if rule.kind == "drop_response":
+                    raise urllib.error.URLError("injected drop_response")
+                raise json.JSONDecodeError("injected truncate_body", '""', 0)
+
+    # -- server middleware seam (LabServer._dispatch) --------------------
+    def server_request(self, endpoint: str) -> tuple[int, str] | None:
+        """``(status_code, kind)`` if this request should be rejected
+        with an injected 5xx, else ``None``.  Burst windows are
+        occurrence-based per rule: fire on occurrences ``at[0]`` through
+        ``at[0] + count - 1`` of the rule's endpoint."""
+        with self._lock:
+            for idx, rule in enumerate(self.rules):
+                if rule.kind != "http_5xx_burst":
+                    continue
+                if rule.endpoint is not None and rule.endpoint != endpoint:
+                    continue
+                self._occurrences[idx] += 1
+                occurrence = self._occurrences[idx]
+                start = rule.at[0] if rule.at else 1
+                if start <= occurrence < start + rule.count:
+                    self._seq += 1
+                    self.log.append(
+                        {
+                            "seq": self._seq,
+                            "kind": rule.kind,
+                            "endpoint": endpoint,
+                            "occurrence": occurrence,
+                        }
+                    )
+                    self.metrics.counter(f"lab.faults.{rule.kind}").add()
+                    return 503, rule.kind
+        return None
+
+    # -- worker seam (worker_loop) ---------------------------------------
+    def job_executed(self, worker_seq: int) -> None:
+        """Called by a chaos worker after executing (not yet reporting)
+        each job; raises :class:`WorkerKilled` when a kill rule for this
+        worker says its budget is spent — the job dies executed but
+        unreported, under a live lease."""
+        with self._lock:
+            self._worker_jobs[worker_seq] = (
+                self._worker_jobs.get(worker_seq, 0) + 1
+            )
+            executed = self._worker_jobs[worker_seq]
+            for idx, rule in enumerate(self.rules):
+                if rule.kind != "kill_worker_after_n_jobs":
+                    continue
+                if rule.worker_seq != worker_seq:
+                    continue
+                key = ("kill", worker_seq)
+                if (idx, key) in self._fired:
+                    continue
+                if executed >= rule.count + 1:
+                    self._record(
+                        idx, rule, key,
+                        worker_seq=worker_seq, jobs_executed=executed,
+                    )
+                    raise WorkerKilled(
+                        f"worker {worker_seq} chaos-killed after "
+                        f"{rule.count} job(s)"
+                    )
+
+
+# ---------------------------------------------------------------------------
+# Invariants
+# ---------------------------------------------------------------------------
+@dataclass
+class InvariantReport:
+    """The outcome of :func:`check_invariants`."""
+
+    checks: dict[str, bool]
+    violations: list[str] = field(default_factory=list)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        passed = sum(1 for ok in self.checks.values() if ok)
+        head = f"{passed}/{len(self.checks)} invariants hold"
+        if self.ok:
+            return head
+        return head + "; " + "; ".join(self.violations)
+
+
+def check_invariants(
+    store: "JobStoreBackend",
+    run_id: int | None = None,
+    *,
+    plan: FaultPlan | None = None,
+    idem_replays: int | None = None,
+    now: float | None = None,
+    expect_drained: bool = True,
+) -> InvariantReport:
+    """Check the lab's exactly-once / lease / replay invariants.
+
+    Reclaims lapsed leases first (crash recovery is part of the
+    contract under test), then checks: the queue drained (when
+    ``expect_drained``), every done job has exactly one result row and
+    vice versa, no attempt budget was exceeded, running jobs hold an
+    owner while pending jobs hold none, and — when ``plan`` and the
+    server's observed ``idem_replays`` are given — the replay counter
+    equals exactly the plan's injected response losses and duplicates.
+    """
+    checks: dict[str, bool] = {}
+    violations: list[str] = []
+
+    def check(name: str, ok: bool, message: str) -> None:
+        checks[name] = bool(ok)
+        if not ok:
+            violations.append(message)
+
+    store.reclaim_expired(now=now)
+    counts = store.counts(run_id)
+    jobs = store.jobs(run_id)
+    results = store.results(run_id)
+
+    if expect_drained:
+        check(
+            "queue_drained",
+            counts["pending"] == 0
+            and counts["running"] == 0
+            and counts["failed"] == 0,
+            f"queue not drained: {counts}",
+        )
+    done_ids = sorted(j.id for j in jobs if j.status == "done")
+    result_ids = [row["job_id"] for row in results]
+    check(
+        "no_duplicate_result_rows",
+        len(set(result_ids)) == len(result_ids),
+        f"duplicate result rows for job ids "
+        f"{sorted(set(i for i in result_ids if result_ids.count(i) > 1))}",
+    )
+    check(
+        "one_result_row_per_done_job",
+        sorted(result_ids) == done_ids,
+        f"result rows {sorted(result_ids)} != done jobs {done_ids}",
+    )
+    over_budget = [
+        j.id
+        for j in jobs
+        if j.status == "done" and not (1 <= j.attempt <= j.max_attempts)
+    ]
+    check(
+        "attempts_within_budget",
+        not over_budget,
+        f"jobs finished outside their attempt budget: {over_budget}",
+    )
+    ownerless = [j.id for j in jobs if j.status == "running" and not j.owner]
+    stale_owner = [j.id for j in jobs if j.status == "pending" and j.owner]
+    check(
+        "leases_reclaimed_or_held",
+        not ownerless and not stale_owner,
+        f"ownerless running jobs {ownerless}, "
+        f"pending jobs with stale owners {stale_owner}",
+    )
+    if plan is not None and idem_replays is not None:
+        expected = plan.expected_idem_replays()
+        check(
+            "idem_replays_match_injected_losses",
+            idem_replays == expected,
+            f"server replayed {idem_replays} idempotent request(s), "
+            f"plan injected {expected} response loss(es)/duplicate(s)",
+        )
+    return InvariantReport(checks=checks, violations=violations, counts=counts)
+
+
+# ---------------------------------------------------------------------------
+# Export comparison helpers (shared with `lab export --drop-timing`)
+# ---------------------------------------------------------------------------
+def drop_timing_rows(rows: list[dict]) -> list[dict]:
+    """Result rows without run history (``wall_s``, ``attempt``): what
+    must be byte-identical across reruns, retries and chaos."""
+    return [
+        {k: v for k, v in row.items() if k not in ("wall_s", "attempt")}
+        for row in rows
+    ]
+
+
+def export_bytes(rows: list[dict]) -> bytes:
+    """Rows serialized exactly like ``lab export`` writes JSON."""
+    return json.dumps(rows, indent=2, default=str).encode()
+
+
+# ---------------------------------------------------------------------------
+# End-to-end harness (repro-lms lab chaos)
+# ---------------------------------------------------------------------------
+def run_chaos(
+    grid,
+    *,
+    seed: int = 0,
+    workdir: str | Path,
+    workers: int = 2,
+    kill_after: int = 1,
+    lease_s: float = 2.0,
+    max_attempts: int = 8,
+    job_timeout_s: float = 120.0,
+    plan: FaultPlan | None = None,
+    report_path: str | Path | None = None,
+) -> dict:
+    """Run ``grid`` fault-free locally, re-run it through a live server
+    under ``plan`` (default: :meth:`FaultPlan.standard`), then check
+    invariants and compare the two timing-free exports byte for byte.
+
+    Workers run as sequential in-process incarnations: one incarnation
+    claims and executes with the fault plan wired in until it either
+    drains the queue or is chaos-killed, in which case the next
+    incarnation takes over (and first waits out the dead worker's lease
+    before reclaiming its job) — the single-machine rendition of a
+    fleet losing workers one at a time.  Sequential incarnations are
+    also what makes the fault log reproducible: claims are fully
+    ordered, so content- and occurrence-keyed rules fire identically
+    on every run with the same seed.
+    """
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    from .http_store import HttpJobStore
+    from .server import LabServer
+    from .store import JobStore
+    from .worker import worker_loop
+
+    specs = grid.expand()
+    pairs = [(spec.key(), spec.as_dict()) for spec in specs]
+    grid_dict = grid.as_dict() if hasattr(grid, "as_dict") else {}
+    cache_dir = workdir / "cache"
+
+    # 1. Fault-free reference on a local store (also warms the cache, so
+    # the chaos run exercises the lab layer, not the numerics again).
+    reference_db = workdir / "reference.db"
+    ref_store = JobStore(reference_db)
+    ref_run, _ = ref_store.create_run(
+        grid_dict, pairs, max_attempts=max_attempts
+    )
+    ref_store.close()
+    worker_loop(
+        str(reference_db), cache_dir, None, 0, job_timeout_s=job_timeout_s
+    )
+    ref_store = JobStore(reference_db)
+    reference_rows = drop_timing_rows(ref_store.results(ref_run))
+    ref_store.close()
+    reference_export = export_bytes(reference_rows)
+
+    # 2. Chaos run: live server owning the (skewable) clock, workers
+    # carrying the fault plan.
+    if plan is None:
+        plan = FaultPlan.standard(
+            seed, n_jobs=len(pairs), workers=workers, kill_after=kill_after
+        )
+    server = LabServer(
+        workdir / "chaos.db",
+        port=0,
+        lease_s=lease_s,
+        clock=plan.clock,
+        faults=plan,
+    ).start_background()
+    incarnations = 0
+    try:
+        control = HttpJobStore(server.url)  # orchestration stays fault-free
+        run_id, _ = control.create_run(
+            grid_dict, pairs, max_attempts=max_attempts
+        )
+        seq = 0
+        while True:
+            if seq > workers + 8:
+                raise RuntimeError(
+                    f"chaos workers respawned {seq} times without draining "
+                    f"the queue; counts: {control.counts(run_id)}"
+                )
+            incarnations += 1
+            try:
+                # Tiny retry backoff keeps each incarnation's remaining
+                # work comfortably shorter than the lease, so a killed
+                # job is always reclaimed *after* the pending queue
+                # drains — which is what makes claim order (and hence
+                # the fault log) reproducible.
+                worker_loop(
+                    server.url,
+                    cache_dir,
+                    str(workdir / "telemetry.jsonl"),
+                    seq,
+                    job_timeout_s=job_timeout_s,
+                    backoff_s=0.02,
+                    faults=plan,
+                )
+            except WorkerKilled:
+                seq += 1
+                continue
+            break
+        status = control.status(run_id)
+        idem_replays = int(
+            status["metrics"]["counters"].get("lab.server.idem_replays", 0)
+        )
+        invariants = check_invariants(
+            control, run_id, plan=plan, idem_replays=idem_replays
+        )
+        chaos_rows = drop_timing_rows(control.results(run_id))
+    finally:
+        server.shutdown()
+
+    chaos_export = export_bytes(chaos_rows)
+    matches = chaos_export == reference_export
+    (workdir / "fault_log.json").write_text(json.dumps(plan.log, indent=2))
+    (workdir / "reference_export.json").write_bytes(reference_export)
+    (workdir / "chaos_export.json").write_bytes(chaos_export)
+
+    violations = list(invariants.violations)
+    if not matches:
+        violations.append(
+            "chaos export differs from the fault-free reference export"
+        )
+    report = {
+        "ok": invariants.ok and matches,
+        "seed": plan.seed,
+        "jobs": len(pairs),
+        "worker_incarnations": incarnations,
+        "checks": {**invariants.checks, "export_matches_reference": matches},
+        "violations": violations,
+        "counts": invariants.counts,
+        "fault_counts": plan.fault_counts(),
+        "idem_replays": idem_replays,
+        "fault_log": plan.log,
+        "workdir": str(workdir),
+    }
+    if report_path is not None:
+        Path(report_path).write_text(json.dumps(report, indent=2))
+    return report

@@ -25,15 +25,19 @@ than tripping the owner check and miscounting the job as lease-lost.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 import uuid
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 from urllib.parse import urlencode
 
 from .backends import JobStoreBackend
 from .store import Job, STATUSES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .faults import FaultPlan
 
 __all__ = ["HttpJobStore", "StoreConnectionError"]
 
@@ -54,12 +58,20 @@ class HttpJobStore(JobStoreBackend):
         timeout_s: float = 10.0,
         retries: int = 3,
         backoff_s: float = 0.2,
+        deadline_s: float = 60.0,
+        faults: "FaultPlan | None" = None,
     ):
         self.url = url.rstrip("/")
         self.token = token
         self.timeout_s = float(timeout_s)
         self.retries = int(retries)
         self.backoff_s = float(backoff_s)
+        self.deadline_s = float(deadline_s)
+        self.faults = faults
+        # Jitter spreads synchronized worker retries apart; it only
+        # perturbs sleep lengths, never which requests are sent, so
+        # chaos runs stay deterministic.
+        self._jitter = random.Random()
 
     # -- transport -------------------------------------------------------
     def _request(
@@ -69,12 +81,16 @@ class HttpJobStore(JobStoreBackend):
         body: dict | None = None,
         query: dict | None = None,
     ) -> dict:
-        """One endpoint call with bounded retry.
+        """One endpoint call with bounded, jittered retry.
 
         ``body`` selects POST (mutations), ``query`` GET (inspection).
         POST bodies get a fresh idempotency key that stays fixed across
         the retries of this one call, so a mutation whose response was
         lost in transit is replayed — not re-executed — by the server.
+
+        Backoff doubles per attempt with up to +100% random jitter, and
+        the whole call is capped by ``deadline_s`` wall time — a long
+        5xx burst fails the call instead of stalling a worker forever.
         """
         url = f"{self.url}/api/{endpoint}"
         if query:
@@ -89,16 +105,46 @@ class HttpJobStore(JobStoreBackend):
         headers = {"Content-Type": "application/json"}
         if self.token is not None:
             headers["Authorization"] = f"Bearer {self.token}"
+        started = time.monotonic()
         last_error: Exception | None = None
-        for attempt in range(self.retries + 1):
-            if attempt:
-                time.sleep(self.backoff_s * 2 ** (attempt - 1))
+        attempts = 0
+        for attempt in range(1, self.retries + 2):
+            if attempt > 1:
+                delay = self.backoff_s * 2 ** (attempt - 2)
+                delay *= 1.0 + self._jitter.random()
+                remaining = self.deadline_s - (time.monotonic() - started)
+                if remaining <= 0:
+                    break
+                time.sleep(min(delay, remaining))
+            attempts = attempt
+            if self.faults is not None:
+                actions = self.faults.before_send(endpoint, body, attempt)
+            else:
+                actions = None
             request = urllib.request.Request(url, data=data, headers=headers)
             try:
+                if actions is not None and actions.delay_s > 0:
+                    time.sleep(actions.delay_s)
+                if actions is not None and actions.duplicate:
+                    # Fire the same request twice, discarding the first
+                    # response — the wire-level double-send the idem key
+                    # exists to absorb.
+                    with urllib.request.urlopen(
+                        urllib.request.Request(url, data=data, headers=headers),
+                        timeout=self.timeout_s,
+                    ) as dup:
+                        dup.read()
                 with urllib.request.urlopen(
                     request, timeout=self.timeout_s
                 ) as response:
-                    return json.loads(response.read())
+                    raw = response.read()
+                reply = json.loads(raw)
+                if self.faults is not None:
+                    # Post-receive faults (drop/truncate) raise here,
+                    # after the server has executed and recorded the
+                    # response — the lost-in-transit case.
+                    self.faults.after_receive(endpoint, body, reply, attempt)
+                return reply
             except urllib.error.HTTPError as exc:
                 if exc.code < 500:
                     # Protocol-level rejection (auth, bad request):
@@ -113,9 +159,10 @@ class HttpJobStore(JobStoreBackend):
                 last_error = exc
             except json.JSONDecodeError as exc:
                 last_error = exc
+        elapsed = time.monotonic() - started
         raise StoreConnectionError(
             f"job server unreachable at {self.url} "
-            f"(after {self.retries + 1} attempts): {last_error}"
+            f"(after {attempts} attempt(s) in {elapsed:.1f}s): {last_error}"
         ) from last_error
 
     def ping(self) -> bool:

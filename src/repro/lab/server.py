@@ -57,14 +57,17 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any, Callable
 from urllib.parse import parse_qs, urlparse
 
 from ..obs import MetricsRegistry
 from .backends import DEFAULT_LEASE_S
 from .store import Job, JobStore
 
-__all__ = ["LabServer", "PROTOCOL_VERSION"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .faults import FaultPlan
+
+__all__ = ["IdempotencyCache", "LabServer", "PROTOCOL_VERSION"]
 
 #: Bumped whenever the wire schema changes incompatibly; clients check
 #: it against the ``ping`` response.
@@ -87,6 +90,55 @@ class _ApiError(Exception):
         self.code = code
 
 
+class IdempotencyCache:
+    """TTL'd, FIFO-bounded idempotency-key → response cache.
+
+    Entries land in insertion order and :meth:`put` re-inserts an
+    existing key at the tail, so FIFO eviction always drops the entry
+    recorded longest ago.  :meth:`get` expires entries lazily against
+    ``clock`` — a response older than ``ttl_s`` is never replayed, it is
+    deleted and the caller re-executes.  The bound and the TTL together
+    are what keep a long-lived server's replay memory finite; both are
+    pinned by the hypothesis suite in ``tests/lab``.
+    """
+
+    def __init__(
+        self,
+        *,
+        ttl_s: float | None = None,  # defaults to IDEMPOTENCY_TTL_S
+        max_entries: int = 4096,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.ttl_s = IDEMPOTENCY_TTL_S if ttl_s is None else float(ttl_s)
+        self.max_entries = int(max_entries)
+        self._clock = clock
+        self._entries: dict[str, tuple[float, dict]] = {}
+
+    def get(self, key: str) -> dict | None:
+        """The recorded response for ``key``, or ``None`` if absent or
+        recorded more than ``ttl_s`` ago (expired entries are dropped)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        recorded_at, response = entry
+        if self._clock() - recorded_at > self.ttl_s:
+            del self._entries[key]
+            return None
+        return response
+
+    def put(self, key: str, response: dict) -> None:
+        """Record ``key``'s response, evicting oldest entries past the
+        bound.  Re-putting a key moves it to the FIFO tail, keeping
+        eviction order identical to recording order."""
+        self._entries.pop(key, None)
+        while len(self._entries) >= self.max_entries:
+            del self._entries[next(iter(self._entries))]
+        self._entries[key] = (self._clock(), response)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class LabServer:
     """Threaded HTTP front end serving one SQLite job store.
 
@@ -104,16 +156,22 @@ class LabServer:
         port: int = 8642,
         token: str | None = None,
         lease_s: float = DEFAULT_LEASE_S,
+        clock: Callable[[], float] | None = None,
+        faults: "FaultPlan | None" = None,
     ):
-        self.store = JobStore(db_path, lease_s=lease_s, cross_thread=True)
+        self._clock = clock or time.time
+        self.store = JobStore(
+            db_path, lease_s=lease_s, cross_thread=True, clock=clock
+        )
         self.token = token
+        self.faults = faults
         self.metrics = MetricsRegistry()
-        self.started_at = time.time()
+        self.started_at = self._clock()
         self._lock = threading.Lock()
         self._reclaim_every = max(lease_s / 2.0, 0.25)
         self._next_reclaim = 0.0
-        # idem key -> (recorded_at, response); replayed on client retry.
-        self._idem_cache: dict[str, tuple[float, dict]] = {}
+        # idem key -> recorded response; replayed on client retry.
+        self._idem = IdempotencyCache(clock=self._clock)
         handler = type("_BoundLabHandler", (_LabHandler,), {"lab": self})
         self.httpd = ThreadingHTTPServer((host, port), handler)
         self.httpd.daemon_threads = True
@@ -153,27 +211,10 @@ class LabServer:
         with self._lock:
             self.store.close()
 
-    # -- idempotency replay (called under self._lock) --------------------
-    def _idem_get(self, key: str) -> dict | None:
-        entry = self._idem_cache.get(key)
-        if entry is None:
-            return None
-        recorded_at, response = entry
-        if time.time() - recorded_at > IDEMPOTENCY_TTL_S:
-            del self._idem_cache[key]
-            return None
-        return response
-
-    def _idem_put(self, key: str, response: dict) -> None:
-        # Entries land in time order, so FIFO eviction drops the oldest.
-        while len(self._idem_cache) >= 4096:
-            del self._idem_cache[next(iter(self._idem_cache))]
-        self._idem_cache[key] = (time.time(), response)
-
     # -- endpoint implementations (called under self._lock) -------------
     def _maybe_reclaim(self, now: float | None) -> None:
         """Lazily re-queue lapsed leases, at most every ``lease_s/2``."""
-        wall = time.time() if now is None else now
+        wall = self._clock() if now is None else now
         if wall >= self._next_reclaim:
             reclaimed = self.store.reclaim_expired(now=now)
             if reclaimed:
@@ -249,7 +290,7 @@ class LabServer:
             "next_not_before": self.store.next_not_before(run_id),
             "latest_run": self.store.latest_run_id(),
             "lease_s": self.store.lease_s,
-            "uptime_s": time.time() - self.started_at,
+            "uptime_s": self._clock() - self.started_at,
             "metrics": self.metrics.snapshot(),
         }
 
@@ -357,6 +398,18 @@ class _LabHandler(BaseHTTPRequestHandler):
             lab.metrics.counter("lab.server.errors").add()
             self._send_json(401, {"error": "missing or invalid bearer token"})
             return
+        if lab.faults is not None:
+            # Fault middleware sits before idempotency handling on
+            # purpose: an injected 5xx means the request never executed
+            # and never recorded a response, exactly like a crash
+            # between accept() and dispatch.
+            fault = lab.faults.server_request(name)
+            if fault is not None:
+                code, kind = fault
+                lab.metrics.counter(f"lab.server.faults.{kind}").add()
+                lab.metrics.counter("lab.server.errors").add()
+                self._send_json(code, {"error": f"injected fault: {kind}"})
+                return
         start = time.perf_counter()
         try:
             payload = payload_reader(parsed)
@@ -364,13 +417,13 @@ class _LabHandler(BaseHTTPRequestHandler):
             if idem is not None and not isinstance(idem, str):
                 raise _ApiError(400, "field 'idem' must be a string")
             with lab._lock:
-                response = lab._idem_get(idem) if idem else None
+                response = lab._idem.get(idem) if idem else None
                 if response is not None:
                     lab.metrics.counter("lab.server.idem_replays").add()
                 else:
                     response = route(lab, payload)
                     if idem:
-                        lab._idem_put(idem, response)
+                        lab._idem.put(idem, response)
         except _ApiError as exc:
             lab.metrics.counter("lab.server.errors").add()
             self._send_json(exc.code, {"error": str(exc)})

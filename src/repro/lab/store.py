@@ -37,7 +37,7 @@ import sqlite3
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from .backends import DEFAULT_LEASE_S, JobStoreBackend
 
@@ -124,7 +124,10 @@ class JobStore(JobStoreBackend):
 
     ``lease_s`` is the claim-lease duration; ``cross_thread=True`` opens
     the connection with ``check_same_thread=False`` for callers that
-    serialise access themselves (the HTTP job server).
+    serialise access themselves (the HTTP job server).  ``clock``
+    replaces ``time.time`` as the source of "now" for every mutator
+    whose caller left ``now=None`` — the chaos harness injects a skewed
+    clock here to drive lease and backoff arithmetic under fault plans.
     """
 
     def __init__(
@@ -133,10 +136,12 @@ class JobStore(JobStoreBackend):
         *,
         lease_s: float = DEFAULT_LEASE_S,
         cross_thread: bool = False,
+        clock: Callable[[], float] | None = None,
     ):
         self.path = Path(path)
         self.lease_s = float(lease_s)
         self._cross_thread = cross_thread
+        self._clock = clock or time.time
         self._conn: sqlite3.Connection | None = None
 
     # -- connection management ------------------------------------------
@@ -188,7 +193,7 @@ class JobStore(JobStoreBackend):
         ``lab init`` with the same grid cannot duplicate jobs.  Returns
         ``(run_id, jobs_inserted)``.
         """
-        now = time.time() if now is None else now
+        now = self._clock() if now is None else now
         conn = self.conn
         with conn:
             cur = conn.execute(
@@ -224,7 +229,7 @@ class JobStore(JobStoreBackend):
         two workers can never claim the same row.  The claim carries a
         lease of ``lease_s`` seconds that :meth:`heartbeat` extends.
         """
-        now = time.time() if now is None else now
+        now = self._clock() if now is None else now
         conn = self.conn
         try:
             conn.execute("BEGIN IMMEDIATE")
@@ -262,7 +267,7 @@ class JobStore(JobStoreBackend):
         reclaimed (and possibly re-claimed by another worker) or already
         finished — in which case the worker should abandon it.
         """
-        now = time.time() if now is None else now
+        now = self._clock() if now is None else now
         with self.conn as conn:
             cur = conn.execute(
                 "UPDATE jobs SET lease_expires = ? "
@@ -285,7 +290,7 @@ class JobStore(JobStoreBackend):
         ``worker_id`` the write additionally requires current ownership,
         so a worker that lost its lease cannot overwrite the reclaimed
         job's fresh attempt."""
-        now = time.time() if now is None else now
+        now = self._clock() if now is None else now
         sql = (
             "UPDATE jobs SET status = 'done', result = ?, wall_s = ?, "
             "finished_at = ?, error = NULL "
@@ -313,7 +318,7 @@ class JobStore(JobStoreBackend):
         """Record a failure: retry with exponential backoff, or mark
         ``failed`` once attempts are exhausted.  Returns the new status
         (``"stale"`` when ``worker_id`` no longer owns the job)."""
-        now = time.time() if now is None else now
+        now = self._clock() if now is None else now
         with self.conn as conn:
             row = conn.execute(
                 "SELECT attempt, max_attempts, status, owner FROM jobs "
@@ -348,7 +353,7 @@ class JobStore(JobStoreBackend):
         them up.  The attempt already spent stays counted.  Works for
         owners on any host, since it never inspects pids.
         """
-        now = time.time() if now is None else now
+        now = self._clock() if now is None else now
         with self.conn as conn:
             cur = conn.execute(
                 "UPDATE jobs SET status = 'pending', owner = NULL, "
@@ -366,7 +371,7 @@ class JobStore(JobStoreBackend):
     ) -> int:
         """Flip jobs in ``statuses`` back to pending with a fresh attempt
         budget (the CLI's ``lab reset`` / reset-failed semantics)."""
-        now = time.time() if now is None else now
+        now = self._clock() if now is None else now
         marks = ", ".join("?" for _ in statuses)
         sql = (
             f"UPDATE jobs SET status = 'pending', owner = NULL, attempt = 0, "
@@ -402,7 +407,7 @@ class JobStore(JobStoreBackend):
     def pending_runnable(
         self, run_id: int | None = None, *, now: float | None = None
     ) -> int:
-        now = time.time() if now is None else now
+        now = self._clock() if now is None else now
         sql = (
             "SELECT COUNT(*) AS n FROM jobs "
             "WHERE status = 'pending' AND not_before <= ?"

@@ -331,6 +331,8 @@ def worker_loop(
     lease_s: float = DEFAULT_LEASE_S,
     token: str | None = None,
     heartbeat_s: float | None = None,
+    backoff_s: float = 0.2,
+    faults=None,
 ) -> int:
     """Claim-and-execute until the queue drains; returns jobs completed.
 
@@ -343,9 +345,22 @@ def worker_loop(
     tree and metrics snapshot are appended to the telemetry stream as a
     ``job_spans`` event (joinable to rows by ``job_id``; see
     ``repro-lms lab export --with-spans``).
+
+    ``faults`` (a :class:`repro.lab.faults.FaultPlan`) perturbs this
+    worker's transport and can raise
+    :class:`~repro.lab.faults.WorkerKilled` between a job's execution
+    and its report — the in-process stand-in for SIGKILL.  Heartbeat
+    threads stay fault-free: a real SIGKILL stops the whole process, it
+    does not selectively garble heartbeats.
     """
     worker_id = f"{socket.gethostname()}:{os.getpid()}:{worker_seq}"
-    store = open_backend(store_target, lease_s=lease_s, token=token)
+    store = open_backend(
+        store_target,
+        lease_s=lease_s,
+        token=token,
+        backoff_s=backoff_s,
+        faults=faults,
+    )
 
     # Each job's heartbeat thread opens (and closes) its own backend:
     # SQLite connections are usable only from their creating thread, so
@@ -435,6 +450,12 @@ def worker_loop(
                 else:
                     wall = time.perf_counter() - start
                     hits1, misses1 = cache.snapshot()
+                    if faults is not None:
+                        # May raise WorkerKilled (a BaseException, so it
+                        # escapes this handler chain): the job dies
+                        # executed-but-unreported, exactly the window a
+                        # SIGKILL between execute and complete leaves.
+                        faults.job_executed(worker_seq)
                     if lost.is_set():
                         # The lease lapsed and the job was reclaimed:
                         # someone else owns (or already re-ran) it, so

@@ -1,0 +1,53 @@
+"""Shared lab fixtures: the chaos harness as a reusable building block.
+
+``fault_lab`` replaces the hand-rolled monkeypatched failure setups the
+distributed suites used to carry: tests declare a
+:class:`repro.lab.FaultPlan` and get back a live server + client pair
+with the plan wired into both seams.
+"""
+
+import pytest
+
+from repro.lab import DEFAULT_LEASE_S, HttpJobStore, LabServer
+
+
+@pytest.fixture
+def fault_lab(tmp_path):
+    """Factory: ``make(plan, ...) -> (server, store)`` — a live
+    :class:`LabServer` and a fault-injected :class:`HttpJobStore`
+    sharing one fault plan (server middleware + client transport), torn
+    down at test end.  Pass ``plan=None`` for a fault-free pair."""
+    created = []
+
+    def make(
+        plan,
+        *,
+        lease_s=DEFAULT_LEASE_S,
+        token=None,
+        retries=5,
+        backoff_s=0.01,
+        deadline_s=60.0,
+    ):
+        server = LabServer(
+            tmp_path / f"lab{len(created)}.db",
+            port=0,
+            token=token,
+            lease_s=lease_s,
+            clock=plan.clock if plan is not None else None,
+            faults=plan,
+        ).start_background()
+        store = HttpJobStore(
+            server.url,
+            token=token,
+            retries=retries,
+            backoff_s=backoff_s,
+            deadline_s=deadline_s,
+            faults=plan,
+        )
+        created.append((server, store))
+        return server, store
+
+    yield make
+    for server, store in created:
+        store.close()
+        server.shutdown()

@@ -3,7 +3,10 @@
 The same contract tests run against the local SQLite backend and the
 HTTP backend (a live in-process :class:`LabServer` fronting its own
 SQLite file), so any wire-schema drift between client and server fails
-here rather than in a fleet.
+here rather than in a fleet.  A third parametrization re-runs the HTTP
+cases under a seeded fault plan — dropped and truncated responses, an
+opening 5xx burst, injected delays — and the contract must still hold:
+faults may cost retries, never semantics.
 
 Fake ``now`` timestamps are placed in the *future* (wall clock + 1h):
 the server also reclaims lazily against real time, so a small fake
@@ -17,6 +20,8 @@ import pytest
 
 from repro.lab import (
     DEFAULT_LEASE_S,
+    FaultPlan,
+    FaultRule,
     HttpJobStore,
     JobStore,
     LabServer,
@@ -27,16 +32,40 @@ from repro.lab import (
 TOKEN = "conformance-secret"
 
 
-@pytest.fixture(params=["sqlite", "http"])
+def _conformance_plan() -> FaultPlan:
+    """Faults spread over the first ~dozen requests of every case:
+    enough that most cases hit at least one, none fatal to a client
+    with a few retries."""
+    return FaultPlan(
+        seed=99,
+        rules=(
+            FaultRule("drop_response", at=(2, 5, 9, 14)),
+            FaultRule("truncate_body", at=(3, 12)),
+            FaultRule("http_5xx_burst", endpoint="claim", at=(1,), count=2),
+            FaultRule("delay", at=(4,), delay_s=0.01),
+        ),
+    )
+
+
+@pytest.fixture(params=["sqlite", "http", "http-chaos"])
 def backend(request, tmp_path):
     if request.param == "sqlite":
         store = JobStore(tmp_path / "lab.db")
         yield store
         store.close()
     else:
-        server = LabServer(tmp_path / "lab.db", port=0, token=TOKEN)
+        plan = _conformance_plan() if request.param == "http-chaos" else None
+        server = LabServer(
+            tmp_path / "lab.db", port=0, token=TOKEN, faults=plan
+        )
         server.start_background()
-        store = HttpJobStore(server.url, token=TOKEN)
+        store = HttpJobStore(
+            server.url,
+            token=TOKEN,
+            retries=5,
+            backoff_s=0.01,
+            faults=plan,
+        )
         yield store
         store.close()
         server.shutdown()

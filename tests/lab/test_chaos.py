@@ -1,0 +1,97 @@
+"""End-to-end chaos determinism: two same-seed ``run_chaos`` runs must
+fire identical fault logs and produce byte-identical timing-free
+exports, with every invariant holding under drops, a 5xx burst and a
+mid-job worker kill.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lab import ExperimentGrid, run_chaos
+
+pytestmark = pytest.mark.slow
+
+
+def small_grid() -> ExperimentGrid:
+    return ExperimentGrid(
+        experiments=("smooth",),
+        domains=("ocean",),
+        orderings=("ori", "rdr"),
+        vertices=(120, 160),
+        max_iterations=2,
+    ).validate()
+
+
+def test_same_seed_runs_are_identical_and_invariant(tmp_path):
+    grid = small_grid()
+    reports = [
+        run_chaos(
+            grid,
+            seed=5,
+            workdir=tmp_path / name,
+            workers=2,
+            kill_after=1,
+            lease_s=2.0,
+        )
+        for name in ("a", "b")
+    ]
+    for report in reports:
+        assert report["ok"], report["violations"]
+        assert report["checks"]["export_matches_reference"]
+        assert report["worker_incarnations"] == 2  # one kill, one survivor
+
+    # Identical fault logs (same faults, same order, no timestamps)...
+    assert reports[0]["fault_log"] == reports[1]["fault_log"]
+    assert (tmp_path / "a" / "fault_log.json").read_bytes() == (
+        tmp_path / "b" / "fault_log.json"
+    ).read_bytes()
+    # ...and byte-identical exports, which also equal the fault-free
+    # reference export (transitively: chaos cost nothing but retries).
+    export_a = (tmp_path / "a" / "chaos_export.json").read_bytes()
+    assert export_a == (tmp_path / "b" / "chaos_export.json").read_bytes()
+    assert export_a == (tmp_path / "a" / "reference_export.json").read_bytes()
+
+    # The acceptance plan really covered the interesting failure modes.
+    kinds = {entry["kind"] for entry in reports[0]["fault_log"]}
+    assert {
+        "drop_response",
+        "http_5xx_burst",
+        "kill_worker_after_n_jobs",
+    } <= kinds
+
+
+def test_different_seeds_give_different_fault_logs(tmp_path):
+    grid = small_grid()
+    a = run_chaos(grid, seed=1, workdir=tmp_path / "s1", lease_s=2.0)
+    b = run_chaos(grid, seed=2, workdir=tmp_path / "s2", lease_s=2.0)
+    assert a["ok"] and b["ok"]
+    assert a["fault_log"] != b["fault_log"]
+
+
+def test_chaos_cli_writes_a_passing_report(tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    code = main(
+        [
+            "lab",
+            "chaos",
+            "--seed",
+            "7",
+            "--workdir",
+            str(tmp_path / "work"),
+            "--report",
+            str(report_path),
+            "--vertices",
+            "120,160",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "export_matches_reference" in out and "FAIL" not in out
+    report = json.loads(report_path.read_text())
+    assert report["ok"] is True
+    assert report["fault_counts"]["kill_worker_after_n_jobs"] >= 1
+    for name in ("fault_log.json", "chaos_export.json",
+                 "reference_export.json"):
+        assert (tmp_path / "work" / name).exists()

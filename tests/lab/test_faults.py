@@ -1,0 +1,250 @@
+"""Unit tests for the chaos harness: fault rules, the three injection
+seams, the retry/deadline fixes they forced, and the invariant checker.
+"""
+
+import time
+
+import pytest
+
+from repro.lab import (
+    FaultPlan,
+    FaultRule,
+    JobStore,
+    StoreConnectionError,
+    WorkerKilled,
+    check_invariants,
+    drop_timing_rows,
+    worker_loop,
+)
+
+
+def seed_jobs(store, n=3, *, runnable=False, **kwargs):
+    """Queue ``n`` jobs; ``runnable=True`` makes them real (tiny) smooth
+    specs a worker can actually execute."""
+    if runnable:
+        specs = [
+            (
+                f"k{i}",
+                {
+                    "experiment": "smooth",
+                    "domain": "ocean",
+                    "ordering": "ori",
+                    "vertices": 60,
+                    "seed": i,
+                    "max_iterations": 1,
+                },
+            )
+            for i in range(n)
+        ]
+    else:
+        specs = [(f"k{i}", {"experiment": "smooth", "i": i}) for i in range(n)]
+    return store.create_run({}, specs, **kwargs)
+
+
+def idem_replays(store) -> int:
+    counters = store.status()["metrics"]["counters"]
+    return int(counters.get("lab.server.idem_replays", 0))
+
+
+class TestFaultRules:
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule("segfault")
+
+    def test_standard_plan_is_seed_deterministic(self):
+        a = FaultPlan.standard(7, n_jobs=10)
+        b = FaultPlan.standard(7, n_jobs=10)
+        c = FaultPlan.standard(8, n_jobs=10)
+        assert a.rules == b.rules
+        assert a.rules != c.rules
+        kinds = {rule.kind for rule in a.rules}
+        assert {
+            "drop_response",
+            "http_5xx_burst",
+            "truncate_body",
+            "duplicate_request",
+            "clock_skew",
+            "kill_worker_after_n_jobs",
+        } <= kinds
+
+    def test_standard_plan_needs_jobs(self):
+        with pytest.raises(ValueError, match="at least one job"):
+            FaultPlan.standard(0, n_jobs=0)
+
+
+class TestTransportSeam:
+    def test_dropped_response_is_replayed_not_reexecuted(self, fault_lab):
+        plan = FaultPlan(rules=(FaultRule("drop_response", jobs=(1,)),))
+        _, store = fault_lab(plan)
+        seed_jobs(store, 2)
+        job = store.claim("w1")
+        assert job is not None and job.id == 1
+        counts = store.counts()
+        # A re-executed claim would have stranded a second running job.
+        assert counts["running"] == 1 and counts["pending"] == 1
+        assert idem_replays(store) == 1
+        assert plan.fault_counts() == {"drop_response": 1}
+
+    def test_truncated_body_is_retried_and_replayed(self, fault_lab):
+        plan = FaultPlan(
+            rules=(FaultRule("truncate_body", endpoint="complete", jobs=(1,)),)
+        )
+        _, store = fault_lab(plan)
+        seed_jobs(store, 1)
+        job = store.claim("w1")
+        assert store.complete(job.id, {"ok": True}, wall_s=0.0)
+        assert store.counts()["done"] == 1
+        assert len(store.results()) == 1
+        assert idem_replays(store) == 1
+
+    def test_duplicate_request_lands_once(self, fault_lab):
+        plan = FaultPlan(
+            rules=(
+                FaultRule("duplicate_request", endpoint="complete", jobs=(1,)),
+            )
+        )
+        _, store = fault_lab(plan)
+        seed_jobs(store, 1)
+        job = store.claim("w1")
+        assert store.complete(job.id, {"ok": True}, wall_s=0.0)
+        assert len(store.results()) == 1
+        assert idem_replays(store) == 1
+
+    def test_clock_skew_shifts_the_plan_clock(self, fault_lab):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(
+                    "clock_skew", endpoint="complete", jobs=(1,), skew_s=5.0
+                ),
+            )
+        )
+        _, store = fault_lab(plan)
+        seed_jobs(store, 1)
+        job = store.claim("w1")
+        before = plan.clock() - time.time()
+        assert store.complete(job.id, {}, wall_s=0.0)
+        after = plan.clock() - time.time()
+        assert before < 1.0 and after > 4.0
+
+    def test_expected_replays_ignores_non_mutating_endpoints(self):
+        plan = FaultPlan(rules=(FaultRule("drop_response", at=(1,)),))
+        with pytest.raises(Exception):
+            plan.after_receive("status", None, {"counts": {}}, 1)
+        assert plan.fault_counts() == {"drop_response": 1}
+        assert plan.expected_idem_replays() == 0  # GET carries no idem key
+
+
+class TestServerSeam:
+    def test_burst_returns_503_then_recovers(self, fault_lab):
+        plan = FaultPlan(
+            rules=(
+                FaultRule("http_5xx_burst", endpoint="claim", at=(1,), count=2),
+            )
+        )
+        server, store = fault_lab(plan)
+        seed_jobs(store, 1)
+        job = store.claim("w1")  # two 503s, then the real claim
+        assert job is not None
+        assert plan.fault_counts() == {"http_5xx_burst": 2}
+        counters = store.status()["metrics"]["counters"]
+        assert counters["lab.server.faults.http_5xx_burst"] == 2
+        # The burst hit before idempotency recording: no replays.
+        assert idem_replays(store) == 0
+
+    def test_burst_past_retries_raises_with_attempt_count(self, fault_lab):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(
+                    "http_5xx_burst", endpoint="claim", at=(1,), count=50
+                ),
+            )
+        )
+        _, store = fault_lab(plan, retries=2, backoff_s=0.01)
+        seed_jobs(store, 1)
+        with pytest.raises(
+            StoreConnectionError, match=r"unreachable .* 3 attempt\(s\)"
+        ):
+            store.claim("w1")
+
+    def test_deadline_caps_the_retry_window(self, fault_lab):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(
+                    "http_5xx_burst", endpoint="claim", at=(1,), count=1000
+                ),
+            )
+        )
+        _, store = fault_lab(
+            plan, retries=100, backoff_s=0.2, deadline_s=0.5
+        )
+        seed_jobs(store, 1)
+        start = time.monotonic()
+        with pytest.raises(StoreConnectionError, match="unreachable"):
+            store.claim("w1")
+        assert time.monotonic() - start < 5.0
+
+
+class TestWorkerSeam:
+    def test_kill_leaves_the_job_recoverable(self, tmp_path):
+        plan = FaultPlan(
+            rules=(
+                FaultRule("kill_worker_after_n_jobs", worker_seq=0, count=1),
+            )
+        )
+        db = tmp_path / "lab.db"
+        store = JobStore(db, lease_s=0.2)
+        run_id, _ = seed_jobs(store, 3, runnable=True)
+
+        with pytest.raises(WorkerKilled):
+            worker_loop(
+                str(db),
+                tmp_path / "cache",
+                None,
+                0,
+                lease_s=0.2,
+                faults=plan,
+            )
+        counts = store.counts(run_id)
+        # One job completed, the second died executed-but-unreported.
+        assert counts["done"] == 1 and counts["running"] == 1
+        assert plan.fault_counts()["kill_worker_after_n_jobs"] == 1
+
+        # A surviving worker reclaims the lease and drains the rest.
+        time.sleep(0.3)
+        worker_loop(
+            str(db), tmp_path / "cache", None, 1, lease_s=0.2, faults=plan
+        )
+        report = check_invariants(store, run_id)
+        assert report.ok, report.summary()
+        store.close()
+
+
+class TestInvariants:
+    def test_undrained_queue_is_a_violation(self, tmp_path):
+        store = JobStore(tmp_path / "lab.db")
+        seed_jobs(store, 2)
+        store.claim("w1")
+        report = check_invariants(store)
+        assert not report.ok
+        assert not report.checks["queue_drained"]
+        assert "not drained" in report.summary()
+        assert check_invariants(store, expect_drained=False).ok
+        store.close()
+
+    def test_replay_mismatch_is_a_violation(self, tmp_path):
+        store = JobStore(tmp_path / "lab.db")
+        plan = FaultPlan(rules=(FaultRule("drop_response", jobs=(1,)),))
+        seed_jobs(store, 1)
+        job = store.claim("w1")
+        store.complete(job.id, {}, wall_s=0.0)
+        with pytest.raises(Exception):
+            plan.after_receive("complete", {"job_id": 1}, {}, 1)
+        # The plan injected one loss but the server replayed nothing.
+        report = check_invariants(store, plan=plan, idem_replays=0)
+        assert not report.checks["idem_replays_match_injected_losses"]
+        assert check_invariants(store, plan=plan, idem_replays=1).ok
+        store.close()
+
+    def test_drop_timing_rows_strips_run_history(self):
+        rows = [{"a": 1, "wall_s": 0.5, "attempt": 2, "job_id": 3}]
+        assert drop_timing_rows(rows) == [{"a": 1, "job_id": 3}]

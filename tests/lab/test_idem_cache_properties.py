@@ -1,0 +1,88 @@
+"""Hypothesis properties for the server's idempotency-replay cache.
+
+The cache is what makes client retries of non-idempotent mutations
+safe, so its two resource guarantees get property coverage: under
+arbitrary interleavings of record / replay / time advance it never
+replays a response recorded more than ``ttl_s`` ago, never replays
+anything but the exact recorded response, and never grows past its
+entry bound.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lab import IdempotencyCache
+
+TTL_S = 10.0
+MAX_ENTRIES = 8
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.sampled_from("abcdef")),
+        st.tuples(st.just("get"), st.sampled_from("abcdef")),
+        st.tuples(st.just("advance"), st.integers(min_value=1, max_value=7)),
+    ),
+    max_size=60,
+)
+
+
+@given(ops=operations)
+@settings(max_examples=200, deadline=None)
+def test_never_replays_stale_and_never_grows_unbounded(ops):
+    clock = [0.0]
+    cache = IdempotencyCache(
+        ttl_s=TTL_S, max_entries=MAX_ENTRIES, clock=lambda: clock[0]
+    )
+    recorded: dict[str, tuple[float, dict]] = {}
+    serial = 0
+    for op in ops:
+        if op[0] == "advance":
+            clock[0] += op[1]
+        elif op[0] == "put":
+            serial += 1
+            response = {"serial": serial}
+            cache.put(op[1], response)
+            recorded[op[1]] = (clock[0], response)
+        else:
+            response = cache.get(op[1])
+            if response is not None:
+                recorded_at, expected = recorded[op[1]]
+                assert response == expected  # only ever the recorded one
+                assert clock[0] - recorded_at <= TTL_S  # never stale
+        assert len(cache) <= MAX_ENTRIES
+
+
+@given(n_puts=st.integers(min_value=1, max_value=12))
+@settings(max_examples=50, deadline=None)
+def test_fifo_eviction_drops_the_oldest_entries(n_puts):
+    cache = IdempotencyCache(ttl_s=TTL_S, max_entries=4, clock=lambda: 0.0)
+    for i in range(n_puts):
+        cache.put(f"k{i}", {"i": i})
+    surviving = {f"k{i}" for i in range(max(0, n_puts - 4), n_puts)}
+    for i in range(n_puts):
+        key = f"k{i}"
+        if key in surviving:
+            assert cache.get(key) == {"i": i}
+        else:
+            assert cache.get(key) is None
+
+
+def test_ttl_boundary_is_inclusive():
+    clock = [0.0]
+    cache = IdempotencyCache(ttl_s=TTL_S, max_entries=4, clock=lambda: clock[0])
+    cache.put("k", {"v": 1})
+    clock[0] = TTL_S
+    assert cache.get("k") == {"v": 1}  # exactly ttl old: still replayable
+    clock[0] = TTL_S + 0.1
+    assert cache.get("k") is None
+    assert len(cache) == 0  # the expired entry was dropped, not kept
+
+
+def test_reput_moves_a_key_to_the_fifo_tail():
+    cache = IdempotencyCache(ttl_s=TTL_S, max_entries=2, clock=lambda: 0.0)
+    cache.put("a", {"v": 1})
+    cache.put("b", {"v": 2})
+    cache.put("a", {"v": 3})  # re-record: now newest
+    cache.put("c", {"v": 4})  # evicts the oldest, which is b
+    assert cache.get("b") is None
+    assert cache.get("a") == {"v": 3}
+    assert cache.get("c") == {"v": 4}
