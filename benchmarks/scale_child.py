@@ -1,0 +1,68 @@
+"""Million-vertex pipeline probe, run in a child process.
+
+``test_scale_bench.py`` launches this script with ``subprocess`` so the
+peak-RSS measurement (``ru_maxrss``) covers exactly the out-of-core
+pipeline — meshgen to disk, memory-mapped load, streamed simulation —
+and nothing of the pytest parent. Prints one JSON object on stdout.
+
+Usage: ``python scale_child.py ROWS COLS WINDOW_EVENTS``
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import sys
+import tempfile
+import time
+
+from repro.config import RunConfig
+from repro.core.pipeline import run_ordering
+from repro.meshgen import load_chunked_mesh, write_structured_rectangle
+
+
+def main(rows: int, cols: int, window_events: int) -> dict:
+    with tempfile.TemporaryDirectory(prefix="scale-bench-") as tmp:
+        t0 = time.perf_counter()
+        path = write_structured_rectangle(
+            tmp,
+            rows,
+            cols,
+            name="scale-rect",
+            perturb_amplitude=0.25,
+            seed=0,
+        )
+        meshgen_s = time.perf_counter() - t0
+
+        mesh = load_chunked_mesh(path, mmap=True)
+        config = RunConfig(
+            engine="vectorized",
+            sim_engine="batched",
+            order_engine="batched",
+            stream_window_events=window_events,
+        )
+        t0 = time.perf_counter()
+        run = run_ordering(mesh, "rdr", config=config, fixed_iterations=1)
+        pipeline_s = time.perf_counter() - t0
+
+    events = int(run.cost.num_accesses)
+    # Linux reports ru_maxrss in kibibytes.
+    peak_rss_bytes = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    return {
+        "vertices": int(mesh.num_vertices),
+        "triangles": int(mesh.num_triangles),
+        "ordering": "rdr",
+        "stream_window_events": window_events,
+        "events": events,
+        "meshgen_s": meshgen_s,
+        "pipeline_s": pipeline_s,
+        "events_per_s": events / pipeline_s,
+        "peak_rss_bytes": peak_rss_bytes,
+        "l1_hits": int(run.cache.l1.hits),
+        "l3_misses": int(run.cache.l3.misses),
+    }
+
+
+if __name__ == "__main__":
+    rows, cols, window = (int(a) for a in sys.argv[1:4])
+    print(json.dumps(main(rows, cols, window)))

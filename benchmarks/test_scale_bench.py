@@ -1,0 +1,77 @@
+"""Million-vertex regime gate: out-of-core pipeline under a memory budget.
+
+Acceptance benchmark for the streaming/out-of-core path: a full
+pipeline run — structured meshgen spilled to disk strip by strip,
+memory-mapped load, RDR ordering, one traced smoothing iteration, and
+the batched cache simulation windowed through the streaming engine —
+on a >=1M-vertex mesh must fit in 2 GB of peak RSS. The run executes
+in a child process (``scale_child.py``) so ``ru_maxrss`` measures the
+pipeline alone, not the pytest parent; throughput and the memory peak
+land in ``bench_results/scale_bench.json`` for the summary report.
+
+The exactness of the streamed counts is not re-proven here — the
+differential suite in ``tests/memsim/test_streaming.py`` pins
+streaming == in-memory bit for bit; this gate pins that the composition
+actually stays within the budget at scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import format_table, save_json
+
+#: 1024 x 1024 structured grid -> 1,048,576 vertices, ~16.7M trace events.
+ROWS = COLS = 1024
+WINDOW_EVENTS = 4_000_000
+RSS_BUDGET_BYTES = 2 * 1024**3
+
+
+@pytest.mark.slow
+def test_million_vertex_pipeline_under_memory_budget():
+    child = Path(__file__).with_name("scale_child.py")
+    env = dict(os.environ)
+    src = Path(__file__).resolve().parents[1] / "src"
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(src), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, str(child), str(ROWS), str(COLS), str(WINDOW_EVENTS)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=1800,
+    )
+    assert proc.returncode == 0, proc.stderr
+    row = json.loads(proc.stdout)
+
+    save_json("scale_bench", row)
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "vertices": row["vertices"],
+                    "events": row["events"],
+                    "events/s": f"{row['events_per_s']:,.0f}",
+                    "pipeline_s": f"{row['pipeline_s']:.1f}",
+                    "peak_rss_mb": f"{row['peak_rss_bytes'] / 2**20:,.0f}",
+                }
+            ],
+            title="million-vertex streaming pipeline",
+        )
+    )
+
+    assert row["vertices"] >= 1_000_000
+    assert row["events"] >= 10_000_000
+    assert row["events_per_s"] > 0
+    assert row["peak_rss_bytes"] < RSS_BUDGET_BYTES, (
+        f"peak RSS {row['peak_rss_bytes'] / 2**20:.0f} MiB exceeds the "
+        f"{RSS_BUDGET_BYTES / 2**20:.0f} MiB budget"
+    )

@@ -128,6 +128,10 @@ def _build_parser() -> argparse.ArgumentParser:
     an.add_argument("--ordering", default="rdr", choices=sorted(ORDERINGS))
     an.add_argument("--iterations", type=int, default=1)
     an.add_argument("--save-trace", help="write the access trace to this .npz path")
+    an.add_argument("--stream-window", type=int, default=None, metavar="EVENTS",
+                    help="replay the cache simulation in bounded windows of "
+                         "this many events (streaming engine; identical "
+                         "counts, peak memory bounded by one window)")
     add_engine_args(an)
     add_obs_args(an)
 
@@ -141,6 +145,9 @@ def _build_parser() -> argparse.ArgumentParser:
     pa.add_argument("--iterations", type=int, default=8)
     pa.add_argument("--affinity", default="scatter",
                     choices=["compact", "scatter"])
+    pa.add_argument("--stream-window", type=int, default=None, metavar="EVENTS",
+                    help="replay each socket's cache simulation in bounded "
+                         "windows of this many events (identical counts)")
     add_engine_args(pa)
     add_obs_args(pa)
 
@@ -234,12 +241,18 @@ def run_config_from_args(args) -> RunConfig:
     :func:`add_obs_args` into one validated :class:`RunConfig`."""
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
+    window = getattr(args, "stream_window", None)
+    if window is not None and window < 1:
+        raise UnknownNameError(
+            "stream window", str(window), ["None", "any int >= 1"]
+        )
     return RunConfig(
         engine=getattr(args, "engine", "reference"),
         sim_engine=getattr(args, "sim_engine", "reference"),
         mem_engine=getattr(args, "mem_engine", "sequential"),
         order_engine=getattr(args, "order_engine", "reference"),
         seed=getattr(args, "seed", 0),
+        stream_window_events=window,
         obs=ObsConfig(
             enabled=bool(trace_out or metrics_out),
             trace_path=trace_out,
@@ -281,6 +294,10 @@ def _build_lab_parser(sub) -> None:
                      help="comma list of vertex budgets")
     ini.add_argument("--cache-scales", type=_comma_list(float), default=(1.0,),
                      help="comma list of cache-size multipliers")
+    ini.add_argument("--stream-windows", type=_comma_list(int), default=(),
+                     metavar="E1,E2,...",
+                     help="grid axis over streaming window sizes (events); "
+                          "empty sweeps only the in-memory engines")
     ini.add_argument("--quality-structure", default="ramp",
                      choices=["ramp", "hotspots", "uniform"])
     add_engine_args(ini, plural=True)
@@ -746,6 +763,7 @@ def _cmd_lab(args) -> int:
             sim_engines=args.sim_engines,
             mem_engines=args.mem_engines,
             order_engines=args.order_engines,
+            stream_windows=tuple(args.stream_windows) or (None,),
         ).validate()
         store = _lab_store(args)
         where = args.server if args.server else db

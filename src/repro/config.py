@@ -18,6 +18,11 @@ as ``config=``:
 * ``machine_profile`` — calibration profile for the default machine
   (``None`` keeps each API's historical default: serial pipelines
   calibrate ``"serial"``, parallel ones ``"scaling"``),
+* ``stream_window_events`` — when set, cache simulation replays the
+  line stream in bounded windows of this many events through the
+  streaming engines (bit-identical counts, memory bounded by one
+  window) instead of materializing per-level index structures over the
+  whole stream,
 * ``obs`` — an :class:`ObsConfig` controlling span/metrics capture.
 
 Legacy kwargs keep working through :func:`resolve_config`, which maps
@@ -127,6 +132,7 @@ class RunConfig:
     order_engine: str = "reference"
     seed: int = 0
     machine_profile: str | None = None
+    stream_window_events: int | None = None
     obs: ObsConfig = field(default_factory=ObsConfig)
 
     def validate(self) -> "RunConfig":
@@ -145,6 +151,15 @@ class RunConfig:
         ):
             raise UnknownNameError(
                 "machine profile", self.machine_profile, MACHINE_PROFILES
+            )
+        if self.stream_window_events is not None and (
+            not isinstance(self.stream_window_events, int)
+            or isinstance(self.stream_window_events, bool)
+            or self.stream_window_events < 1
+        ):
+            raise ValueError(
+                "stream_window_events must be a positive int or None, "
+                f"got {self.stream_window_events!r}"
             )
         return self
 

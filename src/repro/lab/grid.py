@@ -38,6 +38,7 @@ class JobSpec:
     sim_engine: str = "reference"
     mem_engine: str = "sequential"
     order_engine: str = "reference"
+    stream_window_events: int | None = None
 
     def key(self) -> str:
         """Canonical identity string (job uniqueness + cache keying)."""
@@ -61,6 +62,7 @@ class JobSpec:
             mem_engine=config.mem_engine,
             order_engine=config.order_engine,
             seed=config.seed,
+            stream_window_events=config.stream_window_events,
             **kwargs,
         )
 
@@ -73,6 +75,7 @@ class JobSpec:
             mem_engine=self.mem_engine,
             order_engine=self.order_engine,
             seed=self.seed,
+            stream_window_events=self.stream_window_events,
         )
 
     def mesh_params(self) -> dict:
@@ -142,6 +145,7 @@ class ExperimentGrid:
     sim_engines: tuple[str, ...] = ("reference",)
     mem_engines: tuple[str, ...] = ("sequential",)
     order_engines: tuple[str, ...] = ("reference",)
+    stream_windows: tuple[int | None, ...] = (None,)
 
     def validate(self) -> "ExperimentGrid":
         validate_names(
@@ -153,6 +157,13 @@ class ExperimentGrid:
             mem_engines=self.mem_engines,
             order_engines=self.order_engines,
         )
+        for window in self.stream_windows:
+            if window is not None and (
+                not isinstance(window, int) or window < 1
+            ):
+                raise UnknownNameError(
+                    "stream window", str(window), ["None", "any int >= 1"]
+                )
         return self
 
     def expand(self) -> list[JobSpec]:
@@ -171,9 +182,10 @@ class ExperimentGrid:
                 sim_engine=sim_engine,
                 mem_engine=mem_engine,
                 order_engine=order_engine,
+                stream_window_events=stream_window,
             )
             for experiment, domain, ordering, vertices, scale, seed, engine,
-            sim_engine, mem_engine, order_engine
+            sim_engine, mem_engine, order_engine, stream_window
             in product(
                 self.experiments,
                 self.domains,
@@ -185,6 +197,7 @@ class ExperimentGrid:
                 self.sim_engines,
                 self.mem_engines,
                 self.order_engines,
+                self.stream_windows,
             )
         ]
 
@@ -198,7 +211,7 @@ class ExperimentGrid:
         for key in (
             "experiments", "domains", "orderings", "vertices", "seeds",
             "cache_scales", "engines", "sim_engines", "mem_engines",
-            "order_engines",
+            "order_engines", "stream_windows",
         ):
             if key in kwargs:
                 kwargs[key] = tuple(kwargs[key])

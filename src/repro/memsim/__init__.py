@@ -9,6 +9,7 @@ simulator.
 
 from .analysis import ArrayBreakdown, per_array_breakdown, trace_summary
 from .batched import SIM_ENGINES, batched_levels, simulate_trace_batched
+from .chunked import TRACE_MANIFEST, ChunkedTrace, ChunkedTraceWriter
 from .cache import (
     CacheHierarchy,
     HierarchyStats,
@@ -34,6 +35,14 @@ from .multicore import (
     simulate_socket,
 )
 from .sharded import simulate_multicore_sharded, socket_shards
+from .streaming import (
+    StreamingBucketedSeries,
+    StreamingHierarchy,
+    StreamingReuse,
+    iter_line_windows,
+    simulate_trace_streaming,
+    streaming_reuse_distances,
+)
 from .reuse import (
     COLD,
     ReuseProfile,
@@ -53,6 +62,8 @@ __all__ = [
     "ArrayBreakdown",
     "CacheHierarchy",
     "CacheSpec",
+    "ChunkedTrace",
+    "ChunkedTraceWriter",
     "COLD",
     "CoreResult",
     "CostBreakdown",
@@ -66,6 +77,10 @@ __all__ = [
     "MulticoreResult",
     "ReuseProfile",
     "SIM_ENGINES",
+    "StreamingBucketedSeries",
+    "StreamingHierarchy",
+    "StreamingReuse",
+    "TRACE_MANIFEST",
     "TraceBuilder",
     "affinity_sockets",
     "batched_levels",
@@ -73,6 +88,7 @@ __all__ = [
     "calibrated_machine",
     "extra_miss_cycles",
     "hits_under_capacity",
+    "iter_line_windows",
     "max_elements_within",
     "modeled_time",
     "observe_hierarchy_stats",
@@ -84,7 +100,9 @@ __all__ = [
     "simulate_socket",
     "simulate_trace",
     "simulate_trace_batched",
+    "simulate_trace_streaming",
     "socket_shards",
+    "streaming_reuse_distances",
     "tiny_machine",
     "trace_summary",
     "westmere_ex",

@@ -271,30 +271,41 @@ class _LevelStream:
         return self._last_comp
 
     def final_occ(self, victims: np.ndarray) -> np.ndarray:
-        """Last stream position of each victim line (which must occur)."""
+        """Last stream position of each victim line (-1 when absent).
+
+        In the full-trace cascade victims always occur; the streaming
+        engine also asks about carry lines of an *outer* level that may
+        never appear in this stream, hence the -1 branch.
+        """
         if self._fo is None:
-            order = self._order
-            sl = self.lines[order]
-            group_end = np.empty(order.size, dtype=bool)
-            group_end[-1:] = True
-            group_end[:-1] = sl[1:] != sl[:-1]
-            fo = np.full(int(self.lines.max()) + 1, -1, dtype=np.int64)
-            fo[sl[group_end]] = order[group_end]
-            self._fo = fo
-        return self._fo[victims]
+            if self.n == 0:
+                self._fo = np.empty(0, dtype=np.int64)
+            else:
+                order = self._order
+                sl = self.lines[order]
+                group_end = np.empty(order.size, dtype=bool)
+                group_end[-1:] = True
+                group_end[:-1] = sl[1:] != sl[:-1]
+                fo = np.full(int(self.lines.max()) + 1, -1, dtype=np.int64)
+                fo[sl[group_end]] = order[group_end]
+                self._fo = fo
+        v = np.asarray(victims, dtype=np.int64)
+        out = np.full(v.shape, -1, dtype=np.int64)
+        ok = v < self._fo.size
+        out[ok] = self._fo[v[ok]]
+        return out
 
     def last_touch_before(
         self, victims: np.ndarray, times: np.ndarray
     ) -> np.ndarray:
-        """Last occurrence of each victim at or before ``times``."""
+        """Last occurrence of each victim at or before ``times`` (-1 when
+        the victim has no occurrence in that range)."""
         occ = self.occ_comp
-        idx = (
-            np.searchsorted(
-                occ, victims.astype(np.int64) * self.n + times, side="right"
-            )
-            - 1
-        )
-        return occ[np.maximum(idx, 0)] % self.n
+        v = victims.astype(np.int64)
+        idx = np.searchsorted(occ, v * self.n + times, side="right") - 1
+        pos = occ[np.maximum(idx, 0)]
+        ok = (idx >= 0) & (pos // self.n == v)
+        return np.where(ok, pos % self.n, np.int64(-1))
 
     @property
     def comp(self) -> np.ndarray:
@@ -664,14 +675,28 @@ def _eviction_divergences(
     ev: np.ndarray,
     t_outer: np.ndarray,
     victims: np.ndarray,
-    inners: list[tuple[_LevelStream, np.ndarray | None]],
+    inners: list[tuple],
 ) -> np.ndarray:
     """Global times of consequential back-invalidations among ``ev``.
 
     ``ev`` are outer-stream positions of certified-evicted copies,
     ``t_outer`` maps outer positions to global time, ``victims`` the
     evicted line ids, and ``inners`` the levels the invalidation reaches
-    (stream plus its position→global-time map, ``None`` for identity).
+    (stream plus its position→global-time map, ``None`` for identity; an
+    optional third element — default True — states whether equal stream
+    lengths imply positional alignment, which holds for the full-trace
+    cascade but not for the streaming engine's prefixed streams, whose
+    lengths can coincide by accident).
+
+    The streaming engine calls this with per-level carry prefixes
+    injected at negative times. Two properties keep the logic intact:
+    carry lines are distinct within a level (so a victim's next outer
+    occurrence is always a real-time event), and a carry never exceeds
+    ``W`` lines per set (so every certified eviction time lands at
+    real time too). Victims may however be entirely absent from an
+    *inner* prefixed stream; absence proves non-residency (the prefix
+    enumerates exactly the inner level's residents), handled below by
+    the ``absent`` masks.
 
     The invalidation at eviction time ``T`` changes future behaviour iff
     the victim is still *resident* in some inner level at ``T``: fewer
@@ -690,6 +715,10 @@ def _eviction_divergences(
     m = ev.size
     if m == 0:
         return np.empty(0, dtype=np.int64)
+    inners = [
+        (entry[0], entry[1], entry[2] if len(entry) > 2 else True)
+        for entry in inners
+    ]
     tmin = _nth_set_event_after(outer, ev)
     valid = tmin >= 0
     if valid.all():
@@ -698,7 +727,7 @@ def _eviction_divergences(
         tmin_glob = np.where(valid, t_outer[np.maximum(tmin, 0)], -1)
     # Next-outer-touch structures are only needed for warm inner levels
     # (and by stage 4, which rebuilds them for its few stragglers).
-    if any(inner.n_warm for inner, _ in inners):
+    if any(inner.n_warm for inner, _, _ in inners):
         nxt = outer.nxt[ev].astype(np.int64)
         has_nx = nxt < outer.n
         g_next = np.full(m, -1, dtype=np.int64)
@@ -708,7 +737,7 @@ def _eviction_divergences(
 
     states = []
     need_T = np.zeros(m, dtype=bool)
-    for inner, t_inner in inners:
+    for inner, t_inner, aligned in inners:
         n_in = inner.n
         if inner.n_warm == 0:
             # All-cold inner stream: every line occurs exactly once, so
@@ -716,20 +745,28 @@ def _eviction_divergences(
             # every later same-set inner event is a fresh arrival. Its
             # pure inner eviction is therefore the W-th same-set inner
             # event after that touch — gathers, no scans.
+            absent = np.zeros(m, dtype=bool)
             if t_inner is None:
                 i_pos = t_outer[ev]
                 pos_min = tmin_glob
-            elif t_inner.size == outer.n:
+            elif aligned and t_inner.size == outer.n:
                 i_pos = ev  # outer events == inner events, same positions
                 pos_min = tmin
             else:
-                i_pos = np.searchsorted(t_inner, t_outer[ev])
+                # Line-based lookup (each line occurs at most once, so
+                # the final occurrence is the only one); identical to a
+                # time search in the full cascade, but also correct for
+                # prefixed streams, where outer carry events have no
+                # time-matched inner twin.
+                i_pos = inner.final_occ(victims)
+                absent = i_pos < 0
+                i_pos = np.maximum(i_pos, 0)
                 pos_min = (
                     np.searchsorted(t_inner, tmin_glob, side="right") - 1
                 )
             nth = _nth_set_event_after(inner, i_pos)
             d1 = np.where(nth >= 0, nth, n_in)
-            maybe = ~valid | (d1 > pos_min)
+            maybe = (~valid | (d1 > pos_min)) & ~absent
             need_T |= maybe
             states.append(
                 (inner, t_inner, None, i_pos,
@@ -749,14 +786,17 @@ def _eviction_divergences(
             i_pos[has_nx] = inner.prev[gpos]
         if not has_nx.all():
             i_pos[~has_nx] = inner.final_occ(victims[~has_nx])
+        # No inner touch before the next outer access (or ever) means the
+        # victim was never inner-resident in range: not consequential.
+        absent = i_pos < 0
         # Tmin in inner coordinates (last inner event at or before it).
         if t_inner is None:
             pos_min = tmin_glob
         else:
             pos_min = np.searchsorted(t_inner, tmin_glob, side="right") - 1
         # hm <= Tmin pins i = hm (no inner touches in (Tmin, g_next)).
-        case_a = valid & (i_pos <= pos_min)
-        maybe = np.ones(m, dtype=bool)
+        case_a = valid & (i_pos <= pos_min) & ~absent
+        maybe = ~absent
         d1 = np.full(m, -1, dtype=np.int64)  # inner eviction pos; -1 unknown
         rows = np.nonzero(case_a)[0]
         if rows.size:
@@ -835,17 +875,23 @@ def _eviction_divergences(
         if unk.any():
             # Exact last inner touch at or before T (the case-B hm may
             # lie beyond T), then the exhaustive residency scan of (i, T].
+            # A victim with no inner touch at or before T was installed
+            # after T (or never): not resident, no scan needed.
             if sigma is None:
                 sigma = (victims % inner.num_sets).astype(np.int64)
             gu = g[unk]
             pos_tu = pos_t[unk]
             i_exact = inner.last_touch_before(victims[gu], pos_tu)
-            k_rank2 = _set_rank_of(inner, i_exact)
-            end2 = inner.rank_upto(sigma[gu], pos_tu)
-            out, _ = _wth_fresh_after(
-                inner, i_exact, k_rank2, end2, exhaustive=True
-            )
-            res[unk] = out >= inner.n  # < W fresh => resident
+            resu = np.zeros(gu.size, dtype=bool)
+            touched = i_exact >= 0
+            if touched.any():
+                k_rank2 = _set_rank_of(inner, i_exact[touched])
+                end2 = inner.rank_upto(sigma[gu[touched]], pos_tu[touched])
+                out, _ = _wth_fresh_after(
+                    inner, i_exact[touched], k_rank2, end2, exhaustive=True
+                )
+                resu[touched] = out >= inner.n  # < W fresh => resident
+            res[unk] = resu
         divergent[rows[res]] = True
     return T_glob[divergent]
 

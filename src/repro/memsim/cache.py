@@ -345,14 +345,39 @@ def simulate_trace(
     reference internally where the cascade cannot stay exact).  The
     bare ``sim_engine=`` keyword is a deprecated shim for the same
     selection.
+
+    ``config.stream_window_events`` additionally bounds peak memory: the
+    stream is replayed through the selected engine in windows of that
+    many events with carried state (:mod:`repro.memsim.streaming`),
+    still with bit-identical counts.
     """
     config = resolve_config(config, sim_engine=sim_engine)
     engine = config.sim_engine
+    window = config.stream_window_events
     with obs.span(
         "memsim.simulate_trace", engine=engine, machine=machine.name
     ) as sp:
         sp.add_event(int(np.asarray(lines).size))
-        if engine == "batched":
+        if engine not in ("reference", "batched"):
+            raise ValueError(f"unknown sim engine {engine!r}")
+        if window is not None:
+            from .streaming import StreamingHierarchy, iter_line_windows
+
+            sim = StreamingHierarchy(
+                machine,
+                sim_engine=engine,
+                next_line_prefetch=next_line_prefetch,
+                policy=policy,
+            )
+            for win in iter_line_windows(lines, window):
+                sim.consume(win)
+            stats = sim.stats
+            obs.add("memsim.stream.windows", sim.windows)
+            obs.gauge_set(
+                "memsim.stream.peak_window_events", sim.peak_window_events
+            )
+            obs.gauge_set("memsim.stream.carry_events", sim.carry_events)
+        elif engine == "batched":
             from .batched import simulate_trace_batched
 
             stats = simulate_trace_batched(
@@ -361,11 +386,9 @@ def simulate_trace(
                 next_line_prefetch=next_line_prefetch,
                 policy=policy,
             )
-        elif engine == "reference":
+        else:
             stats = CacheHierarchy(
                 machine, next_line_prefetch=next_line_prefetch, policy=policy
             ).run(lines)
-        else:
-            raise ValueError(f"unknown sim engine {engine!r}")
         observe_hierarchy_stats(stats)
         return stats

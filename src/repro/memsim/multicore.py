@@ -129,6 +129,7 @@ def simulate_socket(
     *,
     quantum: int = 64,
     sim_engine: str = "reference",
+    stream_window_events: int | None = None,
 ) -> list[CoreResult]:
     """Simulate one socket: its cores' streams against one shared L3.
 
@@ -142,6 +143,12 @@ def simulate_socket(
     the socket degenerates to a private hierarchy and the vectorized
     cascade is exact; multi-core sockets interleave through the shared
     L3 and always use the reference replay.
+
+    ``stream_window_events`` bounds peak memory: single-core sockets
+    replay through :class:`repro.memsim.streaming.StreamingHierarchy`
+    window by window, and multi-core interleaves materialize only one
+    quantum of each stream at a time — so memory-mapped streams are
+    never pulled in whole. Counts are bit-identical either way.
     """
     if sim_engine not in ("reference", "batched"):
         raise ValueError(f"unknown sim engine {sim_engine!r}")
@@ -153,7 +160,13 @@ def simulate_socket(
     ) as sp:
         sp.add_event(int(sum(np.asarray(s).size for s in streams)))
         results = _simulate_socket_impl(
-            socket_id, member_cores, streams, machine, quantum, sim_engine
+            socket_id,
+            member_cores,
+            streams,
+            machine,
+            quantum,
+            sim_engine,
+            stream_window_events,
         )
         for cr in results:
             observe_hierarchy_stats(cr.stats)
@@ -167,13 +180,27 @@ def _simulate_socket_impl(
     machine: MachineSpec,
     quantum: int,
     sim_engine: str,
+    stream_window_events: int | None = None,
 ) -> list[CoreResult]:
-    if sim_engine == "batched" and len(member_cores) == 1:
+    if len(member_cores) == 1 and (
+        sim_engine == "batched" or stream_window_events is not None
+    ):
         # One core: no shared-L3 contention, the socket is exactly a
-        # private three-level hierarchy and the batched cascade applies.
-        from .batched import batched_levels
+        # private three-level hierarchy and the batched cascade applies
+        # (windowed through the streaming engine when requested).
+        if stream_window_events is not None:
+            from .streaming import StreamingHierarchy, iter_line_windows
 
-        stats, _ = batched_levels(streams[0], machine)
+            sim = StreamingHierarchy(machine, sim_engine=sim_engine)
+            for win in iter_line_windows(streams[0], stream_window_events):
+                sim.consume(win)
+            stats = sim.stats
+            obs.add("memsim.stream.windows", sim.windows)
+            obs.gauge_set("memsim.stream.carry_events", sim.carry_events)
+        else:
+            from .batched import batched_levels
+
+            stats, _ = batched_levels(streams[0], machine)
         return [
             CoreResult(
                 core=int(member_cores[0]),
@@ -184,9 +211,16 @@ def _simulate_socket_impl(
         ]
     shared_l3 = LRUCache(machine.l3)
     hierarchies = [CacheHierarchy(machine, shared_l3=shared_l3) for _ in member_cores]
-    line_lists = [
-        np.asarray(stream, dtype=np.int64).tolist() for stream in streams
-    ]
+    if stream_window_events is None:
+        line_lists = [
+            np.asarray(stream, dtype=np.int64).tolist() for stream in streams
+        ]
+        sizes = [len(s) for s in line_lists]
+    else:
+        # Streaming mode: keep the (possibly memory-mapped) arrays and
+        # materialize one quantum at a time in the interleave loop.
+        line_lists = [np.asarray(stream, dtype=np.int64) for stream in streams]
+        sizes = [int(s.size) for s in line_lists]
     cursors = [0] * len(member_cores)
     live = list(range(len(member_cores)))
     while live:
@@ -194,12 +228,17 @@ def _simulate_socket_impl(
         for k in live:
             stream = line_lists[k]
             lo = cursors[k]
-            hi = min(lo + quantum, len(stream))
+            hi = min(lo + quantum, sizes[k])
             access = hierarchies[k].access
-            for line in stream[lo:hi]:
+            chunk = (
+                stream[lo:hi]
+                if stream_window_events is None
+                else stream[lo:hi].tolist()
+            )
+            for line in chunk:
                 access(line)
             cursors[k] = hi
-            if hi < len(stream):
+            if hi < sizes[k]:
                 still.append(k)
         live = still
     return [
@@ -270,6 +309,7 @@ def simulate_multicore(
                 quantum=quantum,
                 max_workers=max_workers,
                 sim_engine=config.sim_engine,
+                stream_window_events=config.stream_window_events,
             )
         if mem_engine != "sequential":
             raise ValueError(
@@ -288,6 +328,7 @@ def simulate_multicore(
                 machine,
                 quantum=quantum,
                 sim_engine=config.sim_engine,
+                stream_window_events=config.stream_window_events,
             ):
                 results[cr.core] = cr
         return MulticoreResult(

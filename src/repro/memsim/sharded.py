@@ -81,7 +81,16 @@ def _run_shard(args) -> tuple[list[CoreResult], list[dict], dict]:
     dispatch time: the worker then captures its own spans/metrics and
     returns them for the parent to merge (empty otherwise).
     """
-    socket_id, member_cores, streams, machine, quantum, sim_engine, obs_on = args
+    (
+        socket_id,
+        member_cores,
+        streams,
+        machine,
+        quantum,
+        sim_engine,
+        stream_window_events,
+        obs_on,
+    ) = args
     if not obs_on:
         results = simulate_socket(
             socket_id,
@@ -90,6 +99,7 @@ def _run_shard(args) -> tuple[list[CoreResult], list[dict], dict]:
             machine,
             quantum=quantum,
             sim_engine=sim_engine,
+            stream_window_events=stream_window_events,
         )
         return results, [], {}
     with obs.capture() as tracer:
@@ -100,6 +110,7 @@ def _run_shard(args) -> tuple[list[CoreResult], list[dict], dict]:
             machine,
             quantum=quantum,
             sim_engine=sim_engine,
+            stream_window_events=stream_window_events,
         )
     return results, tracer.export(), tracer.metrics.snapshot()
 
@@ -112,6 +123,7 @@ def simulate_multicore_sharded(
     quantum: int = 64,
     max_workers: int | None = None,
     sim_engine: str = "reference",
+    stream_window_events: int | None = None,
 ) -> MulticoreResult:
     """Replay per-core line streams with one worker process per socket.
 
@@ -126,7 +138,16 @@ def simulate_multicore_sharded(
     shards = socket_shards(lines_per_core, machine, affinity)
     obs_on = obs.is_enabled()
     payloads = [
-        (socket_id, members, streams, machine, quantum, sim_engine, obs_on)
+        (
+            socket_id,
+            members,
+            streams,
+            machine,
+            quantum,
+            sim_engine,
+            stream_window_events,
+            obs_on,
+        )
         for socket_id, members, streams in shards
     ]
     if max_workers is None:

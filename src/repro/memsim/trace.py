@@ -13,13 +13,66 @@ concatenate.
 
 from __future__ import annotations
 
+import io
 import json
+import mmap
+import struct
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 __all__ = ["ARRAY_NAMES", "ARRAY_IDS", "AccessTrace", "TraceBuilder"]
+
+
+def _mmap_npz(path: Path) -> dict[str, np.ndarray]:
+    """Map every member of an uncompressed ``.npz`` without copying.
+
+    ``np.load(mmap_mode=...)`` silently ignores the mode for zip
+    archives, so we map the file ourselves: for each ZIP_STORED member,
+    locate its data span via the zip local header, parse the npy header,
+    and expose the payload as a read-only view of one shared
+    :class:`mmap.mmap` (the views keep the mapping alive). Compressed
+    members cannot be mapped and raise ``ValueError``.
+    """
+    with open(path, "rb") as fh:
+        mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        arrays: dict[str, np.ndarray] = {}
+        with zipfile.ZipFile(fh) as zf:
+            for info in zf.infolist():
+                if info.compress_type != zipfile.ZIP_STORED:
+                    raise ValueError(
+                        f"{path} holds compressed members; mmap loading "
+                        "requires save_npz(..., compress=False)"
+                    )
+                # Local header: 26 bytes in, two uint16 give the name and
+                # extra-field lengths; member data follows both.
+                nlen, xlen = struct.unpack_from(
+                    "<HH", mapped, info.header_offset + 26
+                )
+                data_off = info.header_offset + 30 + nlen + xlen
+                bio = io.BytesIO(mapped[data_off : data_off + 4096])
+                version = np.lib.format.read_magic(bio)
+                if version == (1, 0):
+                    header = np.lib.format.read_array_header_1_0(bio)
+                elif version == (2, 0):
+                    header = np.lib.format.read_array_header_2_0(bio)
+                else:
+                    raise ValueError(f"unsupported npy version {version}")
+                shape, fortran, dtype = header
+                if fortran:
+                    raise ValueError("Fortran-order npz members unsupported")
+                count = int(np.prod(shape)) if shape else 1
+                arr = np.frombuffer(
+                    mapped, dtype=dtype, count=count,
+                    offset=data_off + bio.tell(),
+                ).reshape(shape)
+                name = info.filename
+                if name.endswith(".npy"):
+                    name = name[:-4]
+                arrays[name] = arr
+        return arrays
 
 #: Logical arrays of the smoothing working set, in layout order.
 ARRAY_NAMES: tuple[str, ...] = ("coords", "flags", "xadj", "adjncy", "quality")
@@ -115,8 +168,12 @@ class AccessTrace:
         )
 
     # -- persistence ----------------------------------------------------
-    def save_npz(self, path) -> Path:
-        """Persist the trace (compressed). Meta goes along as JSON.
+    def save_npz(self, path, *, compress: bool = True) -> Path:
+        """Persist the trace. Meta goes along as JSON.
+
+        ``compress=False`` writes an uncompressed archive whose columns
+        :meth:`load_npz` can memory-map (``mmap_mode="r"``) — the format
+        of choice for traces too large to want resident twice.
 
         Returns the path actually written: ``np.savez`` appends ``.npz``
         to names lacking it, so the suffix is normalized up front (with
@@ -126,7 +183,8 @@ class AccessTrace:
         path = Path(path)
         if path.suffix != ".npz":
             path = path.with_name(path.name + ".npz")
-        np.savez_compressed(
+        savez = np.savez_compressed if compress else np.savez
+        savez(
             path,
             array_ids=self.array_ids,
             indices=self.indices,
@@ -139,9 +197,30 @@ class AccessTrace:
         return path
 
     @classmethod
-    def load_npz(cls, path) -> "AccessTrace":
-        """Load a trace written by :meth:`save_npz`."""
-        with np.load(Path(path)) as data:
+    def load_npz(cls, path, *, mmap_mode: str | None = None) -> "AccessTrace":
+        """Load a trace written by :meth:`save_npz`.
+
+        With ``mmap_mode="r"`` the columns stay memory-mapped read-only
+        views of the archive (zero-copy; requires the archive to have
+        been written with ``compress=False``). Meta is always
+        materialized.
+        """
+        path = Path(path)
+        if mmap_mode is not None:
+            if mmap_mode != "r":
+                raise ValueError("only mmap_mode='r' is supported")
+            data = _mmap_npz(path)
+            meta = json.loads(bytes(data["meta"].tobytes()).decode())
+            return cls(
+                data["array_ids"],
+                data["indices"],
+                data["is_write"],
+                iteration_starts=np.asarray(
+                    data["iteration_starts"], dtype=np.int64
+                ),
+                meta=meta,
+            )
+        with np.load(path) as data:
             meta = json.loads(bytes(data["meta"].tobytes()).decode())
             return cls(
                 data["array_ids"],
@@ -150,6 +229,43 @@ class AccessTrace:
                 iteration_starts=data["iteration_starts"],
                 meta=meta,
             )
+
+    def save_chunked(
+        self, path, *, window_events: int, compress: bool = False
+    ) -> Path:
+        """Spill the trace to a directory of bounded npz windows.
+
+        See :class:`repro.memsim.chunked.ChunkedTraceWriter` for the
+        on-disk format. Returns the directory written.
+        """
+        from .chunked import ChunkedTraceWriter
+
+        with ChunkedTraceWriter(
+            path, window_events=window_events, compress=compress
+        ) as writer:
+            starts = self.iteration_starts
+            for k, lo in enumerate(starts):
+                hi = int(starts[k + 1]) if k + 1 < starts.size else len(self)
+                writer.begin_iteration()
+                writer.append_columns(
+                    self.array_ids[int(lo) : hi],
+                    self.indices[int(lo) : hi],
+                    self.is_write[int(lo) : hi],
+                )
+            writer.set_meta(**self.meta)
+        return Path(path)
+
+    @classmethod
+    def open_chunked(cls, path) -> "ChunkedTrace":
+        """Open a directory written by :meth:`save_chunked`.
+
+        Returns a :class:`repro.memsim.chunked.ChunkedTrace`, which
+        yields bounded :class:`AccessTrace` windows on demand instead of
+        materializing the whole trace.
+        """
+        from .chunked import ChunkedTrace
+
+        return ChunkedTrace.open(path)
 
 
 class TraceBuilder:

@@ -1,5 +1,12 @@
 """Mesh generation substrate: Delaunay triangulator + the nine domains."""
 
+from .chunked import (
+    MeshStrip,
+    iter_structured_strips,
+    load_chunked_mesh,
+    refined_shape,
+    write_structured_rectangle,
+)
 from .delaunay import DelaunayError, delaunay, morton_order
 from .domains import (
     PAPER_SUITE,
@@ -9,18 +16,24 @@ from .domains import (
     list_domains,
     paper_suite,
 )
-from .structured import perturb_interior, structured_rectangle
+from .structured import perturb_interior, strip_triangles, structured_rectangle
 
 __all__ = [
     "DelaunayError",
     "MeshSpec",
+    "MeshStrip",
     "PAPER_SUITE",
     "delaunay",
     "domain_rings",
     "generate_domain_mesh",
+    "iter_structured_strips",
     "list_domains",
+    "load_chunked_mesh",
     "morton_order",
     "paper_suite",
     "perturb_interior",
+    "refined_shape",
+    "strip_triangles",
     "structured_rectangle",
+    "write_structured_rectangle",
 ]

@@ -37,10 +37,26 @@ class TestExpand:
         )
         assert a.key() != b.key()
 
+    def test_stream_windows_axis_expands(self):
+        grid = ExperimentGrid(
+            orderings=("ori",), stream_windows=(None, 4096)
+        )
+        specs = grid.expand()
+        assert len(specs) == 2
+        assert {s.stream_window_events for s in specs} == {None, 4096}
+        assert specs[0].key() != specs[1].key()
+        for spec in specs:
+            cfg = spec.to_run_config()
+            assert cfg.stream_window_events == spec.stream_window_events
+            cfg.validate()
+
 
 class TestRoundTrip:
     def test_grid_survives_json(self):
-        grid = ExperimentGrid(domains=("ocean",), seeds=(0, 3), vertices=(250,))
+        grid = ExperimentGrid(
+            domains=("ocean",), seeds=(0, 3), vertices=(250,),
+            stream_windows=(None, 1 << 20),
+        )
         restored = ExperimentGrid.from_dict(json.loads(json.dumps(grid.as_dict())))
         assert restored == grid
 
@@ -74,6 +90,7 @@ class TestValidate:
             ({"domains": ("atlantis",)}, "unknown domain 'atlantis'"),
             ({"orderings": ("zorder",)}, "unknown ordering 'zorder'"),
             ({"experiments": ("nope",)}, "unknown experiment 'nope'"),
+            ({"stream_windows": (0,)}, "unknown stream window '0'"),
         ],
     )
     def test_unknown_names_raise_with_choices(self, kwargs, fragment):

@@ -1,0 +1,150 @@
+"""Chunked meshgen: strip identity, on-disk round trip, refinement."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.mesh import validate_mesh
+from repro.meshgen import (
+    iter_structured_strips,
+    load_chunked_mesh,
+    refined_shape,
+    strip_triangles,
+    structured_rectangle,
+    write_structured_rectangle,
+)
+
+
+def legacy_connectivity(rows, cols, diagonal):
+    # The historical per-cell Python loop, kept verbatim as the identity
+    # reference for the vectorized construction.
+    tris = []
+    for r in range(rows - 1):
+        for c in range(cols - 1):
+            a = r * cols + c
+            b = a + 1
+            d = a + cols
+            e = d + 1
+            flip = diagonal == "alternating" and (r + c) % 2 == 1
+            if not flip:
+                tris.append((a, b, e))
+                tris.append((a, e, d))
+            else:
+                tris.append((a, b, d))
+                tris.append((b, e, d))
+    return np.asarray(tris, dtype=np.int64)
+
+
+@pytest.mark.parametrize("rows,cols", [(2, 2), (2, 7), (9, 2), (5, 4), (13, 11)])
+@pytest.mark.parametrize("diagonal", ["alternating", "right"])
+def test_vectorized_connectivity_matches_legacy_loop(rows, cols, diagonal):
+    got = strip_triangles(0, rows - 1, cols, diagonal)
+    assert np.array_equal(got, legacy_connectivity(rows, cols, diagonal))
+    if rows >= 3 and cols >= 3:  # validator requires interior vertices
+        assert np.array_equal(
+            structured_rectangle(rows, cols, diagonal=diagonal).triangles, got
+        )
+
+
+def test_strips_concatenate_to_full_mesh():
+    full = structured_rectangle(17, 9)
+    for strip_rows in (1, 3, 16, 17, 50):
+        strips = list(iter_structured_strips(17, 9, strip_rows=strip_rows))
+        verts = np.concatenate([s.vertices for s in strips])
+        tris = np.concatenate([s.triangles for s in strips])
+        assert np.array_equal(verts, full.vertices)
+        assert np.array_equal(tris, full.triangles)
+        # Strips partition the vertex rows without gap or overlap.
+        assert strips[0].row_start == 0
+        assert strips[-1].row_end == 17
+        for prev, nxt in zip(strips, strips[1:]):
+            assert prev.row_end == nxt.row_start
+            assert nxt.vertex_offset == nxt.row_start * 9
+
+
+def test_strip_halo_is_one_row():
+    for strip in iter_structured_strips(11, 6, strip_rows=4):
+        if strip.triangles.size:
+            assert strip.triangles.max() < (strip.row_end + 1) * 6
+            assert strip.triangles.min() >= strip.row_start * 6
+
+
+def test_perturbation_independent_of_strip_partition():
+    def mesh_for(strip_rows):
+        strips = iter_structured_strips(
+            12, 8, strip_rows=strip_rows, perturb_amplitude=0.02, seed=7
+        )
+        return np.concatenate([s.vertices for s in strips])
+
+    base = mesh_for(3)
+    for strip_rows in (1, 5, 12, 100):
+        assert np.array_equal(mesh_for(strip_rows), base)
+    # Boundary stays put; interior actually moved.
+    flat = structured_rectangle(12, 8).vertices
+    moved = np.any(base != flat, axis=1).reshape(12, 8)
+    assert not moved[0].any() and not moved[-1].any()
+    assert not moved[:, 0].any() and not moved[:, -1].any()
+    assert moved[1:-1, 1:-1].all()
+
+
+def test_write_and_load_round_trip(tmp_path):
+    out = write_structured_rectangle(
+        tmp_path / "mesh", 14, 10, strip_rows=5, perturb_amplitude=0.01, seed=3
+    )
+    mesh = load_chunked_mesh(out)
+    assert mesh.num_vertices == 140
+    assert mesh.num_triangles == 2 * 13 * 9
+    strips = list(
+        iter_structured_strips(14, 10, strip_rows=5, perturb_amplitude=0.01, seed=3)
+    )
+    assert np.array_equal(
+        np.asarray(mesh.vertices), np.concatenate([s.vertices for s in strips])
+    )
+    assert np.array_equal(
+        np.asarray(mesh.triangles), np.concatenate([s.triangles for s in strips])
+    )
+    # The loader keeps the arrays backed by the on-disk memmap (the
+    # TriMesh constructor takes a zero-copy view of it).
+    assert isinstance(mesh.vertices.base, np.memmap)
+    assert isinstance(mesh.triangles.base, np.memmap)
+    validate_mesh(mesh)
+    # Non-mmap load materializes plain arrays with identical content.
+    plain = load_chunked_mesh(out, mmap=False)
+    assert not isinstance(plain.vertices.base, np.memmap)
+    assert np.array_equal(plain.vertices, np.asarray(mesh.vertices))
+
+    manifest = json.loads((out / "mesh.json").read_text())
+    assert manifest["num_vertices"] == 140
+    assert manifest["name"] == "rect"
+
+
+def test_load_rejects_missing_or_foreign_directory(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_chunked_mesh(tmp_path / "nope")
+    bad = tmp_path / "bad"
+    bad.mkdir()
+    (bad / "mesh.json").write_text(json.dumps({"format": "other"}))
+    with pytest.raises(ValueError):
+        load_chunked_mesh(bad)
+
+
+def test_refined_shape_and_refine_axis(tmp_path):
+    assert refined_shape(5, 9) == (5, 9)
+    assert refined_shape(5, 9, 1) == (9, 17)
+    assert refined_shape(3, 3, 3) == (17, 17)
+    with pytest.raises(ValueError):
+        refined_shape(1, 5)
+    with pytest.raises(ValueError):
+        refined_shape(5, 5, -1)
+    out = write_structured_rectangle(tmp_path / "ref", 3, 4, refine=2)
+    mesh = load_chunked_mesh(out)
+    assert mesh.num_vertices == 9 * 13
+    assert np.array_equal(
+        np.asarray(mesh.triangles), structured_rectangle(9, 13).triangles
+    )
+
+
+def test_bad_strip_rows():
+    with pytest.raises(ValueError):
+        list(iter_structured_strips(4, 4, strip_rows=0))

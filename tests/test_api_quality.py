@@ -134,7 +134,8 @@ SIGNATURE_SNAPSHOT = {
         "(engine: 'str' = 'reference', sim_engine: 'str' = 'reference', "
         "mem_engine: 'str' = 'sequential', order_engine: 'str' = "
         "'reference', seed: 'int' = 0, machine_profile:"
-        " 'str | None' = None, obs: 'ObsConfig' = <factory>) -> None"
+        " 'str | None' = None, stream_window_events: 'int | None' = None, "
+        "obs: 'ObsConfig' = <factory>) -> None"
     ),
     "repro.config.resolve_config": (
         "(config: 'RunConfig | None', *, stacklevel: 'int' = 3, **legacy) "

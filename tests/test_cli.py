@@ -288,6 +288,18 @@ class TestErrorHandling:
         err = capsys.readouterr().err
         assert "unknown experiment 'nope'" in err and "pipeline" in err
 
+    def test_bad_stream_window_exits_2(self, mesh_stem, capsys):
+        rc = main(["analyze", str(mesh_stem), "--stream-window", "0"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown stream window '0'" in err and err.count("\n") == 1
+
+    def test_lab_bad_stream_window_exits_2(self, tmp_path, capsys):
+        rc = main(["lab", "init", "--db", str(tmp_path / "lab.db"),
+                   "--stream-windows", "-3"])
+        assert rc == 2
+        assert "unknown stream window '-3'" in capsys.readouterr().err
+
 
 class TestLab:
     def lab_args(self, tmp_path):
