@@ -1,0 +1,160 @@
+"""Backend abstraction overhead: numpy-through-abstraction vs direct numpy.
+
+The ``repro.backend`` layer promises that the default numpy backend is
+free: ``asarray``/``to_numpy`` are zero-copy and the generic execute
+path issues the identical op stream the direct-numpy engines ran before
+the axis existed. This benchmark holds that promise to < 10% on the
+three engines that accept a backend:
+
+* the wavefront smoother (``WavefrontPlan`` vs an inline replica of the
+  original per-level gather / ``np.add.reduceat`` / scatter loop),
+* the batched stack-distance cache simulation
+  (``config=RunConfig(sim_engine="batched", backend="numpy")`` vs the
+  backend-less default path),
+* the batched frontier ordering (``batched_bfs_ordering`` with and
+  without ``backend="numpy"``).
+
+Each pair is timed best-of-N on the same precomputed inputs so the
+ratio measures only the abstraction, not allocation jitter.
+"""
+
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro import RunConfig
+from repro.backend import get_backend
+from repro.bench import format_table, save_json
+from repro.core.pipeline import run_ordering
+from repro.memsim import MemoryLayout, calibrated_machine, simulate_trace
+from repro.meshgen import perturb_interior, structured_rectangle
+from repro.ordering.batched import batched_bfs_ordering
+from repro.parallel.scheduler import wavefront_schedule
+from repro.smoothing.vectorized import WavefrontPlan
+
+MAX_RATIO = 1.10
+REPEATS = 7
+SWEEPS = 5
+
+
+def _bench_mesh():
+    mesh = structured_rectangle(224, 224, name="unit-square-50k")
+    return perturb_interior(mesh, amplitude=0.2 / 224, seed=0)
+
+
+def _best_of(fn, *args) -> float:
+    best = np.inf
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _direct_sweep(levels, coords):
+    # The pre-abstraction smoother loop, inlined: gather, segment-sum,
+    # divide, scatter. Level arrays are the plan's own (numpy backend is
+    # zero-copy, so these are plain ndarrays).
+    for level, nbrs, row_starts, divisor in levels:
+        sums = np.add.reduceat(coords[nbrs], row_starts, axis=0)
+        coords[level] = sums / divisor
+
+
+def _smoother_row(mesh) -> dict:
+    adj = mesh.adjacency
+    seq = np.arange(mesh.num_vertices, dtype=np.int64)
+    batched, offsets = wavefront_schedule(seq, adj.xadj, adj.adjncy)
+    plan = WavefrontPlan(
+        adj.xadj, adj.adjncy, batched, offsets, backend="numpy"
+    )
+    base = mesh.vertices
+
+    def run_direct():
+        coords = base.copy()
+        for _ in range(SWEEPS):
+            _direct_sweep(plan.levels, coords)
+        return coords
+
+    def run_backend():
+        coords = base.copy()
+        for _ in range(SWEEPS):
+            plan.execute(coords)
+        return coords
+
+    np.testing.assert_array_equal(run_backend(), run_direct())
+    direct_s = _best_of(run_direct)
+    backend_s = _best_of(run_backend)
+    return {
+        "engine": "smoother",
+        "direct_s": direct_s,
+        "backend_s": backend_s,
+        "ratio": backend_s / direct_s,
+    }
+
+
+def _memsim_row(mesh) -> dict:
+    run = run_ordering(
+        mesh, "rdr", fixed_iterations=1, config=RunConfig(engine="vectorized")
+    )
+    machine = calibrated_machine(MemoryLayout.for_mesh(run.mesh).total_bytes)
+    plain = RunConfig(sim_engine="batched")
+    backed = RunConfig(sim_engine="batched", backend="numpy")
+    base = simulate_trace(run.lines, machine, config=plain)
+    other = simulate_trace(run.lines, machine, config=backed)
+    assert other.l1.hits == base.l1.hits
+    def run_direct():
+        simulate_trace(run.lines, machine, config=plain)
+
+    def run_backend():
+        simulate_trace(run.lines, machine, config=backed)
+
+    direct_s = _best_of(run_direct)
+
+    backend_s = _best_of(run_backend)
+    return {
+        "engine": "memsim-batched",
+        "direct_s": direct_s,
+        "backend_s": backend_s,
+        "ratio": backend_s / direct_s,
+    }
+
+
+def _ordering_row(mesh) -> dict:
+    xb = get_backend("numpy")
+    np.testing.assert_array_equal(
+        batched_bfs_ordering(mesh, backend=xb), batched_bfs_ordering(mesh)
+    )
+    direct_s = _best_of(batched_bfs_ordering, mesh)
+
+    def run_backend():
+        batched_bfs_ordering(mesh, backend=xb)
+
+    backend_s = _best_of(run_backend)
+    return {
+        "engine": "ordering-bfs",
+        "direct_s": direct_s,
+        "backend_s": backend_s,
+        "ratio": backend_s / direct_s,
+    }
+
+
+def _rows() -> list[dict]:
+    mesh = _bench_mesh()
+    return [_smoother_row(mesh), _memsim_row(mesh), _ordering_row(mesh)]
+
+
+def test_numpy_backend_parity(benchmark):
+    rows = run_once(benchmark, _rows)
+    print()
+    print(
+        format_table(
+            rows, title="numpy backend vs direct numpy (50k unit square)"
+        )
+    )
+    save_json("backend_parity", rows)
+    for row in rows:
+        assert row["ratio"] <= MAX_RATIO, (
+            f"{row['engine']}: numpy-through-abstraction is "
+            f"{row['ratio']:.3f}x the direct path (gate {MAX_RATIO}x)"
+        )

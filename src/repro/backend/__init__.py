@@ -1,0 +1,105 @@
+"""Array backends: one namespace layer under every fast engine.
+
+The three hot paths (vectorized smoothing, batched memsim, frontier
+orderings) are whole-array programs.  :class:`ArrayBackend` abstracts
+the handful of array operations they need — device transfer, segment
+reduction, stable sorting, searchsorted, RNG seeding and a
+synchronization hook — so the same engine code runs on numpy (always
+available), CuPy, or Torch.  Backends are selected by name through
+:func:`get_backend`, mirroring the engine registries: unknown names
+raise :class:`repro.config.UnknownNameError` (CLI exit status 2), and
+known-but-uninstalled backends fall back to numpy with a
+RuntimeWarning, so a backend-less environment runs every configuration.
+
+Conventions the engines rely on:
+
+- ``asarray`` moves host data into the backend's memory space and
+  ``to_numpy`` brings it back; both feed the
+  ``backend.to_device_bytes`` / ``backend.to_host_bytes`` obs counters
+  (numpy is zero-copy and counts nothing).
+- ``reduceat(values, starts)`` is ``np.add.reduceat`` semantics along
+  axis 0: segment sums over contiguous row ranges given monotone start
+  offsets.
+- ``argsort(a, stable=True)`` must match numpy's stable order exactly —
+  the ordering engines' permutations are pinned element-wise against
+  the numpy path.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from ..config import UnknownNameError
+from .numpy_backend import ArrayBackend, NumpyBackend
+
+__all__ = [
+    "ArrayBackend",
+    "BACKEND_NAMES",
+    "NumpyBackend",
+    "available_backends",
+    "get_backend",
+]
+
+#: Every name ``RunConfig.backend`` accepts, installed or not.  Configs
+#: and grids validate against this tuple so a grid authored on a GPU
+#: host parses anywhere; execution falls back per-host in get_backend.
+BACKEND_NAMES = ("numpy", "cupy", "torch")
+
+_INSTANCES: dict[str, ArrayBackend] = {}
+_WARNED: set[str] = set()
+
+
+def _load(name: str) -> ArrayBackend:
+    """Instantiate backend ``name``; ImportError when not installed."""
+    if name == "numpy":
+        return NumpyBackend()
+    if name == "cupy":
+        from .cupy_backend import CupyBackend
+
+        return CupyBackend()
+    if name == "torch":
+        from .torch_backend import TorchBackend
+
+        return TorchBackend()
+    raise AssertionError(name)  # pragma: no cover - guarded by caller
+
+
+def get_backend(name: str = "numpy") -> ArrayBackend:
+    """The registered :class:`ArrayBackend` called ``name``.
+
+    Unknown names raise :class:`~repro.config.UnknownNameError`; known
+    names whose library is not installed return the numpy backend with
+    a one-time RuntimeWarning (the backend-less CI path).
+    """
+    if name not in BACKEND_NAMES:
+        raise UnknownNameError("backend", name, BACKEND_NAMES)
+    cached = _INSTANCES.get(name)
+    if cached is not None:
+        return cached
+    try:
+        backend = _load(name)
+    except ImportError:
+        if name not in _WARNED:
+            _WARNED.add(name)
+            warnings.warn(
+                f"array backend {name!r} is not installed; "
+                "falling back to numpy",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        backend = get_backend("numpy")
+    _INSTANCES[name] = backend
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backend names whose libraries import on this host."""
+    out = []
+    for name in BACKEND_NAMES:
+        try:
+            _INSTANCES.setdefault(name, _load(name))
+        except ImportError:
+            continue
+        if _INSTANCES[name].name == name:
+            out.append(name)
+    return tuple(out)

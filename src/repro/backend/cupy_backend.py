@@ -1,0 +1,97 @@
+"""CuPy backend: CUDA arrays behind the numpy-compatible namespace.
+
+The module imports without cupy installed; instantiating
+:class:`CupyBackend` then raises ImportError, which
+:func:`repro.backend.get_backend` catches and falls back to numpy.
+Segment sums use ``cupyx.scatter_add`` (CuPy ufuncs lack ``reduceat``),
+and stable argsort is emulated with ``lexsort`` over (position, key)
+since CuPy's sort has no ``kind`` parameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:
+    import cupy
+    import cupyx
+except ImportError:  # pragma: no cover - exercised on GPU-less hosts
+    cupy = None
+    cupyx = None
+
+from .. import obs
+from .numpy_backend import ArrayBackend
+
+__all__ = ["CupyBackend"]
+
+
+class CupyBackend(ArrayBackend):
+    """CuPy arrays on the current CUDA device."""
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        if cupy is None:
+            raise ImportError("cupy is not installed")
+        self.int64 = cupy.int64
+        self.float64 = cupy.float64
+        self.bool_ = cupy.bool_
+
+    @property
+    def xp(self):
+        return cupy
+
+    def asarray(self, a, dtype=None):
+        if not isinstance(a, cupy.ndarray) and obs.is_enabled():
+            obs.add("backend.to_device_bytes", int(np.asarray(a).nbytes))
+        return cupy.asarray(a, dtype=dtype)
+
+    def to_numpy(self, a):
+        if isinstance(a, cupy.ndarray) and obs.is_enabled():
+            obs.add("backend.to_host_bytes", int(a.nbytes))
+        return cupy.asnumpy(a)
+
+    def zeros(self, shape, dtype):
+        return cupy.zeros(shape, dtype=dtype)
+
+    def full(self, shape, value, dtype):
+        return cupy.full(shape, value, dtype=dtype)
+
+    def arange(self, n):
+        return cupy.arange(int(n), dtype=cupy.int64)
+
+    def reduceat(self, values, starts):
+        n = values.shape[0]
+        lengths = cupy.diff(starts, append=n)
+        seg = cupy.repeat(
+            cupy.arange(starts.shape[0], dtype=cupy.int64), lengths
+        )
+        out = cupy.zeros(
+            (starts.shape[0],) + tuple(values.shape[1:]), dtype=values.dtype
+        )
+        cupyx.scatter_add(out, seg, values)
+        return out
+
+    def argsort(self, a, *, stable=False):
+        if not stable:
+            return cupy.argsort(a)
+        # lexsort's last key is primary: sort by a, ties by position.
+        return cupy.lexsort(
+            cupy.stack((cupy.arange(a.shape[0], dtype=cupy.int64), a))
+        )
+
+    def searchsorted(self, a, v, *, side="left"):
+        return cupy.searchsorted(a, v, side=side)
+
+    def scatter_min(self, target, index, values):
+        cupyx.scatter_min(target, index, values)
+
+    def flatnonzero(self, a):
+        return cupy.flatnonzero(a)
+
+    def seed_rng(self, seed: int):
+        cupy.random.seed(int(seed))
+        return cupy.random.default_rng(int(seed))
+
+    def synchronize(self) -> None:  # pragma: no cover - GPU only
+        cupy.cuda.get_current_stream().synchronize()

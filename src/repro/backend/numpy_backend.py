@@ -1,0 +1,149 @@
+"""The always-available numpy backend, plus the protocol base class.
+
+``ArrayBackend`` documents the contract; ``NumpyBackend`` implements it
+with zero-copy transfers, so engine code written against the protocol
+runs the identical op stream the direct-numpy engines ran before the
+abstraction existed (the parity bench in
+``benchmarks/test_backend_parity.py`` gates that this costs < 10%).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ArrayBackend", "NumpyBackend"]
+
+
+class ArrayBackend:
+    """The array-namespace contract every backend implements.
+
+    ``xp`` exposes the underlying module (numpy / cupy / torch) as an
+    escape hatch; the named methods below cover the operations where
+    the namespaces disagree, so engine code stays backend-agnostic.
+    Dtype attributes (``int64``, ``float64``, ``bool_``) are the
+    backend-native dtype objects.
+    """
+
+    name: str = "abstract"
+
+    @property
+    def xp(self):
+        """The backing array module."""
+        raise NotImplementedError
+
+    # -- device transfer ------------------------------------------------
+    def asarray(self, a, dtype=None):
+        """Move host data into this backend's memory space."""
+        raise NotImplementedError
+
+    def to_numpy(self, a):
+        """Bring a backend array back to host numpy."""
+        raise NotImplementedError
+
+    # -- construction ---------------------------------------------------
+    def zeros(self, shape, dtype):
+        raise NotImplementedError
+
+    def full(self, shape, value, dtype):
+        raise NotImplementedError
+
+    def arange(self, n):
+        raise NotImplementedError
+
+    # -- segment reductions ---------------------------------------------
+    def reduceat(self, values, starts):
+        """Segment sums along axis 0 (``np.add.reduceat`` semantics).
+
+        ``starts`` are monotone non-decreasing row offsets beginning at
+        0; segment ``i`` sums ``values[starts[i]:starts[i+1]]`` (the
+        last one runs to the end).  Engines guarantee every segment is
+        non-empty.
+        """
+        raise NotImplementedError
+
+    def segment_mean(self, values, starts, counts):
+        """Segment means: :meth:`reduceat` divided by float ``counts``."""
+        sums = self.reduceat(values, starts)
+        if sums.ndim > 1:
+            return sums / counts[:, None]
+        return sums / counts
+
+    # -- sorting and searching ------------------------------------------
+    def argsort(self, a, *, stable=False):
+        """Indices sorting ``a``; ``stable=True`` matches numpy's
+        stable order exactly (ties keep stream position)."""
+        raise NotImplementedError
+
+    def searchsorted(self, a, v, *, side="left"):
+        raise NotImplementedError
+
+    def scatter_min(self, target, index, values):
+        """In-place ``target[index] = min(target[index], values)`` with
+        duplicate indices all participating (``np.minimum.at``)."""
+        raise NotImplementedError
+
+    def flatnonzero(self, a):
+        """Indices of the true/nonzero entries of a 1-d array."""
+        raise NotImplementedError
+
+    # -- rng and synchronization ----------------------------------------
+    def seed_rng(self, seed: int):
+        """Seed the backend's RNG machinery and return a generator
+        handle (backend-specific type)."""
+        raise NotImplementedError
+
+    def synchronize(self) -> None:
+        """Block until queued device work completes (no-op on host)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ArrayBackend {self.name}>"
+
+
+class NumpyBackend(ArrayBackend):
+    """Host numpy: zero-copy transfers, the reference op stream."""
+
+    name = "numpy"
+
+    int64 = np.int64
+    float64 = np.float64
+    bool_ = np.bool_
+
+    @property
+    def xp(self):
+        return np
+
+    def asarray(self, a, dtype=None):
+        return np.asarray(a, dtype=dtype)
+
+    def to_numpy(self, a):
+        return np.asarray(a)
+
+    def zeros(self, shape, dtype):
+        return np.zeros(shape, dtype=dtype)
+
+    def full(self, shape, value, dtype):
+        return np.full(shape, value, dtype=dtype)
+
+    def arange(self, n):
+        return np.arange(n, dtype=np.int64)
+
+    def reduceat(self, values, starts):
+        return np.add.reduceat(values, starts, axis=0)
+
+    def argsort(self, a, *, stable=False):
+        return np.argsort(a, kind="stable" if stable else None)
+
+    def searchsorted(self, a, v, *, side="left"):
+        return np.searchsorted(a, v, side=side)
+
+    def scatter_min(self, target, index, values):
+        np.minimum.at(target, index, values)
+
+    def flatnonzero(self, a):
+        return np.flatnonzero(a)
+
+    def seed_rng(self, seed: int):
+        return np.random.default_rng(seed)
+
+    def synchronize(self) -> None:
+        pass

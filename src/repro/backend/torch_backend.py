@@ -1,0 +1,129 @@
+"""Torch backend: CUDA when available, CPU tensors otherwise.
+
+The module imports without torch installed; instantiating
+:class:`TorchBackend` then raises ImportError, which
+:func:`repro.backend.get_backend` catches and falls back to numpy.
+Segment sums use ``index_add_`` (torch has no ``reduceat``), stable
+sorts use torch's ``argsort(stable=True)``, and every host<->device
+transfer feeds the ``backend.to_device_bytes`` /
+``backend.to_host_bytes`` obs counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:
+    import torch
+except ImportError:  # pragma: no cover - exercised on torch-less hosts
+    torch = None
+
+from .. import obs
+from .numpy_backend import ArrayBackend
+
+__all__ = ["TorchBackend"]
+
+
+class TorchBackend(ArrayBackend):
+    """Torch tensors on ``cuda`` when present, else CPU."""
+
+    name = "torch"
+
+    def __init__(self) -> None:
+        if torch is None:
+            raise ImportError("torch is not installed")
+        self.device = torch.device(
+            "cuda" if torch.cuda.is_available() else "cpu"
+        )
+        self.int64 = torch.int64
+        self.float64 = torch.float64
+        self.bool_ = torch.bool
+        self._np_to_torch = {
+            np.dtype(np.float64): torch.float64,
+            np.dtype(np.float32): torch.float32,
+            np.dtype(np.int64): torch.int64,
+            np.dtype(np.int32): torch.int32,
+            np.dtype(np.int8): torch.int8,
+            np.dtype(np.uint8): torch.uint8,
+            np.dtype(np.bool_): torch.bool,
+        }
+
+    @property
+    def xp(self):
+        return torch
+
+    def asarray(self, a, dtype=None):
+        if isinstance(a, torch.Tensor):
+            t = a
+        else:
+            arr = np.ascontiguousarray(a)
+            if obs.is_enabled():
+                obs.add("backend.to_device_bytes", int(arr.nbytes))
+            t = torch.from_numpy(arr)
+        if dtype is not None:
+            try:
+                want = self._np_to_torch.get(np.dtype(dtype), dtype)
+            except TypeError:  # already a torch dtype
+                want = dtype
+            t = t.to(want)
+        return t.to(self.device)
+
+    def to_numpy(self, a):
+        if not isinstance(a, torch.Tensor):
+            return np.asarray(a)
+        out = a.detach().cpu().numpy()
+        if obs.is_enabled():
+            obs.add("backend.to_host_bytes", int(out.nbytes))
+        return out
+
+    def zeros(self, shape, dtype):
+        return torch.zeros(shape, dtype=dtype, device=self.device)
+
+    def full(self, shape, value, dtype):
+        return torch.full(
+            shape if isinstance(shape, tuple) else (shape,),
+            value,
+            dtype=dtype,
+            device=self.device,
+        )
+
+    def arange(self, n):
+        return torch.arange(int(n), dtype=torch.int64, device=self.device)
+
+    def reduceat(self, values, starts):
+        n = values.shape[0]
+        lengths = torch.diff(
+            starts,
+            append=torch.tensor([n], dtype=starts.dtype, device=starts.device),
+        )
+        seg = torch.repeat_interleave(
+            torch.arange(starts.shape[0], device=starts.device), lengths
+        )
+        out = torch.zeros(
+            (starts.shape[0],) + tuple(values.shape[1:]),
+            dtype=values.dtype,
+            device=values.device,
+        )
+        out.index_add_(0, seg, values)
+        return out
+
+    def argsort(self, a, *, stable=False):
+        return torch.argsort(a, stable=stable)
+
+    def searchsorted(self, a, v, *, side="left"):
+        return torch.searchsorted(a, v, right=(side == "right"))
+
+    def scatter_min(self, target, index, values):
+        target.scatter_reduce_(0, index, values, reduce="amin")
+
+    def flatnonzero(self, a):
+        return torch.nonzero(a, as_tuple=False).reshape(-1)
+
+    def seed_rng(self, seed: int):
+        gen = torch.Generator(device=self.device)
+        gen.manual_seed(int(seed))
+        return gen
+
+    def synchronize(self) -> None:
+        if self.device.type == "cuda":  # pragma: no cover - GPU only
+            torch.cuda.synchronize()

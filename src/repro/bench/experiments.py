@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..config import RunConfig
+from ..config import RunConfig, engine_axes
 from ..core.pipeline import OrderedRun, default_machine_for, run_ordering
 from ..core.cost import measure_reordering_cost
 from ..memsim import (
@@ -100,6 +100,10 @@ class BenchConfig:
     #: Vertex-ordering engine: "reference" or "batched" (vectorized
     #: frontier traversals; identical permutations).
     order_engine: str = "reference"
+    #: Array backend the fast engines run on: "numpy", "cupy" or
+    #: "torch" (see :mod:`repro.backend`; uninstalled backends fall
+    #: back to numpy).
+    backend: str = "numpy"
 
     @classmethod
     def from_run_config(cls, config: RunConfig, **overrides) -> "BenchConfig":
@@ -107,10 +111,7 @@ class BenchConfig:
         (the CLI's ``--engine``/``--sim-engine``/``--mem-engine``/``--seed``);
         everything else keeps its default unless overridden."""
         return cls(
-            engine=config.engine,
-            sim_engine=config.sim_engine,
-            mem_engine=config.mem_engine,
-            order_engine=config.order_engine,
+            **{axis: getattr(config, axis) for axis in engine_axes()},
             seed=config.seed,
             **overrides,
         )
@@ -119,10 +120,7 @@ class BenchConfig:
         """The :class:`repro.config.RunConfig` projection of this config
         (what the drivers pass to the pipeline/memsim APIs)."""
         return RunConfig(
-            engine=self.engine,
-            sim_engine=self.sim_engine,
-            mem_engine=self.mem_engine,
-            order_engine=self.order_engine,
+            **{axis: getattr(self, axis) for axis in engine_axes()},
             seed=self.seed,
         )
 

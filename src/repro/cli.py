@@ -14,12 +14,14 @@ Subcommands:
                ``lab work --server URL`` drains it from any host
 ``list``       show available domains, orderings, experiments and engines
 
-Engine selection is uniform across subcommands:
-:func:`add_engine_args` attaches ``--engine``/``--sim-engine``/
-``--mem-engine``/``--order-engine``/``--seed`` (or their plural
-comma-list forms for grid sweeps) and :func:`run_config_from_args` folds
-them into one validated :class:`repro.config.RunConfig`. Observability flags (``--trace-out``,
-``--metrics-out``) ride in the same config.
+Engine selection is uniform across subcommands: :func:`add_engine_args`
+derives one flag per :func:`repro.config.engine_axes` axis —
+``--engine``/``--sim-engine``/``--mem-engine``/``--order-engine``/
+``--backend`` plus ``--seed`` and ``--machine-profile`` (or the plural
+comma-list forms for grid sweeps) — and :func:`run_config_from_args`
+folds them into one validated :class:`repro.config.RunConfig`.
+Observability flags (``--trace-out``, ``--metrics-out``) ride in the
+same config.
 
 Unknown domain/ordering/experiment/engine names exit with status 2 and
 a one-line message listing the valid choices.
@@ -36,7 +38,14 @@ from pathlib import Path
 from . import bench, obs
 from .bench import format_table
 from .bench.report import save_csv
-from .config import ObsConfig, RunConfig, UnknownNameError, engine_axes
+from .config import (
+    DEFAULT_RUN_CONFIG,
+    MACHINE_PROFILES,
+    ObsConfig,
+    RunConfig,
+    UnknownNameError,
+    engine_axes,
+)
 from .core import measure_reordering_cost, run_ordering
 from .lab.backends import DEFAULT_LEASE_S
 from .lab.http_store import StoreConnectionError
@@ -172,58 +181,62 @@ def _comma_list(cast):
     return parse
 
 
+#: Singular-flag help text per engine axis; the plural comma-list form
+#: derives its text generically.  New axes registered in
+#: :func:`repro.config.engine_axes` get a flag automatically even
+#: without an entry here.
+AXIS_HELP = {
+    "engine": "smoothing execution engine: scalar reference loop or the "
+              "NumPy wavefront engine (same results, faster)",
+    "sim_engine": "cache simulator: per-event reference replay or the "
+                  "vectorized stack-distance engine (identical counts, "
+                  "much faster)",
+    "mem_engine": "multicore replay engine: in-process sockets or one "
+                  "worker process per socket (identical counts)",
+    "order_engine": "vertex-ordering engine: reference traversals or the "
+                    "frontier-batched NumPy reimplementation (identical "
+                    "permutations, much faster)",
+    "backend": "array backend the fast engines run on (see repro.backend); "
+               "cupy/torch fall back to numpy with a warning when not "
+               "installed",
+}
+
+
 def add_engine_args(parser, *, plural: bool = False) -> None:
     """Attach the unified engine/seed flags to a subcommand parser.
 
-    Singular form (``--engine``/``--sim-engine``/``--mem-engine``/
-    ``--order-engine``/``--seed``) selects one
-    :class:`repro.config.RunConfig`; the plural comma-list form
-    (``--engines``/``--sim-engines``/``--mem-engines``/
-    ``--order-engines``/``--seeds``) spans grid axes for ``lab init``.
+    One flag per :func:`repro.config.engine_axes` axis plus ``--seed``
+    and ``--machine-profile``: the singular form (``--engine``/
+    ``--sim-engine``/``--mem-engine``/``--order-engine``/``--backend``)
+    selects one :class:`repro.config.RunConfig`; the plural comma-list
+    form (``--engines``/.../``--backends``/``--seeds``) spans grid axes
+    for ``lab init``.  The flag set is derived from the axis registry,
+    so new engine axes surface on every subcommand automatically.
     """
-    axes = engine_axes()
+    for axis, choices in engine_axes().items():
+        flag = "--" + axis.replace("_", "-")
+        default = getattr(DEFAULT_RUN_CONFIG, axis)
+        if plural:
+            parser.add_argument(
+                flag + "s", type=_comma_list(str), default=(default,),
+                help=f"comma list of {axis.replace('_', ' ')} values "
+                     f"({','.join(choices)})",
+            )
+        else:
+            parser.add_argument(flag, default=default, choices=list(choices),
+                                help=AXIS_HELP.get(axis, ""))
     if plural:
-        parser.add_argument("--engines", type=_comma_list(str),
-                            default=("reference",),
-                            help="comma list of smoothing engines "
-                                 f"({','.join(axes['engine'])})")
-        parser.add_argument("--sim-engines", type=_comma_list(str),
-                            default=("reference",),
-                            help="comma list of cache simulators "
-                                 f"({','.join(axes['sim_engine'])})")
-        parser.add_argument("--mem-engines", type=_comma_list(str),
-                            default=("sequential",),
-                            help="comma list of multicore replay engines "
-                                 f"({','.join(axes['mem_engine'])})")
-        parser.add_argument("--order-engines", type=_comma_list(str),
-                            default=("reference",),
-                            help="comma list of vertex-ordering engines "
-                                 f"({','.join(axes['order_engine'])})")
         parser.add_argument("--seeds", type=_comma_list(int), default=(0,),
                             help="comma list of seeds")
         return
-    parser.add_argument("--engine", default="reference",
-                        choices=list(axes["engine"]),
-                        help="smoothing execution engine: scalar reference "
-                             "loop or the NumPy wavefront engine "
-                             "(same results, faster)")
-    parser.add_argument("--sim-engine", default="reference",
-                        choices=list(axes["sim_engine"]),
-                        help="cache simulator: per-event reference replay or "
-                             "the vectorized stack-distance engine "
-                             "(identical counts, much faster)")
-    parser.add_argument("--mem-engine", default="sequential",
-                        choices=list(axes["mem_engine"]),
-                        help="multicore replay engine: in-process sockets or "
-                             "one worker process per socket "
-                             "(identical counts)")
-    parser.add_argument("--order-engine", default="reference",
-                        choices=list(axes["order_engine"]),
-                        help="vertex-ordering engine: reference traversals "
-                             "or the frontier-batched NumPy reimplementation "
-                             "(identical permutations, much faster)")
     parser.add_argument("--seed", type=int, default=0,
                         help="seed for stochastic orderings (e.g. random)")
+    parser.add_argument("--machine-profile", default=None,
+                        choices=list(MACHINE_PROFILES),
+                        help="calibration profile for the default machine "
+                             "(default: each pipeline's historical choice; "
+                             "gpu-generic models a coalescing device with "
+                             "128-byte lines)")
 
 
 def add_obs_args(parser) -> None:
@@ -247,11 +260,12 @@ def run_config_from_args(args) -> RunConfig:
             "stream window", str(window), ["None", "any int >= 1"]
         )
     return RunConfig(
-        engine=getattr(args, "engine", "reference"),
-        sim_engine=getattr(args, "sim_engine", "reference"),
-        mem_engine=getattr(args, "mem_engine", "sequential"),
-        order_engine=getattr(args, "order_engine", "reference"),
+        **{
+            axis: getattr(args, axis, getattr(DEFAULT_RUN_CONFIG, axis))
+            for axis in engine_axes()
+        },
         seed=getattr(args, "seed", 0),
+        machine_profile=getattr(args, "machine_profile", None),
         stream_window_events=window,
         obs=ObsConfig(
             enabled=bool(trace_out or metrics_out),
@@ -465,7 +479,10 @@ def _cmd_smooth(args) -> int:
             smoothed = result.mesh
         else:
             if args.ordering:
-                mesh, _ = apply_ordering(mesh, args.ordering, seed=config.seed)
+                mesh, _ = apply_ordering(
+                    mesh, args.ordering, seed=config.seed,
+                    order_engine=config.order_engine, backend=config.backend,
+                )
             result = laplacian_smooth(
                 mesh, config=config, traversal=args.traversal,
                 max_iterations=args.max_iterations,
@@ -488,7 +505,7 @@ def _cmd_reorder(args) -> int:
     mesh = read_triangle(args.input)
     permuted, _ = apply_ordering(
         mesh, args.ordering, seed=config.seed,
-        order_engine=config.order_engine,
+        order_engine=config.order_engine, backend=config.backend,
     )
     node, ele = write_triangle(permuted, args.output)
     print(f"reordered {mesh.num_vertices} vertices with {args.ordering!r}")
@@ -618,15 +635,15 @@ def _cmd_experiment(args) -> int:
 def _cmd_list() -> int:
     from .lab import EXPERIMENT_RUNNERS
 
-    axes = engine_axes()
     print("domains:    ", ", ".join(list_domains()))
     print("orderings:  ", ", ".join(sorted(ORDERINGS)))
     print("experiments:", ", ".join(sorted(EXPERIMENTS)))
     print("lab:        ", ", ".join(sorted(EXPERIMENT_RUNNERS)))
-    print("engines:    ", ", ".join(axes["engine"]))
-    print("sim engines:", ", ".join(axes["sim_engine"]))
-    print("mem engines:", ", ".join(axes["mem_engine"]))
-    print("ord engines:", ", ".join(axes["order_engine"]))
+    for axis, choices in engine_axes().items():
+        label = axis.replace("_engine", " engines").replace("_", " ")
+        if not label.endswith("s"):
+            label += "s"
+        print(f"{label + ':':<12}", ", ".join(choices))
     return 0
 
 
@@ -759,10 +776,12 @@ def _cmd_lab(args) -> int:
             cache_scales=args.cache_scales,
             quality_structure=args.quality_structure,
             max_iterations=args.max_iterations,
-            engines=args.engines,
-            sim_engines=args.sim_engines,
-            mem_engines=args.mem_engines,
-            order_engines=args.order_engines,
+            # One plural axis per engine_axes() entry (--engines,
+            # --sim-engines, ..., --backends).
+            **{
+                axis + "s": getattr(args, axis + "s")
+                for axis in engine_axes()
+            },
             stream_windows=tuple(args.stream_windows) or (None,),
         ).validate()
         store = _lab_store(args)

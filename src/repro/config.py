@@ -14,6 +14,10 @@ as ``config=``:
 * ``order_engine`` — vertex-ordering engine (``reference``/``batched``;
   both produce identical permutations, the batched one vectorizes the
   traversal/chain machinery),
+* ``backend`` — array namespace the fast engines execute on
+  (``numpy``/``cupy``/``torch``, see :mod:`repro.backend`; names
+  validate everywhere, uninstalled backends fall back to numpy at
+  execution time),
 * ``seed`` — the stochastic-ordering seed,
 * ``machine_profile`` — calibration profile for the default machine
   (``None`` keeps each API's historical default: serial pipelines
@@ -55,7 +59,7 @@ __all__ = [
 
 #: Calibration profiles understood by
 #: :func:`repro.memsim.machine.calibrated_machine`.
-MACHINE_PROFILES = ("serial", "scaling")
+MACHINE_PROFILES = ("gpu-generic", "serial", "scaling")
 
 
 class UnknownNameError(ValueError):
@@ -80,6 +84,7 @@ def engine_axes() -> dict[str, tuple[str, ...]]:
     Imported lazily so this module stays dependency-free at import time
     (the smoothing and memsim packages import it back for their shims).
     """
+    from .backend import BACKEND_NAMES
     from .memsim.batched import SIM_ENGINES
     from .memsim.multicore import MEM_ENGINES
     from .ordering.base import ORDER_ENGINES
@@ -90,6 +95,7 @@ def engine_axes() -> dict[str, tuple[str, ...]]:
         "sim_engine": tuple(SIM_ENGINES),
         "mem_engine": tuple(MEM_ENGINES),
         "order_engine": tuple(ORDER_ENGINES),
+        "backend": tuple(BACKEND_NAMES),
     }
 
 
@@ -130,6 +136,7 @@ class RunConfig:
     sim_engine: str = "reference"
     mem_engine: str = "sequential"
     order_engine: str = "reference"
+    backend: str = "numpy"
     seed: int = 0
     machine_profile: str | None = None
     stream_window_events: int | None = None

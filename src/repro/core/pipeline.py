@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import obs
-from ..config import DEFAULT_RUN_CONFIG, RunConfig, resolve_config
+from ..config import DEFAULT_RUN_CONFIG, RunConfig, engine_axes, resolve_config
 from ..mesh import TriMesh
 from ..memsim import (
     COLD,
@@ -122,6 +122,7 @@ def _prepare(
     rank_passes: int = DEFAULT_RANK_PASSES,
     precomputed_order: np.ndarray | None = None,
     order_engine: str = "reference",
+    backend: str = "numpy",
 ) -> tuple[TriMesh, np.ndarray, np.ndarray]:
     """Rank-smooth the quality signal and permute the mesh under it.
 
@@ -144,7 +145,7 @@ def _prepare(
     else:
         permuted, order = apply_ordering(
             mesh, ordering, seed=seed, qualities=rank_q,
-            order_engine=order_engine,
+            order_engine=order_engine, backend=backend,
         )
     return permuted, order, rank_q[order]
 
@@ -154,7 +155,7 @@ def run_ordering(
     ordering: str,
     *,
     config: RunConfig | None = None,
-    machine: MachineSpec | None = None,
+    machine: MachineSpec | str | None = None,
     traversal: str = "greedy",
     max_iterations: int = 50,
     fixed_iterations: int | None = None,
@@ -199,6 +200,12 @@ def run_ordering(
         machine = default_machine_for(
             mesh, profile=config.machine_profile or "serial"
         )
+    elif not isinstance(machine, MachineSpec):
+        from ..memsim.machine import resolve_machine
+
+        machine = resolve_machine(
+            machine, footprint_bytes=MemoryLayout.for_mesh(mesh).total_bytes
+        )
     rank_passes = (
         DEFAULT_RANK_PASSES if rank_passes_override is None else rank_passes_override
     )
@@ -209,6 +216,7 @@ def run_ordering(
         engine=config.engine,
         sim_engine=config.sim_engine,
         order_engine=config.order_engine,
+        backend=config.backend,
     ):
         with obs.span(
             "pipeline.reorder",
@@ -217,7 +225,7 @@ def run_ordering(
         ) as sp:
             permuted, order, _ = _prepare(
                 mesh, ordering, qualities, config.seed, rank_passes,
-                precomputed_order, config.order_engine,
+                precomputed_order, config.order_engine, config.backend,
             )
             sp.add_event(permuted.num_vertices)
 
@@ -334,10 +342,9 @@ def run_summary(run: OrderedRun) -> dict:
         "L3_misses": int(st.l3.misses),
         "memory_accesses": int(st.memory_accesses),
         "modeled_ms": run.modeled_seconds * 1e3,
-        "engine": run.config.engine,
-        "sim_engine": run.config.sim_engine,
-        "mem_engine": run.config.mem_engine,
-        "order_engine": run.config.order_engine,
+        # Full engine provenance: one column per engine_axes() axis
+        # (engine, sim_engine, mem_engine, order_engine, backend, ...).
+        **{axis: getattr(run.config, axis) for axis in engine_axes()},
         "seed": run.config.seed,
         "machine": run.machine.name,
         "machine_profile": run.config.machine_profile,
@@ -375,10 +382,7 @@ class ParallelRun:
             "L3_accesses": int(counts["L3"]),
             "memory_accesses": int(counts["memory"]),
             "modeled_ms": self.modeled_seconds * 1e3,
-            "engine": self.config.engine,
-            "sim_engine": self.config.sim_engine,
-            "mem_engine": self.config.mem_engine,
-            "order_engine": self.config.order_engine,
+            **{axis: getattr(self.config, axis) for axis in engine_axes()},
             "seed": self.config.seed,
             "machine": self.result.machine.name,
             "machine_profile": self.config.machine_profile,
@@ -391,7 +395,7 @@ def run_parallel_ordering(
     num_cores: int,
     *,
     config: RunConfig | None = None,
-    machine: MachineSpec | None = None,
+    machine: MachineSpec | str | None = None,
     iterations: int = 8,
     traversal: str = "greedy",
     affinity: str = "scatter",
@@ -422,6 +426,12 @@ def run_parallel_ordering(
         machine = default_machine_for(
             mesh, profile=config.machine_profile or "scaling"
         )
+    elif not isinstance(machine, MachineSpec):
+        from ..memsim.machine import resolve_machine
+
+        machine = resolve_machine(
+            machine, footprint_bytes=MemoryLayout.for_mesh(mesh).total_bytes
+        )
     with obs.activated(config.obs), obs.span(
         "pipeline.run_parallel_ordering",
         mesh=mesh.name,
@@ -430,6 +440,7 @@ def run_parallel_ordering(
         mem_engine=config.mem_engine,
         sim_engine=config.sim_engine,
         order_engine=config.order_engine,
+        backend=config.backend,
     ):
         if qualities is None:
             qualities = vertex_quality(mesh)
@@ -440,7 +451,7 @@ def run_parallel_ordering(
         ) as sp:
             permuted, order, perm_q = _prepare(
                 mesh, ordering, qualities, config.seed,
-                order_engine=config.order_engine,
+                order_engine=config.order_engine, backend=config.backend,
             )
             sp.add_event(permuted.num_vertices)
         with obs.span("pipeline.partition", cores=num_cores):

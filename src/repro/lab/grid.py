@@ -15,7 +15,7 @@ from itertools import product
 
 # UnknownNameError moved to repro.config (the CLI and RunConfig.validate
 # share it); re-exported here for backward compatibility.
-from ..config import RunConfig, UnknownNameError
+from ..config import RunConfig, UnknownNameError, engine_axes
 from ..meshgen import list_domains
 from ..ordering import ORDERINGS
 
@@ -38,6 +38,7 @@ class JobSpec:
     sim_engine: str = "reference"
     mem_engine: str = "sequential"
     order_engine: str = "reference"
+    backend: str = "numpy"
     stream_window_events: int | None = None
 
     def key(self) -> str:
@@ -57,10 +58,7 @@ class JobSpec:
         """A spec whose engine axes and seed come from ``config``;
         everything else (experiment, domain, ...) via ``kwargs``."""
         return cls(
-            engine=config.engine,
-            sim_engine=config.sim_engine,
-            mem_engine=config.mem_engine,
-            order_engine=config.order_engine,
+            **{axis: getattr(config, axis) for axis in engine_axes()},
             seed=config.seed,
             stream_window_events=config.stream_window_events,
             **kwargs,
@@ -70,10 +68,7 @@ class JobSpec:
         """The :class:`repro.config.RunConfig` projection of this spec
         (what the worker runners pass to the pipeline APIs)."""
         return RunConfig(
-            engine=self.engine,
-            sim_engine=self.sim_engine,
-            mem_engine=self.mem_engine,
-            order_engine=self.order_engine,
+            **{axis: getattr(self, axis) for axis in engine_axes()},
             seed=self.seed,
             stream_window_events=self.stream_window_events,
         )
@@ -97,12 +92,9 @@ def validate_names(
     sim_engines: tuple[str, ...] = (),
     mem_engines: tuple[str, ...] = (),
     order_engines: tuple[str, ...] = (),
+    backends: tuple[str, ...] = (),
 ) -> None:
     """Raise :class:`UnknownNameError` for the first unknown name."""
-    from ..memsim.batched import SIM_ENGINES
-    from ..memsim.multicore import MEM_ENGINES
-    from ..ordering.base import ORDER_ENGINES
-    from ..smoothing import ENGINES
     from .worker import EXPERIMENT_RUNNERS  # late: worker imports JobSpec
 
     known_domains = list_domains()
@@ -115,18 +107,21 @@ def validate_names(
     for name in experiments:
         if name not in EXPERIMENT_RUNNERS:
             raise UnknownNameError("experiment", name, list(EXPERIMENT_RUNNERS))
-    for name in engines:
-        if name not in ENGINES:
-            raise UnknownNameError("engine", name, list(ENGINES))
-    for name in sim_engines:
-        if name not in SIM_ENGINES:
-            raise UnknownNameError("sim engine", name, list(SIM_ENGINES))
-    for name in mem_engines:
-        if name not in MEM_ENGINES:
-            raise UnknownNameError("mem engine", name, list(MEM_ENGINES))
-    for name in order_engines:
-        if name not in ORDER_ENGINES:
-            raise UnknownNameError("order engine", name, list(ORDER_ENGINES))
+    # Engine axes share one validation loop with repro.config — the
+    # plural keyword for axis "x" is "xs" (engines, ..., backends).
+    supplied = {
+        "engine": engines,
+        "sim_engine": sim_engines,
+        "mem_engine": mem_engines,
+        "order_engine": order_engines,
+        "backend": backends,
+    }
+    for axis, choices in engine_axes().items():
+        for name in supplied.get(axis, ()):
+            if name not in choices:
+                raise UnknownNameError(
+                    axis.replace("_", " "), name, list(choices)
+                )
 
 
 @dataclass(frozen=True)
@@ -145,6 +140,7 @@ class ExperimentGrid:
     sim_engines: tuple[str, ...] = ("reference",)
     mem_engines: tuple[str, ...] = ("sequential",)
     order_engines: tuple[str, ...] = ("reference",)
+    backends: tuple[str, ...] = ("numpy",)
     stream_windows: tuple[int | None, ...] = (None,)
 
     def validate(self) -> "ExperimentGrid":
@@ -156,6 +152,7 @@ class ExperimentGrid:
             sim_engines=self.sim_engines,
             mem_engines=self.mem_engines,
             order_engines=self.order_engines,
+            backends=self.backends,
         )
         for window in self.stream_windows:
             if window is not None and (
@@ -182,10 +179,11 @@ class ExperimentGrid:
                 sim_engine=sim_engine,
                 mem_engine=mem_engine,
                 order_engine=order_engine,
+                backend=backend,
                 stream_window_events=stream_window,
             )
             for experiment, domain, ordering, vertices, scale, seed, engine,
-            sim_engine, mem_engine, order_engine, stream_window
+            sim_engine, mem_engine, order_engine, backend, stream_window
             in product(
                 self.experiments,
                 self.domains,
@@ -197,6 +195,7 @@ class ExperimentGrid:
                 self.sim_engines,
                 self.mem_engines,
                 self.order_engines,
+                self.backends,
                 self.stream_windows,
             )
         ]
@@ -211,7 +210,7 @@ class ExperimentGrid:
         for key in (
             "experiments", "domains", "orderings", "vertices", "seeds",
             "cache_scales", "engines", "sim_engines", "mem_engines",
-            "order_engines", "stream_windows",
+            "order_engines", "backends", "stream_windows",
         ):
             if key in kwargs:
                 kwargs[key] = tuple(kwargs[key])

@@ -23,6 +23,8 @@ from .machine import (
     CacheSpec,
     MachineSpec,
     calibrated_machine,
+    profile_line_size,
+    resolve_machine,
     tiny_machine,
     westmere_ex,
 )
@@ -94,6 +96,8 @@ __all__ = [
     "observe_hierarchy_stats",
     "per_array_breakdown",
     "profile_from_distances",
+    "profile_line_size",
+    "resolve_machine",
     "reuse_distances",
     "simulate_multicore",
     "simulate_multicore_sharded",

@@ -19,6 +19,7 @@ every effect the paper reports.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -27,6 +28,8 @@ __all__ = [
     "westmere_ex",
     "tiny_machine",
     "calibrated_machine",
+    "profile_line_size",
+    "resolve_machine",
 ]
 
 
@@ -109,11 +112,20 @@ def westmere_ex(*, scale: float = 1.0) -> MachineSpec:
     )
 
 
+def profile_line_size(profile: str) -> int:
+    """Default line granularity of a calibration profile.
+
+    ``gpu-generic`` models 128-byte coalesced memory transactions;
+    every CPU profile keeps the 64-byte Westmere line.
+    """
+    return 128 if profile == "gpu-generic" else 64
+
+
 def calibrated_machine(
     footprint_bytes: int,
     *,
     profile: str = "serial",
-    line_size: int = 64,
+    line_size: int | None = None,
 ) -> MachineSpec:
     """A Westmere-shaped machine sized to a given working-set footprint.
 
@@ -133,12 +145,54 @@ def calibrated_machine(
         socket cannot hold the mesh, while several sockets' aggregate
         can — the regime that produces the paper's super-linear
         multi-socket speedups.
+    ``gpu-generic`` (the accelerator-hierarchy rendition of the story)
+        128-byte lines model coalesced memory transactions, so
+        spatially-dense orderings pack more vertices per transaction;
+        L1 is shared-memory-sized (48 KB, 32-way, cheap) like a
+        per-SM scratchpad, the device-wide L2 holds ~25% of the
+        footprint, and the memory-side last level sits just above the
+        footprint with HBM-scale latencies. One "socket" of 32
+        SM-like cores.
 
     Latencies, associativities, line size, core/socket counts and clock
-    are Westmere-EX throughout.
+    are Westmere-EX for the CPU profiles; ``line_size=None`` takes the
+    profile's default (:func:`profile_line_size`).
     """
     if footprint_bytes <= 0:
         raise ValueError("footprint_bytes must be positive")
+    if line_size is None:
+        line_size = profile_line_size(profile)
+    if profile == "gpu-generic":
+        def gspec(name: str, size: int, ways: int, latency: float) -> CacheSpec:
+            return CacheSpec(
+                name, _scaled(size, 1.0, line_size, ways), ways, latency,
+                line_size,
+            )
+
+        l1 = gspec("L1", 384 * line_size, 32, 28.0)
+        l2 = gspec(
+            "L2",
+            max(2 * 384 * line_size, int(0.25 * footprint_bytes)),
+            16,
+            190.0,
+        )
+        l3 = gspec(
+            "L3",
+            max(2 * l2.size_bytes, int(1.05 * footprint_bytes)),
+            16,
+            350.0,
+        )
+        return MachineSpec(
+            name=f"calibrated-gpu-generic({footprint_bytes}B)",
+            l1=l1,
+            l2=l2,
+            l3=l3,
+            memory_latency_cycles=480.0,
+            remote_l3_extra_cycles=0.0,
+            frequency_hz=1.4e9,
+            cores_per_socket=32,
+            num_sockets=1,
+        )
     if profile == "serial":
         l2_frac, l3_frac = 0.15, 1.05
     elif profile == "scaling":
@@ -174,6 +228,50 @@ def calibrated_machine(
         cores_per_socket=8,
         num_sockets=4,
     )
+
+
+def resolve_machine(
+    machine: MachineSpec | str | None,
+    *,
+    footprint_bytes: int | None = None,
+    stacklevel: int = 3,
+) -> MachineSpec | None:
+    """Accept both ``machine=MachineSpec`` and the legacy profile-name
+    string form, mirroring :func:`repro.config.resolve_config`.
+
+    A :class:`MachineSpec` (or ``None``) passes straight through.  A
+    string is treated as a calibration profile name: it emits a
+    :class:`DeprecationWarning` attributed ``stacklevel`` frames up
+    (the modern spelling is ``RunConfig(machine_profile=...)`` or an
+    explicit :func:`calibrated_machine`), validates against
+    :data:`repro.config.MACHINE_PROFILES`, and is calibrated to
+    ``footprint_bytes`` — which the resolving API must supply from its
+    workload (trace footprint, mesh layout size).
+    """
+    if machine is None or isinstance(machine, MachineSpec):
+        return machine
+    if not isinstance(machine, str):
+        raise TypeError(
+            "machine must be a MachineSpec or a profile name, got "
+            f"{type(machine).__name__}"
+        )
+    from ..config import MACHINE_PROFILES, UnknownNameError
+
+    warnings.warn(
+        f"passing machine={machine!r} as a profile-name string is "
+        "deprecated; pass a MachineSpec (e.g. calibrated_machine(footprint, "
+        f"profile={machine!r})) or set RunConfig(machine_profile=...)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    if machine not in MACHINE_PROFILES:
+        raise UnknownNameError("machine profile", machine, MACHINE_PROFILES)
+    if footprint_bytes is None:
+        raise TypeError(
+            "resolving a profile-name machine requires a workload "
+            "footprint; this API cannot infer one"
+        )
+    return calibrated_machine(int(footprint_bytes), profile=machine)
 
 
 def tiny_machine() -> MachineSpec:

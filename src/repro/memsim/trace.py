@@ -39,39 +39,49 @@ def _mmap_npz(path: Path) -> dict[str, np.ndarray]:
     with open(path, "rb") as fh:
         mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
         arrays: dict[str, np.ndarray] = {}
-        with zipfile.ZipFile(fh) as zf:
-            for info in zf.infolist():
-                if info.compress_type != zipfile.ZIP_STORED:
-                    raise ValueError(
-                        f"{path} holds compressed members; mmap loading "
-                        "requires save_npz(..., compress=False)"
+        try:
+            with zipfile.ZipFile(fh) as zf:
+                for info in zf.infolist():
+                    if info.compress_type != zipfile.ZIP_STORED:
+                        raise ValueError(
+                            f"{path} holds compressed members; mmap loading "
+                            "requires save_npz(..., compress=False)"
+                        )
+                    # Local header: 26 bytes in, two uint16 give the name
+                    # and extra-field lengths; member data follows both.
+                    nlen, xlen = struct.unpack_from(
+                        "<HH", mapped, info.header_offset + 26
                     )
-                # Local header: 26 bytes in, two uint16 give the name and
-                # extra-field lengths; member data follows both.
-                nlen, xlen = struct.unpack_from(
-                    "<HH", mapped, info.header_offset + 26
-                )
-                data_off = info.header_offset + 30 + nlen + xlen
-                bio = io.BytesIO(mapped[data_off : data_off + 4096])
-                version = np.lib.format.read_magic(bio)
-                if version == (1, 0):
-                    header = np.lib.format.read_array_header_1_0(bio)
-                elif version == (2, 0):
-                    header = np.lib.format.read_array_header_2_0(bio)
-                else:
-                    raise ValueError(f"unsupported npy version {version}")
-                shape, fortran, dtype = header
-                if fortran:
-                    raise ValueError("Fortran-order npz members unsupported")
-                count = int(np.prod(shape)) if shape else 1
-                arr = np.frombuffer(
-                    mapped, dtype=dtype, count=count,
-                    offset=data_off + bio.tell(),
-                ).reshape(shape)
-                name = info.filename
-                if name.endswith(".npy"):
-                    name = name[:-4]
-                arrays[name] = arr
+                    data_off = info.header_offset + 30 + nlen + xlen
+                    bio = io.BytesIO(mapped[data_off : data_off + 4096])
+                    version = np.lib.format.read_magic(bio)
+                    if version == (1, 0):
+                        header = np.lib.format.read_array_header_1_0(bio)
+                    elif version == (2, 0):
+                        header = np.lib.format.read_array_header_2_0(bio)
+                    else:
+                        raise ValueError(f"unsupported npy version {version}")
+                    shape, fortran, dtype = header
+                    if fortran:
+                        raise ValueError(
+                            "Fortran-order npz members unsupported"
+                        )
+                    count = int(np.prod(shape)) if shape else 1
+                    name = info.filename
+                    if name.endswith(".npy"):
+                        name = name[:-4]
+                    arrays[name] = np.frombuffer(
+                        mapped, dtype=dtype, count=count,
+                        offset=data_off + bio.tell(),
+                    ).reshape(shape)
+        except Exception:
+            # Close the mapping deterministically instead of leaking it
+            # to the GC (a ResourceWarning under -W error).  The views
+            # exported so far pin the mapping's buffer, so they must be
+            # dropped before close() or it raises BufferError.
+            arrays.clear()
+            mapped.close()
+            raise
         return arrays
 
 #: Logical arrays of the smoothing working set, in layout order.

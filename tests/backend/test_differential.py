@@ -1,0 +1,110 @@
+"""Differential tests: every installed backend vs the numpy reference.
+
+Each engine that accepts a backend is pinned against its numpy run on
+the same mesh/trace: smoothed coordinates within rtol 1e-12 (floating
+sums may associate differently on device), permutations and cache
+counts exactly.  Parametrized over the installed backends; on a
+numpy-only host this degenerates to numpy-vs-numpy, which still guards
+the plumbing (the config axis must reach the engines and change
+nothing).
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import available_backends
+from repro.config import RunConfig
+from repro.core import run_ordering, run_summary
+from repro.memsim import MemoryLayout, calibrated_machine, simulate_trace
+from repro.ordering.batched import (
+    batched_bfs_ordering,
+    batched_rcm_ordering,
+    batched_reverse_bfs_ordering,
+)
+from repro.parallel.scheduler import wavefront_schedule
+from repro.smoothing import laplacian_smooth
+from repro.smoothing.vectorized import WavefrontPlan
+
+BACKENDS = available_backends()
+
+
+def _plan_for(mesh, backend):
+    adj = mesh.adjacency
+    seq = np.arange(mesh.num_vertices, dtype=np.int64)
+    batched, offsets = wavefront_schedule(seq, adj.xadj, adj.adjncy)
+    return WavefrontPlan(adj.xadj, adj.adjncy, batched, offsets,
+                         backend=backend)
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+class TestSmootherDifferential:
+    def test_one_sweep_matches_numpy(self, bumpy_mesh, backend):
+        base = bumpy_mesh.vertices.copy()
+        _plan_for(bumpy_mesh, "numpy").execute(base)
+        other = bumpy_mesh.vertices.copy()
+        _plan_for(bumpy_mesh, backend).execute(other)
+        np.testing.assert_allclose(other, base, rtol=1e-12, atol=1e-14)
+
+    def test_convergence_run_matches_numpy(self, bumpy_mesh, backend):
+        base = laplacian_smooth(
+            bumpy_mesh, config=RunConfig(engine="vectorized")
+        )
+        other = laplacian_smooth(
+            bumpy_mesh,
+            config=RunConfig(engine="vectorized", backend=backend),
+        )
+        assert other.iterations == base.iterations
+        np.testing.assert_allclose(
+            other.mesh.vertices, base.mesh.vertices, rtol=1e-12, atol=1e-14
+        )
+
+
+class TestOrderingDifferential:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            batched_bfs_ordering,
+            batched_reverse_bfs_ordering,
+            batched_rcm_ordering,
+        ],
+        ids=lambda f: f.__name__,
+    )
+    def test_frontier_orderings_identical(self, bumpy_mesh, backend, fn):
+        base = fn(bumpy_mesh)
+        other = fn(bumpy_mesh, backend=backend)
+        np.testing.assert_array_equal(other, base)
+
+
+class TestMemsimDifferential:
+    def test_batched_counts_identical(self, bumpy_mesh, backend):
+        run = run_ordering(
+            bumpy_mesh, "rdr", fixed_iterations=1,
+            config=RunConfig(engine="vectorized"),
+        )
+        machine = calibrated_machine(
+            MemoryLayout.for_mesh(run.mesh).total_bytes
+        )
+        base = simulate_trace(
+            run.lines, machine, config=RunConfig(sim_engine="batched")
+        )
+        other = simulate_trace(
+            run.lines,
+            machine,
+            config=RunConfig(sim_engine="batched", backend=backend),
+        )
+        for lvl in ("l1", "l2", "l3"):
+            assert getattr(other, lvl).hits == getattr(base, lvl).hits
+            assert getattr(other, lvl).misses == getattr(base, lvl).misses
+
+
+class TestEndToEndProvenance:
+    def test_run_summary_records_backend(self, grid_mesh, backend):
+        run = run_ordering(
+            grid_mesh, "ori", fixed_iterations=1,
+            config=RunConfig(backend=backend),
+        )
+        assert run_summary(run)["backend"] == backend

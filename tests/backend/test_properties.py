@@ -1,0 +1,157 @@
+"""Hypothesis property suite: every installed backend vs the numpy oracle.
+
+The ``ArrayBackend`` protocol ops are the exact vocabulary the fast
+engines are written in; each op is pinned against its numpy semantics on
+arbitrary inputs.  Parametrized over :func:`repro.backend.available_backends`
+so the same laws run on cupy/torch wherever those are installed — on a
+numpy-only host the suite still exercises the protocol round-trip
+(asarray/to_numpy) through the one real backend.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backend import available_backends, get_backend
+
+# The xb fixture hands back a cached stateless singleton, so sharing it
+# across hypothesis examples is sound (hence the suppressed check).
+FAST = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+
+BACKENDS = available_backends()
+
+
+@pytest.fixture(params=BACKENDS)
+def xb(request):
+    return get_backend(request.param)
+
+
+def segmented_values(draw):
+    """(values, starts, counts): 2-d float payload + non-empty segments."""
+    n_segments = draw(st.integers(min_value=1, max_value=8))
+    counts = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=6),
+            min_size=n_segments,
+            max_size=n_segments,
+        )
+    )
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    flat = draw(
+        st.lists(
+            st.floats(
+                min_value=-1e6, max_value=1e6,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=2 * total,
+            max_size=2 * total,
+        )
+    )
+    values = np.asarray(flat, dtype=np.float64).reshape(total, 2)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1])).astype(np.int64)
+    return values, starts, counts
+
+
+class TestBackendLaws:
+    @FAST
+    @given(data=st.data())
+    def test_transfer_round_trip_is_identity(self, xb, data):
+        host = np.asarray(
+            data.draw(st.lists(st.integers(-1000, 1000), max_size=50)),
+            dtype=np.int64,
+        )
+        dev = xb.asarray(host, dtype=xb.int64)
+        np.testing.assert_array_equal(xb.to_numpy(dev), host)
+
+    @FAST
+    @given(data=st.data())
+    def test_reduceat_matches_numpy(self, xb, data):
+        values, starts, _ = segmented_values(data.draw)
+        out = xb.to_numpy(
+            xb.reduceat(xb.asarray(values), xb.asarray(starts))
+        )
+        expected = np.add.reduceat(values, starts, axis=0)
+        np.testing.assert_allclose(out, expected, rtol=1e-12, atol=1e-9)
+
+    @FAST
+    @given(data=st.data())
+    def test_segment_mean_matches_numpy(self, xb, data):
+        values, starts, counts = segmented_values(data.draw)
+        out = xb.to_numpy(
+            xb.segment_mean(
+                xb.asarray(values),
+                xb.asarray(starts),
+                xb.asarray(counts, dtype=xb.float64),
+            )
+        )
+        expected = np.add.reduceat(values, starts, axis=0) / counts[:, None]
+        np.testing.assert_allclose(out, expected, rtol=1e-12, atol=1e-9)
+
+    @FAST
+    @given(data=st.data())
+    def test_stable_argsort_matches_numpy(self, xb, data):
+        # Tight value range forces ties, the case stability is about.
+        a = np.asarray(
+            data.draw(st.lists(st.integers(0, 4), max_size=80)),
+            dtype=np.int64,
+        )
+        out = xb.to_numpy(xb.argsort(xb.asarray(a), stable=True))
+        np.testing.assert_array_equal(out, np.argsort(a, kind="stable"))
+
+    @FAST
+    @given(data=st.data())
+    def test_searchsorted_matches_numpy(self, xb, data):
+        a = np.sort(
+            np.asarray(
+                data.draw(st.lists(st.integers(0, 100), max_size=40)),
+                dtype=np.int64,
+            )
+        )
+        v = np.asarray(
+            data.draw(st.lists(st.integers(-5, 105), max_size=20)),
+            dtype=np.int64,
+        )
+        for side in ("left", "right"):
+            out = xb.to_numpy(
+                xb.searchsorted(xb.asarray(a), xb.asarray(v), side=side)
+            )
+            np.testing.assert_array_equal(out, np.searchsorted(a, v, side=side))
+
+    @FAST
+    @given(data=st.data())
+    def test_scatter_min_matches_minimum_at(self, xb, data):
+        slots = data.draw(st.integers(min_value=1, max_value=10))
+        pairs = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, slots - 1), st.integers(-100, 100)
+                ),
+                max_size=60,
+            )
+        )
+        index = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        values = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        expected = np.full(slots, 999, dtype=np.int64)
+        np.minimum.at(expected, index, values)
+        target = xb.full((slots,), 999, xb.int64)
+        xb.scatter_min(target, xb.asarray(index), xb.asarray(values))
+        xb.synchronize()
+        np.testing.assert_array_equal(xb.to_numpy(target), expected)
+
+    @FAST
+    @given(data=st.data())
+    def test_flatnonzero_matches_numpy(self, xb, data):
+        a = np.asarray(
+            data.draw(st.lists(st.booleans(), max_size=60)), dtype=bool
+        )
+        out = xb.to_numpy(xb.flatnonzero(xb.asarray(a, dtype=xb.bool_)))
+        np.testing.assert_array_equal(out, np.flatnonzero(a))

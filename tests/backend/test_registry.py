@@ -1,0 +1,118 @@
+"""Registry and NumpyBackend unit tests for :mod:`repro.backend`.
+
+The registry contract: ``get_backend`` resolves known names, raises
+``UnknownNameError`` (the CLI's exit-2 class) for unknown ones, and
+falls back to numpy — with a one-time RuntimeWarning — when an optional
+backend's import fails.  The NumpyBackend is the semantic reference the
+other implementations are pinned against.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    BACKEND_NAMES,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+)
+from repro.config import UnknownNameError, engine_axes
+
+
+class TestRegistry:
+    def test_default_is_numpy(self):
+        xb = get_backend()
+        assert isinstance(xb, NumpyBackend)
+        assert xb.name == "numpy"
+        assert xb.xp is np
+
+    def test_instances_are_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(UnknownNameError) as exc:
+            get_backend("tensorflow")
+        message = str(exc.value)
+        assert "tensorflow" in message
+        for name in BACKEND_NAMES:
+            assert name in message
+
+    def test_backend_names_match_config_axis(self):
+        assert engine_axes()["backend"] == BACKEND_NAMES
+
+    def test_uninstalled_backend_falls_back_to_numpy(self):
+        # At most one of cupy/torch is expected in CI; locally neither
+        # is.  For any uninstalled one, the registry must hand back the
+        # numpy instance and warn exactly once.
+        missing = [n for n in ("cupy", "torch") if n not in available_backends()]
+        if not missing:
+            pytest.skip("all optional backends installed")
+        name = missing[0]
+        # The warning may already have fired earlier in the session;
+        # both branches must still produce a working numpy fallback.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            xb = get_backend(name)
+        assert xb.name == "numpy"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            assert get_backend(name).name == "numpy"  # warned at most once
+
+    def test_available_backends_lists_numpy_first(self):
+        names = available_backends()
+        assert names[0] == "numpy"
+        # Fallback instances must not masquerade as their requested name.
+        for name in names:
+            assert get_backend(name).name == name
+
+
+class TestNumpyBackendOps:
+    xb = get_backend("numpy")
+
+    def test_asarray_and_to_numpy_are_zero_copy(self):
+        a = np.arange(5, dtype=np.int64)
+        assert self.xb.asarray(a) is a
+        assert self.xb.to_numpy(a) is a
+
+    def test_reduceat_segments(self):
+        values = np.arange(10.0).reshape(5, 2)
+        starts = np.array([0, 2, 3], dtype=np.int64)
+        out = self.xb.reduceat(values, starts)
+        expected = np.add.reduceat(values, starts, axis=0)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_segment_mean_matches_reduceat_over_counts(self):
+        values = np.arange(12.0).reshape(6, 2)
+        starts = np.array([0, 1, 4], dtype=np.int64)
+        counts = np.array([1, 3, 2], dtype=np.int64)
+        out = self.xb.segment_mean(values, starts, counts)
+        expected = np.add.reduceat(values, starts, axis=0) / counts[:, None]
+        np.testing.assert_allclose(out, expected, rtol=0, atol=0)
+
+    def test_argsort_stable_preserves_tie_order(self):
+        a = np.array([1, 0, 1, 0, 1], dtype=np.int64)
+        order = self.xb.argsort(a, stable=True)
+        np.testing.assert_array_equal(order, [1, 3, 0, 2, 4])
+
+    def test_searchsorted_sides(self):
+        a = np.array([0, 2, 2, 5], dtype=np.int64)
+        v = np.array([2], dtype=np.int64)
+        assert self.xb.searchsorted(a, v, side="left")[0] == 1
+        assert self.xb.searchsorted(a, v, side="right")[0] == 3
+
+    def test_scatter_min_keeps_minimum_per_slot(self):
+        target = self.xb.full((3,), 99, self.xb.int64)
+        index = np.array([0, 1, 0, 1], dtype=np.int64)
+        values = np.array([5, 7, 2, 9], dtype=np.int64)
+        self.xb.scatter_min(target, index, values)
+        np.testing.assert_array_equal(target, [2, 7, 99])
+
+    def test_seed_rng_is_deterministic(self):
+        a = self.xb.seed_rng(7).random(4)
+        b = self.xb.seed_rng(7).random(4)
+        np.testing.assert_array_equal(self.xb.to_numpy(a), self.xb.to_numpy(b))
+
+    def test_synchronize_is_a_noop(self):
+        assert self.xb.synchronize() is None

@@ -95,6 +95,37 @@ class TestPersistence:
         assert loaded.meta == trace.meta
 
 
+class TestMmapLifecycle:
+    def test_rejected_archive_closes_mapping(self, tmp_path, monkeypatch):
+        # A compressed archive cannot be mapped; the rejection must close
+        # the mmap deterministically rather than leak it to the GC (which
+        # surfaces as a ResourceWarning under -W error).
+        import mmap as mmap_module
+
+        from repro.memsim import trace as trace_module
+
+        written = make_trace(6).save_npz(tmp_path / "c.npz", compress=True)
+        created = []
+        real_mmap = mmap_module.mmap
+
+        def recording_mmap(*args, **kwargs):
+            mapping = real_mmap(*args, **kwargs)
+            created.append(mapping)
+            return mapping
+
+        monkeypatch.setattr(trace_module.mmap, "mmap", recording_mmap)
+        with pytest.raises(ValueError, match="compressed"):
+            AccessTrace.load_npz(written, mmap_mode="r")
+        assert created, "loader never mapped the file"
+        assert all(m.closed for m in created)
+
+    def test_successful_mmap_load_keeps_mapping_open(self, tmp_path):
+        written = make_trace(6).save_npz(tmp_path / "u.npz", compress=False)
+        loaded = AccessTrace.load_npz(written, mmap_mode="r")
+        # The views keep the mapping alive; the data must be readable.
+        assert np.array_equal(loaded.indices, np.arange(6, dtype=np.int64))
+
+
 class TestTraceBuilder:
     def test_append_scalar_and_vector(self):
         tb = TraceBuilder()

@@ -17,6 +17,7 @@ import repro
 PACKAGES = [
     "repro",
     "repro.apps",
+    "repro.backend",
     "repro.bench",
     "repro.core",
     "repro.lab",
@@ -91,8 +92,8 @@ def test_version_present():
 SIGNATURE_SNAPSHOT = {
     "repro.core.pipeline.run_ordering": (
         "(mesh: 'TriMesh', ordering: 'str', *, config: 'RunConfig | None' = "
-        "None, machine: 'MachineSpec | None' = None, traversal: 'str' = "
-        "'greedy', max_iterations: 'int' = 50, fixed_iterations: 'int | None'"
+        "None, machine: 'MachineSpec | str | None' = None, traversal: 'str' ="
+        " 'greedy', max_iterations: 'int' = 50, fixed_iterations: 'int | None'"
         " = None, qualities: 'np.ndarray | None' = None, seed: 'int | None' ="
         " None, rank_passes_override: 'int | None' = None, smoother_kwargs: "
         "'dict | None' = None, precomputed_order: 'np.ndarray | None' = None,"
@@ -101,9 +102,9 @@ SIGNATURE_SNAPSHOT = {
     ),
     "repro.core.pipeline.run_parallel_ordering": (
         "(mesh: 'TriMesh', ordering: 'str', num_cores: 'int', *, config: "
-        "'RunConfig | None' = None, machine: 'MachineSpec | None' = None, "
-        "iterations: 'int' = 8, traversal: 'str' = 'greedy', affinity: 'str'"
-        " = 'scatter', qualities: 'np.ndarray | None' = None, seed: "
+        "'RunConfig | None' = None, machine: 'MachineSpec | str | None' = "
+        "None, iterations: 'int' = 8, traversal: 'str' = 'greedy', affinity:"
+        " 'str' = 'scatter', qualities: 'np.ndarray | None' = None, seed: "
         "'int | None' = None, mem_engine: 'str | None' = None, sim_engine: "
         "'str | None' = None, order_engine: 'str | None' = None) -> "
         "'ParallelRun'"
@@ -118,22 +119,31 @@ SIGNATURE_SNAPSHOT = {
         "-> 'SmoothingResult'"
     ),
     "repro.memsim.cache.simulate_trace": (
-        "(lines: 'np.ndarray', machine: 'MachineSpec', *, config: "
+        "(lines: 'np.ndarray', machine: 'MachineSpec | str', *, config: "
         "'RunConfig | None' = None, next_line_prefetch: 'bool' = False, "
         "policy: 'str' = 'lru', sim_engine: 'str | None' = None) -> "
         "'HierarchyStats'"
     ),
     "repro.memsim.multicore.simulate_multicore": (
-        "(lines_per_core: 'list[np.ndarray]', machine: 'MachineSpec', *, "
-        "config: 'RunConfig | None' = None, affinity: 'str' = 'compact', "
-        "quantum: 'int' = 64, engine: 'str | None' = None, max_workers: "
+        "(lines_per_core: 'list[np.ndarray]', machine: 'MachineSpec | str',"
+        " *, config: 'RunConfig | None' = None, affinity: 'str' = 'compact',"
+        " quantum: 'int' = 64, engine: 'str | None' = None, max_workers: "
         "'int | None' = None, sim_engine: 'str | None' = None) -> "
         "'MulticoreResult'"
+    ),
+    "repro.memsim.machine.resolve_machine": (
+        "(machine: 'MachineSpec | str | None', *, footprint_bytes: "
+        "'int | None' = None, stacklevel: 'int' = 3) -> "
+        "'MachineSpec | None'"
+    ),
+    "repro.backend.get_backend": (
+        "(name: 'str' = 'numpy') -> 'ArrayBackend'"
     ),
     "repro.config.RunConfig": (
         "(engine: 'str' = 'reference', sim_engine: 'str' = 'reference', "
         "mem_engine: 'str' = 'sequential', order_engine: 'str' = "
-        "'reference', seed: 'int' = 0, machine_profile:"
+        "'reference', backend: 'str' = 'numpy', seed: 'int' = 0, "
+        "machine_profile:"
         " 'str | None' = None, stream_window_events: 'int | None' = None, "
         "obs: 'ObsConfig' = <factory>) -> None"
     ),

@@ -201,6 +201,27 @@ class TestEngineFlags:
         assert "engines:" in out and "vectorized" in out
         assert "sim engines:" in out and "batched" in out
         assert "mem engines:" in out and "sharded" in out
+        assert "backends:" in out and "numpy" in out
+
+    def test_rejects_unknown_backend(self, mesh_stem):
+        # argparse choices= derived from engine_axes(): exit status 2.
+        with pytest.raises(SystemExit) as exc:
+            main(["smooth", str(mesh_stem), "--backend", "tensorflow"])
+        assert exc.value.code == 2
+
+    def test_smooth_accepts_backend_flag(self, mesh_stem, capsys):
+        rc = main(["smooth", str(mesh_stem), "--ordering", "rdr",
+                   "--engine", "vectorized", "--backend", "numpy",
+                   "--max-iterations", "2"])
+        assert rc == 0
+        assert "smoothed" in capsys.readouterr().out
+
+    def test_smooth_accepts_machine_profile(self, mesh_stem, capsys):
+        rc = main(["smooth", str(mesh_stem), "--ordering", "rdr",
+                   "--report-cache", "--machine-profile", "gpu-generic",
+                   "--max-iterations", "2"])
+        assert rc == 0
+        assert "cache (simulated)" in capsys.readouterr().out
 
 
 class TestObsFlags:
@@ -356,6 +377,13 @@ class TestLab:
         assert rc == 2
         err = capsys.readouterr().err
         assert "unknown mem engine 'turbo'" in err and "sharded" in err
+
+    def test_init_unknown_backend_exits_2(self, tmp_path, capsys):
+        rc = main(["lab", "init", "--db", str(tmp_path / "lab.db"),
+                   "--backends", "tensorflow"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown backend 'tensorflow'" in err and "numpy" in err
 
     def test_run_obs_export_with_spans(self, tmp_path, capsys):
         db = tmp_path / "lab.db"
