@@ -2,10 +2,15 @@
 
 ``test_scale_bench.py`` launches this script with ``subprocess`` so the
 peak-RSS measurement (``ru_maxrss``) covers exactly the out-of-core
-pipeline — meshgen to disk, memory-mapped load, streamed simulation —
-and nothing of the pytest parent. Prints one JSON object on stdout.
+pipeline — meshgen to disk, memory-mapped load, smoothing, and the
+streamed or fused simulation — and nothing of the pytest parent.
+``ru_maxrss`` is sampled *in this process, immediately at pipeline
+end* (before temp cleanup or JSON encoding can allocate), so the
+number is the pipeline's own high-water mark, not a parent-side poll
+that can miss the peak between samples. Prints one JSON object on
+stdout.
 
-Usage: ``python scale_child.py ROWS COLS WINDOW_EVENTS``
+Usage: ``python scale_child.py ROWS COLS WINDOW_EVENTS [TRACE_MODE]``
 """
 
 from __future__ import annotations
@@ -21,7 +26,14 @@ from repro.core.pipeline import run_ordering
 from repro.meshgen import load_chunked_mesh, write_structured_rectangle
 
 
-def main(rows: int, cols: int, window_events: int) -> dict:
+def peak_rss_bytes() -> int:
+    # Linux reports ru_maxrss in kibibytes.
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def main(
+    rows: int, cols: int, window_events: int, trace_mode: str
+) -> dict:
     with tempfile.TemporaryDirectory(prefix="scale-bench-") as tmp:
         t0 = time.perf_counter()
         path = write_structured_rectangle(
@@ -39,25 +51,36 @@ def main(rows: int, cols: int, window_events: int) -> dict:
             engine="vectorized",
             sim_engine="batched",
             order_engine="batched",
+            trace_mode=trace_mode,
             stream_window_events=window_events,
         )
         t0 = time.perf_counter()
-        run = run_ordering(mesh, "rdr", config=config, fixed_iterations=1)
+        # The fused leg is the production summary path: cache counts +
+        # modeled cost, no reuse analyses (which the materialized leg
+        # also skips — OrderedRun computes them lazily, never here).
+        run = run_ordering(
+            mesh,
+            "rdr",
+            config=config,
+            fixed_iterations=1,
+            summary_only=trace_mode == "fused",
+        )
         pipeline_s = time.perf_counter() - t0
+        # Sample the high-water mark at pipeline end, in the child.
+        peak_rss = peak_rss_bytes()
 
     events = int(run.cost.num_accesses)
-    # Linux reports ru_maxrss in kibibytes.
-    peak_rss_bytes = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
     return {
         "vertices": int(mesh.num_vertices),
         "triangles": int(mesh.num_triangles),
         "ordering": "rdr",
+        "trace_mode": trace_mode,
         "stream_window_events": window_events,
         "events": events,
         "meshgen_s": meshgen_s,
         "pipeline_s": pipeline_s,
         "events_per_s": events / pipeline_s,
-        "peak_rss_bytes": peak_rss_bytes,
+        "peak_rss_bytes": peak_rss,
         "l1_hits": int(run.cache.l1.hits),
         "l3_misses": int(run.cache.l3.misses),
     }
@@ -65,4 +88,5 @@ def main(rows: int, cols: int, window_events: int) -> dict:
 
 if __name__ == "__main__":
     rows, cols, window = (int(a) for a in sys.argv[1:4])
-    print(json.dumps(main(rows, cols, window)))
+    mode = sys.argv[4] if len(sys.argv) > 4 else "materialize"
+    print(json.dumps(main(rows, cols, window, mode)))

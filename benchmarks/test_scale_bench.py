@@ -1,18 +1,28 @@
-"""Million-vertex regime gate: out-of-core pipeline under a memory budget.
+"""Million-vertex regime gates: streamed and fused pipelines under
+memory budgets.
 
-Acceptance benchmark for the streaming/out-of-core path: a full
-pipeline run — structured meshgen spilled to disk strip by strip,
-memory-mapped load, RDR ordering, one traced smoothing iteration, and
-the batched cache simulation windowed through the streaming engine —
-on a >=1M-vertex mesh must fit in 2 GB of peak RSS. The run executes
-in a child process (``scale_child.py``) so ``ru_maxrss`` measures the
-pipeline alone, not the pytest parent; throughput and the memory peak
-land in ``bench_results/scale_bench.json`` for the summary report.
+Acceptance benchmarks for the out-of-core and fused paths, both on a
+>=1M-vertex mesh in a child process (``scale_child.py``) so
+``ru_maxrss`` — sampled in the child at pipeline end — measures the
+pipeline alone, not the pytest parent:
 
-The exactness of the streamed counts is not re-proven here — the
-differential suite in ``tests/memsim/test_streaming.py`` pins
-streaming == in-memory bit for bit; this gate pins that the composition
-actually stays within the budget at scale.
+* ``materialize`` — structured meshgen spilled to disk strip by strip,
+  memory-mapped load, RDR ordering, one traced smoothing iteration,
+  and the batched cache simulation windowed through the streaming
+  engine. Budget: 2 GB peak RSS (the pre-fusion regime; the full
+  17M-event trace and line stream are still resident).
+* ``fused`` — same pipeline, but the smoother streams bounded windows
+  straight into the simulators through the double-buffered
+  :class:`~repro.memsim.sink.FusedSink`; the monolithic trace never
+  exists. Budget: 1.2 GB peak RSS, and wall-clock no worse than the
+  materialized run (production overlaps simulation).
+
+The exactness of the streamed/fused counts is not re-proven here — the
+differential suites in ``tests/memsim/test_streaming.py`` and
+``tests/memsim/test_fused.py`` pin bit-identity; these gates pin that
+the composition actually stays within its budgets at scale. Both rows
+land in ``bench_results/fused_pipeline.json`` (the materialized row
+also keeps its historical home in ``scale_bench.json``).
 """
 
 from __future__ import annotations
@@ -30,48 +40,95 @@ from repro.bench import format_table, save_json
 #: 1024 x 1024 structured grid -> 1,048,576 vertices, ~16.7M trace events.
 ROWS = COLS = 1024
 WINDOW_EVENTS = 4_000_000
+#: The fused leg exercises the window knob as production would use it:
+#: with two windows in flight by construction, a smaller window is a
+#: direct peak-RSS lever at zero cost to the (bit-identical) counts.
+FUSED_WINDOW_EVENTS = 1_000_000
 RSS_BUDGET_BYTES = 2 * 1024**3
+FUSED_RSS_BUDGET_BYTES = int(1.2 * 1024**3)
+#: Wall-clock guard band: overlap should make fused *faster*, but the
+#: gate tolerates scheduler noise on shared CI machines.
+FUSED_WALL_TOLERANCE = 1.05
 
 
-@pytest.mark.slow
-def test_million_vertex_pipeline_under_memory_budget():
+def run_child(trace_mode: str) -> dict:
     child = Path(__file__).with_name("scale_child.py")
     env = dict(os.environ)
     src = Path(__file__).resolve().parents[1] / "src"
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (str(src), env.get("PYTHONPATH")) if p
     )
+    window = FUSED_WINDOW_EVENTS if trace_mode == "fused" else WINDOW_EVENTS
     proc = subprocess.run(
-        [sys.executable, str(child), str(ROWS), str(COLS), str(WINDOW_EVENTS)],
+        [
+            sys.executable,
+            str(child),
+            str(ROWS),
+            str(COLS),
+            str(window),
+            trace_mode,
+        ],
         env=env,
         capture_output=True,
         text=True,
         timeout=1800,
     )
     assert proc.returncode == 0, proc.stderr
-    row = json.loads(proc.stdout)
+    return json.loads(proc.stdout)
 
-    save_json("scale_bench", row)
+
+def table_row(row: dict) -> dict:
+    return {
+        "trace_mode": row["trace_mode"],
+        "vertices": row["vertices"],
+        "events": row["events"],
+        "events/s": f"{row['events_per_s']:,.0f}",
+        "pipeline_s": f"{row['pipeline_s']:.1f}",
+        "peak_rss_mb": f"{row['peak_rss_bytes'] / 2**20:,.0f}",
+    }
+
+
+@pytest.mark.slow
+def test_million_vertex_pipeline_under_memory_budget():
+    mat = run_child("materialize")
+    fused = run_child("fused")
+
+    save_json("scale_bench", mat)
+    save_json(
+        "fused_pipeline",
+        {
+            "materialize": mat,
+            "fused": fused,
+            "rss_reduction": mat["peak_rss_bytes"] / fused["peak_rss_bytes"],
+            "wall_ratio": fused["pipeline_s"] / mat["pipeline_s"],
+        },
+    )
     print()
     print(
         format_table(
-            [
-                {
-                    "vertices": row["vertices"],
-                    "events": row["events"],
-                    "events/s": f"{row['events_per_s']:,.0f}",
-                    "pipeline_s": f"{row['pipeline_s']:.1f}",
-                    "peak_rss_mb": f"{row['peak_rss_bytes'] / 2**20:,.0f}",
-                }
-            ],
-            title="million-vertex streaming pipeline",
+            [table_row(mat), table_row(fused)],
+            title="million-vertex pipeline: streamed vs fused",
         )
     )
 
-    assert row["vertices"] >= 1_000_000
-    assert row["events"] >= 10_000_000
-    assert row["events_per_s"] > 0
-    assert row["peak_rss_bytes"] < RSS_BUDGET_BYTES, (
-        f"peak RSS {row['peak_rss_bytes'] / 2**20:.0f} MiB exceeds the "
+    for row in (mat, fused):
+        assert row["vertices"] >= 1_000_000
+        assert row["events"] >= 10_000_000
+        assert row["events_per_s"] > 0
+    # Fused and materialized runs simulate the identical event stream.
+    assert fused["events"] == mat["events"]
+    assert fused["l1_hits"] == mat["l1_hits"]
+    assert fused["l3_misses"] == mat["l3_misses"]
+
+    assert mat["peak_rss_bytes"] < RSS_BUDGET_BYTES, (
+        f"peak RSS {mat['peak_rss_bytes'] / 2**20:.0f} MiB exceeds the "
         f"{RSS_BUDGET_BYTES / 2**20:.0f} MiB budget"
+    )
+    assert fused["peak_rss_bytes"] < FUSED_RSS_BUDGET_BYTES, (
+        f"fused peak RSS {fused['peak_rss_bytes'] / 2**20:.0f} MiB "
+        f"exceeds the {FUSED_RSS_BUDGET_BYTES / 2**20:.0f} MiB budget"
+    )
+    assert fused["pipeline_s"] <= mat["pipeline_s"] * FUSED_WALL_TOLERANCE, (
+        f"fused wall-clock {fused['pipeline_s']:.1f}s worse than "
+        f"materialized {mat['pipeline_s']:.1f}s"
     )

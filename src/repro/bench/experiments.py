@@ -104,6 +104,10 @@ class BenchConfig:
     #: "torch" (see :mod:`repro.backend`; uninstalled backends fall
     #: back to numpy).
     backend: str = "numpy"
+    #: Where the smoother's trace goes: "materialize" (in-memory
+    #: trace), "spill" (chunked on-disk) or "fused" (streamed straight
+    #: into the simulators; identical counts, bounded memory).
+    trace_mode: str = "materialize"
 
     @classmethod
     def from_run_config(cls, config: RunConfig, **overrides) -> "BenchConfig":

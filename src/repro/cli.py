@@ -199,6 +199,11 @@ AXIS_HELP = {
     "backend": "array backend the fast engines run on (see repro.backend); "
                "cupy/torch fall back to numpy with a warning when not "
                "installed",
+    "trace_mode": "where the smoother's access trace goes: materialize "
+                  "(full in-memory trace), spill (stream to the chunked "
+                  "on-disk format) or fused (stream windows straight into "
+                  "the cache simulators with overlapped compute; identical "
+                  "counts, bounded memory)",
 }
 
 
@@ -555,25 +560,56 @@ def _cmd_analyze(args) -> int:
     from .memsim import per_array_breakdown, trace_summary
 
     config = run_config_from_args(args)
+    if config.trace_mode == "spill" and not args.save_trace:
+        print(
+            "error: --trace-mode spill needs --save-trace DIR for the "
+            "chunked trace directory",
+            file=sys.stderr,
+        )
+        return 2
     with obs.activated(config.obs):
         mesh = _analyze_mesh(args, config)
         run = run_ordering(
-            mesh, args.ordering, config=config, fixed_iterations=args.iterations
+            mesh,
+            args.ordering,
+            config=config,
+            fixed_iterations=args.iterations,
+            trace_dir=(
+                args.save_trace if config.trace_mode == "spill" else None
+            ),
         )
-        summary = trace_summary(run.trace, run.layout)
-        rows = [
-            b.as_row()
-            for b in per_array_breakdown(
-                run.trace, run.layout, run.machine, config=config
-            )
-        ]
-    print(
-        f"trace: {summary['length']} accesses over "
-        f"{summary['iterations']} iteration(s), "
-        f"{summary['distinct_lines']} distinct lines, "
-        f"cold fraction {summary['cold_fraction']:.1%}"
-    )
-    print(format_table(rows, title=f"per-array breakdown ({args.ordering})"))
+        if config.trace_mode == "materialize":
+            summary = trace_summary(run.trace, run.layout)
+            rows = [
+                b.as_row()
+                for b in per_array_breakdown(
+                    run.trace, run.layout, run.machine, config=config
+                )
+            ]
+    if config.trace_mode == "materialize":
+        print(
+            f"trace: {summary['length']} accesses over "
+            f"{summary['iterations']} iteration(s), "
+            f"{summary['distinct_lines']} distinct lines, "
+            f"cold fraction {summary['cold_fraction']:.1%}"
+        )
+        print(
+            format_table(rows, title=f"per-array breakdown ({args.ordering})")
+        )
+    else:
+        # The streamed modes never materialize the trace, so the
+        # per-array breakdown is unavailable; the summary statistics
+        # below are bit-identical to the materialized path.
+        st = run.cache
+        print(
+            f"trace ({config.trace_mode}): "
+            f"{run.fused.reuse.num_accesses} accesses over "
+            f"{run.smoothing.iterations} iteration(s)"
+        )
+        print(
+            f"miss rates: L1 {st.l1.miss_rate:.3%} "
+            f"L2 {st.l2.miss_rate:.3%} L3 {st.l3.miss_rate:.3%}"
+        )
     prof = run.reuse_profile()
     print(
         f"reuse distance (1st iteration): q50={prof.q50} q75={prof.q75} "
@@ -581,8 +617,16 @@ def _cmd_analyze(args) -> int:
     )
     print(f"modeled time: {run.modeled_seconds * 1e3:.3f} ms on {run.machine.name}")
     if args.save_trace:
-        path = run.trace.save_npz(args.save_trace)
-        print(f"wrote trace to {path}")
+        if config.trace_mode == "materialize":
+            path = run.trace.save_npz(args.save_trace)
+            print(f"wrote trace to {path}")
+        elif config.trace_mode == "spill":
+            print(f"wrote chunked trace to {run.trace_dir}")
+        else:
+            print(
+                "note: --save-trace is ignored under --trace-mode fused "
+                "(the trace is never materialized); use spill instead"
+            )
     _report_obs_outputs(config)
     return 0
 

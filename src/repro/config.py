@@ -22,11 +22,17 @@ as ``config=``:
 * ``machine_profile`` — calibration profile for the default machine
   (``None`` keeps each API's historical default: serial pipelines
   calibrate ``"serial"``, parallel ones ``"scaling"``),
+* ``trace_mode`` — where the smoother's access trace goes
+  (``materialize``/``spill``/``fused``, see :mod:`repro.memsim.sink`):
+  buffered into one in-memory ``AccessTrace``, streamed to the chunked
+  on-disk format, or fed window-by-window straight into the streaming
+  simulators so the monolithic trace never exists,
 * ``stream_window_events`` — when set, cache simulation replays the
   line stream in bounded windows of this many events through the
   streaming engines (bit-identical counts, memory bounded by one
   window) instead of materializing per-level index structures over the
-  whole stream,
+  whole stream; in ``fused``/``spill`` trace modes it also sets the
+  sink's window size,
 * ``obs`` — an :class:`ObsConfig` controlling span/metrics capture.
 
 Legacy kwargs keep working through :func:`resolve_config`, which maps
@@ -87,6 +93,7 @@ def engine_axes() -> dict[str, tuple[str, ...]]:
     from .backend import BACKEND_NAMES
     from .memsim.batched import SIM_ENGINES
     from .memsim.multicore import MEM_ENGINES
+    from .memsim.sink import TRACE_MODES
     from .ordering.base import ORDER_ENGINES
     from .smoothing.laplacian import ENGINES
 
@@ -96,6 +103,7 @@ def engine_axes() -> dict[str, tuple[str, ...]]:
         "mem_engine": tuple(MEM_ENGINES),
         "order_engine": tuple(ORDER_ENGINES),
         "backend": tuple(BACKEND_NAMES),
+        "trace_mode": tuple(TRACE_MODES),
     }
 
 
@@ -137,6 +145,7 @@ class RunConfig:
     mem_engine: str = "sequential"
     order_engine: str = "reference"
     backend: str = "numpy"
+    trace_mode: str = "materialize"
     seed: int = 0
     machine_profile: str | None = None
     stream_window_events: int | None = None

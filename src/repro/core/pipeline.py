@@ -22,20 +22,35 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from pathlib import Path
+
 from .. import obs
-from ..config import DEFAULT_RUN_CONFIG, RunConfig, engine_axes, resolve_config
+from ..config import (
+    DEFAULT_RUN_CONFIG,
+    RunConfig,
+    UnknownNameError,
+    engine_axes,
+    resolve_config,
+)
 from ..mesh import TriMesh
 from ..memsim import (
     COLD,
+    DEFAULT_FUSED_WINDOW_EVENTS,
     AccessTrace,
+    ChunkedTrace,
+    FusedAnalysis,
+    FusedSink,
     HierarchyStats,
+    LineSink,
     MachineSpec,
     MemoryLayout,
     MulticoreResult,
     ReuseProfile,
+    SpillSink,
     calibrated_machine,
     modeled_time,
     profile_from_distances,
+    replay_chunked_trace,
     reuse_distances,
     simulate_multicore,
     simulate_trace,
@@ -45,6 +60,7 @@ from ..ordering import apply_ordering
 from ..parallel import parallel_traces
 from ..quality import DEFAULT_RANK_PASSES, patch_quality, vertex_quality
 from ..smoothing import LaplacianSmoother, SmoothingResult
+from ..smoothing.trace import append_smooth_accesses_batch, traversal_events
 
 __all__ = [
     "DEFAULT_CACHE_SCALE",
@@ -73,7 +89,17 @@ def default_machine_for(mesh: TriMesh, *, profile: str = "serial") -> MachineSpe
 
 @dataclass
 class OrderedRun:
-    """Everything measured about one (mesh, ordering) execution."""
+    """Everything measured about one (mesh, ordering) execution.
+
+    Under ``trace_mode="materialize"`` the full trace and line stream
+    are retained (:attr:`trace`, :attr:`lines`, :attr:`distances`).
+    Under ``fused``/``spill`` the monolithic trace never existed —
+    :attr:`fused` carries the streaming analysis instead (reuse profiles
+    keep working through :meth:`reuse_profile`), :attr:`trace_dir`
+    points at the spilled chunked trace when one was written, and the
+    raw-array accessors raise ``RuntimeError`` with a pointer at the
+    materialized mode.
+    """
 
     mesh_name: str
     ordering: str
@@ -86,11 +112,22 @@ class OrderedRun:
     cache: HierarchyStats
     cost: CostBreakdown
     config: RunConfig = DEFAULT_RUN_CONFIG
+    fused: FusedAnalysis | None = field(default=None, repr=False)
+    trace_dir: Path | None = None
     _distances: np.ndarray | None = field(default=None, repr=False)
 
     @property
+    def trace_mode(self) -> str:
+        return self.config.trace_mode
+
+    @property
     def trace(self) -> AccessTrace:
-        assert self.smoothing.trace is not None
+        if self.smoothing.trace is None:
+            raise RuntimeError(
+                f"no materialized trace under trace_mode="
+                f"{self.config.trace_mode!r}; rerun with "
+                "trace_mode='materialize' (or open trace_dir for spill)"
+            )
         return self.smoothing.trace
 
     @property
@@ -101,12 +138,21 @@ class OrderedRun:
     def distances(self) -> np.ndarray:
         """Reuse distances of the whole trace (computed lazily, cached)."""
         if self._distances is None:
+            if self.fused is not None:
+                raise RuntimeError(
+                    "per-event reuse distances are not retained in "
+                    f"trace_mode={self.config.trace_mode!r}; use "
+                    "reuse_profile() or rerun with "
+                    "trace_mode='materialize'"
+                )
             self._distances = reuse_distances(self.lines)
         return self._distances
 
     def reuse_profile(self, *, iteration: int | None = 0) -> ReuseProfile:
         """Reuse-distance summary, by default of the first iteration
         (the population the paper's Table 2 reports)."""
+        if self.fused is not None:
+            return self.fused.reuse_profile(iteration=iteration)
         if iteration is None:
             return profile_from_distances(self.distances)
         trace = self.trace.iteration(iteration)
@@ -167,6 +213,8 @@ def run_ordering(
     engine: str | None = None,
     sim_engine: str | None = None,
     order_engine: str | None = None,
+    summary_only: bool = False,
+    trace_dir: str | Path | None = None,
 ) -> OrderedRun:
     """Order, smooth (with tracing), simulate, and price one execution.
 
@@ -185,6 +233,21 @@ def run_ordering(
     ``precomputed_order`` bypasses the ordering computation (see
     :func:`_prepare`) so cached permutations can be replayed.
 
+    ``config.trace_mode`` selects where the smoother's event stream
+    goes: ``materialize`` (default) keeps the full in-memory trace,
+    ``fused`` streams bounded windows straight into the streaming
+    simulators with the production of window N+1 overlapping the
+    simulation of window N (bit-identical counts and profiles, peak
+    buffering audited at two windows), and ``spill`` streams the trace
+    to the chunked on-disk format under ``trace_dir`` before a windowed
+    replay. ``summary_only=True`` declares that the caller only needs
+    the summary statistics (cache counts and modeled time), which
+    upgrades ``materialize`` to ``fused`` automatically — the returned
+    run's ``config`` records the mode actually used — and skips the
+    reuse-distance analyses entirely (they cost an order of magnitude
+    more than the cache simulation; ``reuse_profile`` on such a run
+    raises with the rerun options).
+
     When tracing is active (``config.obs.enabled`` or an ambient
     :func:`repro.obs.capture`), the run emits a span tree —
     ``pipeline.run_ordering`` over ``pipeline.reorder`` /
@@ -196,6 +259,17 @@ def run_ordering(
         config, engine=engine, sim_engine=sim_engine,
         order_engine=order_engine, seed=seed,
     )
+    if summary_only and config.trace_mode == "materialize":
+        # Caller only wants summary stats: pick the fused path (and
+        # record it, so run provenance reflects the mode actually used).
+        config = config.replace(trace_mode="fused")
+    mode = config.trace_mode
+    if mode not in engine_axes()["trace_mode"]:
+        raise UnknownNameError(
+            "trace mode", mode, engine_axes()["trace_mode"]
+        )
+    if mode == "spill" and trace_dir is None:
+        raise ValueError("trace_mode='spill' requires trace_dir=")
     if machine is None:
         machine = default_machine_for(
             mesh, profile=config.machine_profile or "serial"
@@ -228,6 +302,14 @@ def run_ordering(
                 precomputed_order, config.order_engine, config.backend,
             )
             sp.add_event(permuted.num_vertices)
+        if summary_only:
+            # One-shot summary runs drop the warm ordering-plan caches
+            # pinned on the source graph: several hundred MiB of
+            # n-by-dmax arrays at million-vertex scale that would
+            # otherwise stay resident through smoothing + simulation.
+            from ..ordering.batched import release_plan_caches
+
+            release_plan_caches(mesh.adjacency)
 
         kwargs = dict(smoother_kwargs or {})
         kwargs.setdefault("traversal", traversal)
@@ -237,31 +319,93 @@ def run_ordering(
         if fixed_iterations is not None:
             kwargs["max_iterations"] = fixed_iterations
             kwargs["tol"] = -np.inf  # never converge early
+        layout = MemoryLayout.for_mesh(permuted, line_size=machine.line_size)
+        window_events = (
+            config.stream_window_events or DEFAULT_FUSED_WINDOW_EVENTS
+        )
+        sink = None
+        analysis: FusedAnalysis | None = None
+        if mode == "fused":
+            # The bucketed series needs the total event count up front;
+            # it is only predictable when the iteration count is pinned
+            # and culling cannot shrink the traversal. summary_only
+            # callers get cache counts + modeled cost alone: the reuse
+            # analyses cost ~10x the cache simulation, and the
+            # materialized path only computes them lazily on demand.
+            total_events = None
+            if (
+                not summary_only
+                and fixed_iterations is not None
+                and not kwargs.get("culling")
+            ):
+                g = permuted.adjacency
+                total_events = fixed_iterations * traversal_events(
+                    g.xadj, permuted.interior_vertices()
+                )
+            analysis = FusedAnalysis(
+                layout,
+                machine,
+                sim_engine=config.sim_engine,
+                total_events=total_events,
+                reuse=not summary_only,
+                per_iteration_profiles=not summary_only,
+            )
+            sink = FusedSink(analysis, window_events=window_events)
+        elif mode == "spill":
+            sink = SpillSink(trace_dir, window_events=window_events)
         smoother = LaplacianSmoother(
-            record_trace=True,
+            record_trace=mode == "materialize",
+            trace_sink=sink,
             config=config.replace(engine=smoother_engine),
             **kwargs,
         )
-        with obs.span("pipeline.smooth"):
+        with obs.span("pipeline.smooth", trace_mode=mode) as sp:
             result = smoother.smooth(permuted)
-        assert result.trace is not None
-
-        with obs.span("pipeline.layout") as sp:
-            layout = MemoryLayout.for_mesh(permuted, line_size=machine.line_size)
-            lines = layout.lines(result.trace)
-            sp.add_event(int(lines.size))
-        distances = None
-        with obs.span("pipeline.simulate"):
-            cache = simulate_trace(lines, machine, config=config)
-            if obs.is_enabled():
-                # The live reuse-distance histogram doubles as the
-                # OrderedRun.distances cache, so tracing pays for itself.
-                distances = reuse_distances(lines)
-                obs.observe("memsim.reuse_distance", distances[distances >= 0])
-                obs.add(
-                    "memsim.reuse.cold",
-                    int(np.count_nonzero(distances == COLD)),
+            if mode == "fused":
+                analysis = sink.close()
+                sp.set(
+                    windows=sink.windows_emitted,
+                    peak_buffered_events=sink.peak_buffered_events,
+                    overlap_s=round(sink.overlap_s, 6),
                 )
+
+        distances = None
+        spill_path: Path | None = None
+        if mode == "materialize":
+            assert result.trace is not None
+            with obs.span("pipeline.layout") as sp:
+                lines = layout.lines(result.trace)
+                sp.add_event(int(lines.size))
+            with obs.span("pipeline.simulate"):
+                cache = simulate_trace(lines, machine, config=config)
+                if obs.is_enabled():
+                    # The live reuse-distance histogram doubles as the
+                    # OrderedRun.distances cache, so tracing pays for
+                    # itself.
+                    distances = reuse_distances(lines)
+                    obs.observe(
+                        "memsim.reuse_distance", distances[distances >= 0]
+                    )
+                    obs.add(
+                        "memsim.reuse.cold",
+                        int(np.count_nonzero(distances == COLD)),
+                    )
+        else:
+            if mode == "spill":
+                spill_path = sink.close()
+                chunked = ChunkedTrace.open(spill_path)
+                analysis = FusedAnalysis(
+                    layout,
+                    machine,
+                    sim_engine=config.sim_engine,
+                    total_events=None if summary_only else chunked.total_events,
+                    reuse=not summary_only,
+                    per_iteration_profiles=not summary_only,
+                )
+                with obs.span("pipeline.simulate", trace_mode=mode):
+                    replay_chunked_trace(analysis, chunked)
+            lines = np.empty(0, dtype=np.int64)
+            cache = analysis.stats
         cost = modeled_time(cache, machine)
     return OrderedRun(
         mesh_name=mesh.name,
@@ -275,6 +419,8 @@ def run_ordering(
         cache=cache,
         cost=cost,
         config=config,
+        fused=analysis,
+        trace_dir=spill_path,
         _distances=distances,
     )
 
@@ -422,6 +568,13 @@ def run_parallel_ordering(
         config, mem_engine=mem_engine, sim_engine=sim_engine,
         order_engine=order_engine, seed=seed,
     )
+    if config.trace_mode == "spill":
+        # The multicore replay needs every core's line stream at once,
+        # so only full materialization or the partially-fused line
+        # translation make sense here.
+        raise UnknownNameError(
+            "parallel trace mode", "spill", ("materialize", "fused")
+        )
     if machine is None:
         machine = default_machine_for(
             mesh, profile=config.machine_profile or "scaling"
@@ -454,19 +607,45 @@ def run_parallel_ordering(
                 order_engine=config.order_engine, backend=config.backend,
             )
             sp.add_event(permuted.num_vertices)
-        with obs.span("pipeline.partition", cores=num_cores):
-            traces = parallel_traces(
-                permuted,
-                num_cores,
-                iterations=iterations,
-                traversal=traversal,
-                qualities=perm_q,
-                ordering=ordering,
-            )
-        with obs.span("pipeline.layout") as sp:
-            layout = MemoryLayout.for_mesh(permuted, line_size=machine.line_size)
-            lines_per_core = [layout.lines(t) for t in traces]
-            sp.add_event(int(sum(l.size for l in lines_per_core)))
+        layout = MemoryLayout.for_mesh(permuted, line_size=machine.line_size)
+        if config.trace_mode == "fused":
+            # Partial fusion: the interleaved multicore replay needs all
+            # per-core line streams up front, but the 17-bytes-per-event
+            # trace columns never do — translate each burst to 8-byte
+            # line ids on arrival and drop it.
+            from ..parallel.scheduler import partitioned_traversals
+
+            with obs.span(
+                "pipeline.partition", cores=num_cores, trace_mode="fused"
+            ):
+                sequences = partitioned_traversals(
+                    permuted, num_cores,
+                    traversal=traversal, qualities=perm_q,
+                )
+            with obs.span("pipeline.layout", trace_mode="fused") as sp:
+                g = permuted.adjacency
+                lines_per_core = []
+                for seq in sequences:
+                    sink = LineSink(layout)
+                    for _ in range(iterations):
+                        append_smooth_accesses_batch(
+                            sink, g.xadj, g.adjncy, seq
+                        )
+                    lines_per_core.append(sink.close())
+                sp.add_event(int(sum(l.size for l in lines_per_core)))
+        else:
+            with obs.span("pipeline.partition", cores=num_cores):
+                traces = parallel_traces(
+                    permuted,
+                    num_cores,
+                    iterations=iterations,
+                    traversal=traversal,
+                    qualities=perm_q,
+                    ordering=ordering,
+                )
+            with obs.span("pipeline.layout") as sp:
+                lines_per_core = [layout.lines(t) for t in traces]
+                sp.add_event(int(sum(l.size for l in lines_per_core)))
         result = simulate_multicore(
             lines_per_core,
             machine,

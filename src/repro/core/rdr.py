@@ -40,6 +40,7 @@ differential suite pins it across domains and seeds.
 from __future__ import annotations
 
 import hashlib
+from array import array
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -306,12 +307,23 @@ def _chain_walk(
     chain_starts)`` with ``chain_starts`` indexing the first head of
     each chain.  This is the only O(n)-sequential piece of the batched
     engine; it runs once per plan and its result is memoized.
+
+    The rows are walked through a flat ``array.array`` rather than
+    ``tolist()``: a list-of-lists boxes every entry as a Python int
+    (~200 MiB at a million vertices), while the flat buffer stays at 4
+    bytes per entry and unboxes only the entries the walk touches.
     """
-    rows = sorted_rows.tolist()
-    heads: list[int] = []
-    starts: list[int] = []
+    n, dmax = sorted_rows.shape
+    code = "i" if n < 2**31 else "q"
+    dtype = np.int32 if code == "i" else np.int64
+    rows = array(code)
+    rows.frombytes(np.ascontiguousarray(sorted_rows, dtype=dtype).tobytes())
+    seq = array(code)
+    seq.frombytes(np.ascontiguousarray(seeds, dtype=dtype).tobytes())
+    heads = array(code)
+    starts = array(code)
     append = heads.append
-    for s in seeds.tolist():
+    for s in seq:
         if done[s]:
             continue
         starts.append(len(heads))
@@ -319,15 +331,17 @@ def _chain_walk(
         while True:
             done[h] = 1
             append(h)
-            for w in rows[h]:
+            base = h * dmax
+            for j in range(base, base + dmax):
+                w = rows[j]
                 if not done[w]:
                     break
             else:
                 break
             h = w
     return (
-        np.asarray(heads, dtype=np.int64),
-        np.asarray(starts, dtype=np.int64),
+        np.frombuffer(heads, dtype=dtype).astype(np.int64),
+        np.frombuffer(starts, dtype=dtype).astype(np.int64),
     )
 
 
@@ -348,22 +362,30 @@ def _quality_plan(
     qrank[np.argsort(qualities, kind="stable")] = np.arange(n, dtype=np.int64)
     qrank[n] = 2 * n  # sentinel sorts after every real vertex
     if dmax:
+        # The n-by-dmax temporaries dominate the ordering stage's peak
+        # RSS at million-vertex scale; each is freed as soon as the
+        # next derivation no longer needs it, and the positional arrays
+        # (values < dmax or < n) stay at 32 bits.
         ranks = qrank.take(plan.padded[:n].ravel()).reshape(n, dmax)
         argsorted = np.argsort(ranks, axis=1, kind="stable")
+        del ranks
         sorted_rows = np.take_along_axis(plan.padded[:n], argsorted, axis=1)
         # Inverse of the row argsort: position of each adjacency column
         # in the sorted row, pushed through the reverse-edge map so
         # sorted_pos[v, j] = rank of v inside sorted_rows[padded[v, j]].
-        inv = np.empty((n, dmax), dtype=np.int64)
+        inv = np.empty((n, dmax), dtype=np.int32)
         np.put_along_axis(
             inv,
             argsorted,
-            np.broadcast_to(np.arange(dmax, dtype=np.int64), (n, dmax)),
+            np.broadcast_to(np.arange(dmax, dtype=np.int32), (n, dmax)),
             axis=1,
         )
+        del argsorted
         flat = inv[plan.rows_r, plan.cols_r]
-        sorted_pos = np.zeros((n, dmax), dtype=np.int64)
+        del inv
+        sorted_pos = np.zeros((n, dmax), dtype=np.int32)
         sorted_pos[plan.rows_r, plan.cols_r] = flat[plan.reverse_index()]
+        del flat
     else:
         sorted_rows = np.empty((n, 0), dtype=np.int64)
         sorted_pos = np.empty((n, 0), dtype=np.int64)

@@ -39,6 +39,7 @@ class JobSpec:
     mem_engine: str = "sequential"
     order_engine: str = "reference"
     backend: str = "numpy"
+    trace_mode: str = "materialize"
     stream_window_events: int | None = None
 
     def key(self) -> str:
@@ -93,6 +94,7 @@ def validate_names(
     mem_engines: tuple[str, ...] = (),
     order_engines: tuple[str, ...] = (),
     backends: tuple[str, ...] = (),
+    trace_modes: tuple[str, ...] = (),
 ) -> None:
     """Raise :class:`UnknownNameError` for the first unknown name."""
     from .worker import EXPERIMENT_RUNNERS  # late: worker imports JobSpec
@@ -115,6 +117,7 @@ def validate_names(
         "mem_engine": mem_engines,
         "order_engine": order_engines,
         "backend": backends,
+        "trace_mode": trace_modes,
     }
     for axis, choices in engine_axes().items():
         for name in supplied.get(axis, ()):
@@ -141,6 +144,7 @@ class ExperimentGrid:
     mem_engines: tuple[str, ...] = ("sequential",)
     order_engines: tuple[str, ...] = ("reference",)
     backends: tuple[str, ...] = ("numpy",)
+    trace_modes: tuple[str, ...] = ("materialize",)
     stream_windows: tuple[int | None, ...] = (None,)
 
     def validate(self) -> "ExperimentGrid":
@@ -153,6 +157,7 @@ class ExperimentGrid:
             mem_engines=self.mem_engines,
             order_engines=self.order_engines,
             backends=self.backends,
+            trace_modes=self.trace_modes,
         )
         for window in self.stream_windows:
             if window is not None and (
@@ -180,10 +185,12 @@ class ExperimentGrid:
                 mem_engine=mem_engine,
                 order_engine=order_engine,
                 backend=backend,
+                trace_mode=trace_mode,
                 stream_window_events=stream_window,
             )
             for experiment, domain, ordering, vertices, scale, seed, engine,
-            sim_engine, mem_engine, order_engine, backend, stream_window
+            sim_engine, mem_engine, order_engine, backend, trace_mode,
+            stream_window
             in product(
                 self.experiments,
                 self.domains,
@@ -196,6 +203,7 @@ class ExperimentGrid:
                 self.mem_engines,
                 self.order_engines,
                 self.backends,
+                self.trace_modes,
                 self.stream_windows,
             )
         ]
@@ -210,7 +218,7 @@ class ExperimentGrid:
         for key in (
             "experiments", "domains", "orderings", "vertices", "seeds",
             "cache_scales", "engines", "sim_engines", "mem_engines",
-            "order_engines", "backends", "stream_windows",
+            "order_engines", "backends", "trace_modes", "stream_windows",
         ):
             if key in kwargs:
                 kwargs[key] = tuple(kwargs[key])

@@ -115,20 +115,33 @@ def _cached_order(spec: JobSpec, cache: ArtifactCache, mesh: TriMesh):
 
 def _run_pipeline(spec: JobSpec, cache: ArtifactCache) -> dict:
     def compute() -> dict:
+        import tempfile
+
         mesh = _cached_mesh(spec, cache)
         order = _cached_order(spec, cache, mesh)
         layout = MemoryLayout.for_mesh(mesh)
         machine = calibrated_machine(
             max(1, int(layout.total_bytes * spec.cache_scale))
         )
-        run = run_ordering(
-            mesh,
-            spec.ordering,
-            config=spec.to_run_config(),
-            machine=machine,
-            fixed_iterations=spec.max_iterations,
-            precomputed_order=order,
-        )
+        # The spec's trace_mode runs as-is so the row's provenance
+        # column matches the grid cell (the fused/materialize rows must
+        # agree bit for bit — that is the axis's point in a sweep).
+        # Spill jobs stream through a temporary directory that is
+        # discarded with the trace; only the summary row survives.
+        with tempfile.TemporaryDirectory(prefix="repro-lab-spill-") as td:
+            run = run_ordering(
+                mesh,
+                spec.ordering,
+                config=spec.to_run_config(),
+                machine=machine,
+                fixed_iterations=spec.max_iterations,
+                precomputed_order=order,
+                trace_dir=(
+                    Path(td) / "trace"
+                    if spec.trace_mode == "spill"
+                    else None
+                ),
+            )
         return run_summary(run)
 
     return cache.json_blob("stats", spec.as_dict(), compute)

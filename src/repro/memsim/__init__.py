@@ -37,6 +37,19 @@ from .multicore import (
     simulate_socket,
 )
 from .sharded import simulate_multicore_sharded, socket_shards
+from .sink import (
+    DEFAULT_FUSED_WINDOW_EVENTS,
+    TRACE_MODES,
+    FusedAnalysis,
+    FusedSink,
+    LineSink,
+    MaterializeSink,
+    SpillSink,
+    TraceSink,
+    replay_chunked_trace,
+    replay_trace,
+    replay_trace_windows,
+)
 from .streaming import (
     StreamingBucketedSeries,
     StreamingHierarchy,
@@ -70,20 +83,28 @@ __all__ = [
     "CoreResult",
     "CostBreakdown",
     "DEFAULT_ELEMENT_SIZES",
+    "DEFAULT_FUSED_WINDOW_EVENTS",
+    "FusedAnalysis",
+    "FusedSink",
     "HierarchyStats",
     "LevelStats",
+    "LineSink",
     "LRUCache",
     "MEM_ENGINES",
     "MachineSpec",
+    "MaterializeSink",
     "MemoryLayout",
     "MulticoreResult",
     "ReuseProfile",
     "SIM_ENGINES",
+    "SpillSink",
     "StreamingBucketedSeries",
     "StreamingHierarchy",
     "StreamingReuse",
     "TRACE_MANIFEST",
+    "TRACE_MODES",
     "TraceBuilder",
+    "TraceSink",
     "affinity_sockets",
     "batched_levels",
     "bucketed_series",
@@ -97,6 +118,9 @@ __all__ = [
     "per_array_breakdown",
     "profile_from_distances",
     "profile_line_size",
+    "replay_chunked_trace",
+    "replay_trace",
+    "replay_trace_windows",
     "resolve_machine",
     "reuse_distances",
     "simulate_multicore",

@@ -114,10 +114,25 @@ class MemoryLayout:
             * self.line_size
         )
 
+    def addresses_of(
+        self, array_ids: np.ndarray, indices: np.ndarray
+    ) -> np.ndarray:
+        """Byte address of each ``(array id, index)`` pair (vectorized)."""
+        return (
+            self._bases[array_ids]
+            + np.asarray(indices, dtype=np.int64) * self._sizes[array_ids]
+        )
+
+    def lines_of(
+        self, array_ids: np.ndarray, indices: np.ndarray
+    ) -> np.ndarray:
+        """Cache-line id of each ``(array id, index)`` pair — the
+        column-level form the fused trace pipeline applies per window."""
+        return self.addresses_of(array_ids, indices) // self.line_size
+
     def addresses(self, trace: AccessTrace) -> np.ndarray:
         """Byte address of each access (vectorized)."""
-        ids = trace.array_ids
-        return self._bases[ids] + trace.indices * self._sizes[ids]
+        return self.addresses_of(trace.array_ids, trace.indices)
 
     def lines(self, trace: AccessTrace) -> np.ndarray:
         """Cache-line id of each access (vectorized, one line per access)."""

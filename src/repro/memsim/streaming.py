@@ -364,15 +364,15 @@ class StreamingReuse:
             self._hist += np.bincount(warm, minlength=self._hist.size)
         return distances
 
-    def profile_row(self) -> dict:
-        """Exact :class:`~repro.memsim.reuse.ReuseProfile` fields from the
+    def profile(self) -> "ReuseProfile":
+        """Exact :class:`~repro.memsim.reuse.ReuseProfile` from the
         accumulated histogram (quantiles per the paper's definition)."""
         from .reuse import ReuseProfile
 
         n = self.num_accesses
         warm_n = n - self.num_cold
         if warm_n == 0:
-            return ReuseProfile(n, n, float("nan"), 0, 0, 0, 0).as_row()
+            return ReuseProfile(n, n, float("nan"), 0, 0, 0, 0)
         cum = np.cumsum(self._hist)
         total = int(cum[-1])
 
@@ -392,7 +392,11 @@ class StreamingReuse:
             q75=q(0.75),
             q90=q(0.90),
             q100=int(self._hist.size - 1),
-        ).as_row()
+        )
+
+    def profile_row(self) -> dict:
+        """:meth:`profile` flattened to the canonical row dict."""
+        return self.profile().as_row()
 
 
 def streaming_reuse_distances(

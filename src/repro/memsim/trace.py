@@ -279,17 +279,24 @@ class AccessTrace:
 
 
 class TraceBuilder:
-    """Incremental trace construction with amortised appends.
+    """Incremental trace construction on amortised growth buffers.
 
-    The smoother appends one small burst per smoothed vertex; bursts are
-    buffered in Python lists of ndarrays and concatenated once at the
-    end, keeping recording overhead low.
+    Events land directly in columnar buffers that grow by power-of-two
+    doubling, so appends are amortised O(1) with no per-burst ndarray
+    allocations, and :meth:`build` is one bounded slice-copy per column
+    instead of a concatenate over thousands of burst fragments.
+    :meth:`alloc_columns` additionally lets bulk producers (the
+    vectorized trace builder) scatter straight into the reserved buffer
+    region, skipping the temporary event arrays entirely.
     """
 
+    _INITIAL_CAPACITY = 1024
+
     def __init__(self) -> None:
-        self._ids: list[np.ndarray] = []
-        self._idx: list[np.ndarray] = []
-        self._wr: list[np.ndarray] = []
+        cap = self._INITIAL_CAPACITY
+        self._ids = np.empty(cap, dtype=np.uint8)
+        self._idx = np.empty(cap, dtype=np.int64)
+        self._wr = np.empty(cap, dtype=bool)
         self._length = 0
         self._iter_starts: list[int] = []
 
@@ -299,18 +306,41 @@ class TraceBuilder:
     def begin_iteration(self) -> None:
         self._iter_starts.append(self._length)
 
+    def _grow_to(self, needed: int) -> None:
+        cap = int(self._ids.size)
+        if needed <= cap:
+            return
+        while cap < needed:
+            cap *= 2
+        n = self._length
+        for name in ("_ids", "_idx", "_wr"):
+            old = getattr(self, name)
+            grown = np.empty(cap, dtype=old.dtype)
+            grown[:n] = old[:n]
+            setattr(self, name, grown)
+
     def append(
         self, array: str, indices: np.ndarray | int, *, write: bool = False
     ) -> None:
         """Record accesses to ``array`` at ``indices`` (scalar or 1-D)."""
+        aid = ARRAY_IDS[array]
+        lo = self._length
+        if isinstance(indices, (int, np.integer)):
+            self._grow_to(lo + 1)
+            self._ids[lo] = aid
+            self._idx[lo] = indices
+            self._wr[lo] = write
+            self._length = lo + 1
+            return
         idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
         k = idx.size
         if k == 0:
             return
-        self._ids.append(np.full(k, ARRAY_IDS[array], dtype=np.uint8))
-        self._idx.append(idx)
-        self._wr.append(np.full(k, write, dtype=bool))
-        self._length += k
+        self._grow_to(lo + k)
+        self._ids[lo : lo + k] = aid
+        self._idx[lo : lo + k] = idx
+        self._wr[lo : lo + k] = write
+        self._length = lo + k
 
     def append_columns(
         self,
@@ -329,28 +359,43 @@ class TraceBuilder:
         is_write = np.ascontiguousarray(is_write, dtype=bool)
         if not (array_ids.shape == indices.shape == is_write.shape):
             raise ValueError("trace columns must have identical shapes")
-        if array_ids.size == 0:
+        k = array_ids.size
+        if k == 0:
             return
-        self._ids.append(array_ids)
-        self._idx.append(indices)
-        self._wr.append(is_write)
-        self._length += array_ids.size
+        lo = self._length
+        self._grow_to(lo + k)
+        self._ids[lo : lo + k] = array_ids
+        self._idx[lo : lo + k] = indices
+        self._wr[lo : lo + k] = is_write
+        self._length = lo + k
+
+    def alloc_columns(self, total: int):
+        """Reserve ``total`` events; return writable column views + commit.
+
+        The views cover exactly the reserved range (``is_write`` comes
+        zeroed); fill them, then call the returned ``commit()``. Bulk
+        producers use this to scatter events straight into the growth
+        buffer instead of allocating per-call temporaries.
+        """
+        if total < 0:
+            raise ValueError("total must be >= 0")
+        lo = self._length
+        self._grow_to(lo + total)
+        self._length = lo + total
+        ids = self._ids[lo : lo + total]
+        idx = self._idx[lo : lo + total]
+        wr = self._wr[lo : lo + total]
+        wr[:] = False
+        return ids, idx, wr, lambda: None
 
     def build(self, **meta) -> AccessTrace:
         if not self._iter_starts:
             self._iter_starts = [0]
-        if self._length == 0:
-            return AccessTrace(
-                np.empty(0, dtype=np.uint8),
-                np.empty(0, dtype=np.int64),
-                np.empty(0, dtype=bool),
-                iteration_starts=np.asarray(self._iter_starts, dtype=np.int64),
-                meta=meta,
-            )
+        n = self._length
         return AccessTrace(
-            np.concatenate(self._ids),
-            np.concatenate(self._idx),
-            np.concatenate(self._wr),
+            self._ids[:n].copy(),
+            self._idx[:n].copy(),
+            self._wr[:n].copy(),
             iteration_starts=np.asarray(self._iter_starts, dtype=np.int64),
             meta=meta,
         )

@@ -45,6 +45,7 @@ from .batched import (
     frontier_distances,
     frontier_plan,
     frontier_pseudo_peripheral,
+    release_plan_caches,
 )
 
 __all__ = [
@@ -66,6 +67,7 @@ __all__ = [
     "frontier_bfs",
     "frontier_distances",
     "frontier_plan",
+    "release_plan_caches",
     "frontier_pseudo_peripheral",
     "get_ordering",
     "hilbert_indices",

@@ -58,6 +58,7 @@ __all__ = [
     "batched_bfs_ordering",
     "batched_reverse_bfs_ordering",
     "batched_rcm_ordering",
+    "release_plan_caches",
 ]
 
 
@@ -192,6 +193,22 @@ def frontier_plan(graph: CSRGraph) -> FrontierPlan:
     )
     object.__setattr__(graph, "_frontier_plan", plan)
     return plan
+
+
+def release_plan_caches(graph: CSRGraph) -> None:
+    """Drop the memoized ordering plans pinned on ``graph``.
+
+    A warm :class:`FrontierPlan` plus the RDR quality plan
+    (``repro.core.rdr``) hold several hundred MiB of ``n``-by-``dmax``
+    arrays at million-vertex scale, and they stay referenced for the
+    graph's lifetime — the right trade for repeated orderings on one
+    mesh (``compare_orderings``, warm lab workers), pure overhead for a
+    one-shot summary pipeline whose peak RSS they would otherwise ride
+    through.  The next ordering call on the graph simply rebuilds them.
+    """
+    for attr in ("_frontier_plan", "_rdr_quality_plan"):
+        if getattr(graph, attr, None) is not None:
+            object.__setattr__(graph, attr, None)
 
 
 def _scratch(plan: FrontierPlan) -> tuple[np.ndarray, np.ndarray]:

@@ -33,7 +33,11 @@ from ..config import RunConfig, resolve_config
 from ..mesh import TriMesh
 from ..memsim.trace import AccessTrace, TraceBuilder
 from ..quality import DEFAULT_RANK_PASSES, global_quality, patch_quality, vertex_quality
-from .trace import append_smooth_accesses, append_smooth_accesses_batch
+from .trace import (
+    append_smooth_accesses,
+    append_smooth_accesses_batch,
+    iter_traversal_chunks,
+)
 from .traversal import make_traversal
 from .vectorized import WavefrontPlan
 
@@ -162,6 +166,14 @@ class LaplacianSmoother:
         ``test_ext_culling``).
     cull_tol:
         Movement threshold for culling (see above).
+    trace_sink:
+        A :class:`repro.memsim.sink.TraceSink` receiving the access
+        stream instead of the internal builder. The caller owns the
+        sink: the smoother emits into it (honouring its
+        ``burst_events`` bound by chunking each iteration's batch) but
+        never closes it, and ``SmoothingResult.trace`` stays ``None``.
+        This is how the fused/spill trace modes bound the events in
+        flight. Implies trace emission regardless of ``record_trace``.
     engine:
         ``"reference"`` (scalar per-vertex loop) or ``"vectorized"``
         (NumPy wavefront batches; same traversals, same traces, same
@@ -183,6 +195,7 @@ class LaplacianSmoother:
         record_trace: bool = False,
         culling: bool = False,
         cull_tol: float | None = None,
+        trace_sink=None,
         engine: str | None = None,
     ):
         config = resolve_config(config, engine=engine)
@@ -208,6 +221,7 @@ class LaplacianSmoother:
         self.record_trace = record_trace
         self.culling = culling
         self.cull_tol = cull_tol
+        self.trace_sink = trace_sink
 
     def smooth(self, mesh: TriMesh) -> SmoothingResult:
         """Run smoothing to convergence; the input mesh is not modified.
@@ -241,7 +255,21 @@ class LaplacianSmoother:
         history = [global_quality(work, vertex_values=qualities)]
         initial_qualities = qualities
 
-        builder = TraceBuilder() if self.record_trace else None
+        if self.trace_sink is not None:
+            builder = self.trace_sink
+        else:
+            builder = TraceBuilder() if self.record_trace else None
+        # Sinks with a burst bound get each iteration's batch in chunks
+        # so the event columns in flight stay bounded (fused/spill).
+        burst = getattr(builder, "burst_events", None)
+
+        def emit_batch(seq: np.ndarray) -> None:
+            if burst is None:
+                append_smooth_accesses_batch(builder, xadj, adjncy, seq)
+            else:
+                for chunk in iter_traversal_chunks(xadj, seq, burst):
+                    append_smooth_accesses_batch(builder, xadj, adjncy, chunk)
+
         traversals: list[np.ndarray] = []
         active_counts: list[int] = []
         converged = False
@@ -305,13 +333,13 @@ class LaplacianSmoother:
                     )
                     if builder is not None:
                         if self.engine == "vectorized":
-                            append_smooth_accesses_batch(builder, xadj, adjncy, seq)
+                            emit_batch(seq)
                         else:
                             for v in seq.tolist():
                                 append_smooth_accesses(builder, xadj, adjncy, v)
                 elif self.engine == "vectorized":
                     if builder is not None:
-                        append_smooth_accesses_batch(builder, xadj, adjncy, seq)
+                        emit_batch(seq)
                     if wf_seq is None or not np.array_equal(seq, wf_seq):
                         from ..parallel.scheduler import wavefront_schedule
 
@@ -365,7 +393,17 @@ class LaplacianSmoother:
                 break
 
         trace = None
-        if builder is not None:
+        if self.trace_sink is not None:
+            # External sink: label it, leave closing to the owner.
+            set_meta = getattr(builder, "set_meta", None)
+            if set_meta is not None:
+                set_meta(
+                    mesh=mesh.name,
+                    traversal=self.traversal,
+                    update=self.update,
+                    iterations=iterations,
+                )
+        elif builder is not None:
             trace = builder.build(
                 mesh=mesh.name,
                 traversal=self.traversal,

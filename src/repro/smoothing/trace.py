@@ -24,7 +24,9 @@ from ..memsim.trace import ARRAY_IDS, AccessTrace, TraceBuilder
 __all__ = [
     "append_smooth_accesses",
     "append_smooth_accesses_batch",
+    "iter_traversal_chunks",
     "trace_for_traversal",
+    "traversal_events",
     "accesses_per_vertex",
 ]
 
@@ -69,9 +71,17 @@ def append_smooth_accesses_batch(
     bs = np.zeros(seq.size, dtype=np.int64)
     np.cumsum(block[:-1], out=bs[1:])
     total = int(block.sum())
-    ids = np.empty(total, dtype=np.uint8)
-    idx = np.empty(total, dtype=np.int64)
-    wr = np.zeros(total, dtype=bool)
+    alloc = getattr(builder, "alloc_columns", None)
+    if alloc is not None:
+        # Scatter straight into the builder's reserved buffer region
+        # (zero-copy for the growth-buffer TraceBuilder; sinks without a
+        # reserved region hand back temporaries and copy on commit).
+        ids, idx, wr, commit = alloc(total)
+    else:
+        ids = np.empty(total, dtype=np.uint8)
+        idx = np.empty(total, dtype=np.int64)
+        wr = np.zeros(total, dtype=bool)
+        commit = None
     ids[bs] = ARRAY_IDS["flags"]
     idx[bs] = seq
     ids[bs + 1] = ARRAY_IDS["xadj"]
@@ -95,7 +105,44 @@ def append_smooth_accesses_batch(
     ids[last] = ARRAY_IDS["coords"]
     idx[last] = seq
     wr[last] = True
-    builder.append_columns(ids, idx, wr)
+    if commit is not None:
+        commit()
+    else:
+        builder.append_columns(ids, idx, wr)
+
+
+def traversal_events(xadj: np.ndarray, seq: np.ndarray) -> int:
+    """Total trace events one sweep over ``seq`` emits (4 + 2*deg each)."""
+    seq = np.asarray(seq, dtype=np.int64)
+    if seq.size == 0:
+        return 0
+    return int((4 + 2 * (xadj[seq + 1] - xadj[seq])).sum())
+
+
+def iter_traversal_chunks(
+    xadj: np.ndarray, seq: np.ndarray, max_events: int
+):
+    """Split ``seq`` into prefixes of at most ``max_events`` trace events.
+
+    The concatenated chunks reproduce ``seq`` exactly, so emitting each
+    chunk through :func:`append_smooth_accesses_batch` yields the
+    byte-identical event stream of one unchunked call — this is how the
+    fused pipeline bounds the event columns in flight. A single vertex
+    whose burst alone exceeds ``max_events`` forms its own chunk.
+    """
+    if max_events < 1:
+        raise ValueError("max_events must be >= 1")
+    seq = np.asarray(seq, dtype=np.int64)
+    if seq.size == 0:
+        return
+    ends = np.cumsum(4 + 2 * (xadj[seq + 1] - xadj[seq]))
+    lo = 0
+    while lo < seq.size:
+        base = int(ends[lo - 1]) if lo else 0
+        hi = int(np.searchsorted(ends, base + max_events, side="right"))
+        hi = max(hi, lo + 1)
+        yield seq[lo:hi]
+        lo = hi
 
 
 def accesses_per_vertex(mesh: TriMesh, v: int) -> int:

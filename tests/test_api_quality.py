@@ -98,7 +98,8 @@ SIGNATURE_SNAPSHOT = {
         " None, rank_passes_override: 'int | None' = None, smoother_kwargs: "
         "'dict | None' = None, precomputed_order: 'np.ndarray | None' = None,"
         " engine: 'str | None' = None, sim_engine: 'str | None' = None, "
-        "order_engine: 'str | None' = None) -> 'OrderedRun'"
+        "order_engine: 'str | None' = None, summary_only: 'bool' = False, "
+        "trace_dir: 'str | Path | None' = None) -> 'OrderedRun'"
     ),
     "repro.core.pipeline.run_parallel_ordering": (
         "(mesh: 'TriMesh', ordering: 'str', num_cores: 'int', *, config: "
@@ -142,7 +143,8 @@ SIGNATURE_SNAPSHOT = {
     "repro.config.RunConfig": (
         "(engine: 'str' = 'reference', sim_engine: 'str' = 'reference', "
         "mem_engine: 'str' = 'sequential', order_engine: 'str' = "
-        "'reference', backend: 'str' = 'numpy', seed: 'int' = 0, "
+        "'reference', backend: 'str' = 'numpy', trace_mode: 'str' = "
+        "'materialize', seed: 'int' = 0, "
         "machine_profile:"
         " 'str | None' = None, stream_window_events: 'int | None' = None, "
         "obs: 'ObsConfig' = <factory>) -> None"
